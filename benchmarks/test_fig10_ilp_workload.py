@@ -1,0 +1,61 @@
+"""Figure 10 (appendix C.2) — CoPhy vs. ILP execution time vs. workload size.
+
+Paper values (seconds):
+
+    ILP:    250 -> 710    500 -> 1379   1000 -> 2399
+    CoPhy:  250 -> 123    500 -> 293    1000 -> 499
+
+Reproduced shape: CoPhy is several times faster than ILP at every workload
+size (the paper reports at least 5x, an order of magnitude once the shared
+INUM time is excluded), and ILP's time is dominated by building/pruning the
+atomic-configuration space.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.bench.reporting import format_table
+from repro.core.advisor import CoPhyAdvisor
+from repro.workload.generators import generate_homogeneous_workload
+
+_PAPER_SECONDS = {"ilp": {250: 710, 500: 1379, 1000: 2399},
+                  "cophy": {250: 123, 500: 293, 1000: 499}}
+
+
+def _run_fig10():
+    schema = make_schema(0.0)
+    budget = storage_budget(schema, 1.0)
+    rows = []
+    totals: dict[str, dict[int, float]] = {"cophy": {}, "ilp": {}}
+    ex_inum: dict[str, dict[int, float]] = {"cophy": {}, "ilp": {}}
+    for paper_size, size in WORKLOAD_SIZES.items():
+        workload = generate_homogeneous_workload(size, seed=SEED)
+        cophy = CoPhyAdvisor(schema).tune(workload, [budget])
+        ilp = IlpAdvisor(schema).tune(workload, [budget])
+        for name, recommendation in (("cophy", cophy), ("ilp", ilp)):
+            totals[name][paper_size] = recommendation.total_seconds
+            ex_inum[name][paper_size] = (recommendation.total_seconds
+                                         - recommendation.timings.get("inum", 0.0))
+            rows.append({
+                "paper workload": paper_size,
+                "advisor": name,
+                "paper seconds": _PAPER_SECONDS[name][paper_size],
+                "measured s": round(recommendation.total_seconds, 2),
+                "build s": round(recommendation.timings.get("build", 0.0), 2),
+                "solve s": round(recommendation.timings.get("solve", 0.0), 2),
+            })
+    return rows, totals, ex_inum
+
+
+def test_fig10_ilp_vs_workload_size(benchmark):
+    rows, totals, ex_inum = benchmark.pedantic(_run_fig10, rounds=1, iterations=1)
+    print_report("Figure 10: CoPhy vs ILP execution time across workload sizes",
+                 format_table(rows))
+
+    for paper_size in WORKLOAD_SIZES:
+        # CoPhy is faster than ILP at every workload size.
+        assert totals["cophy"][paper_size] < totals["ilp"][paper_size]
+    largest = max(WORKLOAD_SIZES)
+    # Excluding the INUM time shared by both, the gap is large (paper: ~10x).
+    assert ex_inum["ilp"][largest] / max(ex_inum["cophy"][largest], 1e-9) > 3.0

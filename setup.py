@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments where the ``wheel``
+package (needed by PEP-517 editable builds with older setuptools) is not
+available — pip falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

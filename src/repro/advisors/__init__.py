@@ -1,0 +1,28 @@
+"""Index advisors: the common interface and the paper's comparison baselines.
+
+* :class:`~repro.advisors.base.Advisor` / :class:`~repro.advisors.base.Recommendation`
+  — the shared interface (CoPhy implements it too).
+* :class:`~repro.advisors.ilp_advisor.IlpAdvisor` — the BIP-per-atomic-
+  configuration formulation of Papadomanolakis & Ailamaki [14], with the
+  pruning of candidate atomic configurations it requires.
+* :class:`~repro.advisors.relaxation.RelaxationAdvisor` — a Tool-A-like
+  greedy/relaxation-based advisor in the spirit of Bruno & Chaudhuri [3],
+  driven by direct what-if optimizer calls.
+* :class:`~repro.advisors.dta.DtaAdvisor` — a Tool-B-like advisor in the
+  spirit of the DB2 Design Advisor [20]: per-query candidate selection, a
+  knapsack-style greedy under the storage budget, and workload compression by
+  sampling.
+"""
+
+from repro.advisors.base import Advisor, Recommendation
+from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.advisors.relaxation import RelaxationAdvisor
+from repro.advisors.dta import DtaAdvisor
+
+__all__ = [
+    "Advisor",
+    "Recommendation",
+    "IlpAdvisor",
+    "RelaxationAdvisor",
+    "DtaAdvisor",
+]

@@ -1,0 +1,86 @@
+"""Common advisor interface and the Recommendation result object."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.indexes.candidate_generation import CandidateSet
+from repro.indexes.configuration import Configuration
+from repro.lp.solution import GapTracePoint
+from repro.workload.workload import Workload
+
+__all__ = ["Recommendation", "Advisor"]
+
+
+@dataclass
+class Recommendation:
+    """The result of one index-tuning session.
+
+    Attributes:
+        configuration: The recommended index set ``X*``.
+        advisor_name: Which advisor produced it.
+        objective_estimate: The advisor's own estimate of the weighted
+            workload cost under ``X*`` (not the ground-truth what-if cost —
+            the evaluation harness recomputes that separately).
+        timings: Per-phase wall-clock seconds.  CoPhy and ILP report the
+            ``inum`` / ``build`` / ``solve`` breakdown of Figures 5 and 10;
+            every advisor reports ``total``.
+        candidate_count: Number of candidate indexes the advisor examined
+            (the §5.2 observation: 1933 for CoPhy vs. 170 / 45 for the
+            commercial tools).
+        whatif_calls: What-if optimizer invocations consumed.
+        gap: Reported optimality gap (solver-based advisors only).
+        gap_trace: Gap-over-time feedback points (CoPhy's early-termination
+            feature; empty for advisors that cannot provide it).
+        extras: Advisor-specific extra results (e.g. the Pareto set).
+    """
+
+    configuration: Configuration
+    advisor_name: str
+    objective_estimate: float = float("nan")
+    timings: dict[str, float] = field(default_factory=dict)
+    candidate_count: int = 0
+    whatif_calls: int = 0
+    gap: float = 0.0
+    gap_trace: tuple[GapTracePoint, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timings.get("total", sum(self.timings.values()))
+
+    @property
+    def index_count(self) -> int:
+        return len(self.configuration)
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat summary used by the benchmark reports."""
+        return {
+            "advisor": self.advisor_name,
+            "indexes": self.index_count,
+            "candidates": self.candidate_count,
+            "whatif_calls": self.whatif_calls,
+            "objective": self.objective_estimate,
+            "gap": self.gap,
+            "total_seconds": round(self.total_seconds, 4),
+        }
+
+
+class Advisor(abc.ABC):
+    """Interface every index advisor implements.
+
+    An advisor takes a workload, a candidate set (or generates its own) and a
+    set of constraints, and returns a :class:`Recommendation`.
+    """
+
+    name: str = "advisor"
+
+    @abc.abstractmethod
+    def tune(self, workload: Workload, constraints: Sequence = (),
+             candidates: CandidateSet | None = None) -> Recommendation:
+        """Run one tuning session and return the recommendation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, experiment runner and report formatting.
+
+The harness reproduces the paper's methodology (section 5.1): the quality of a
+recommendation ``X*`` is the relative reduction in workload cost compared to a
+baseline configuration ``X0`` containing only the clustered primary-key
+indexes, with both costs computed by invoking the what-if optimizer directly
+(the "ground truth"), regardless of any approximations the advisor used
+internally.
+"""
+
+from repro.bench.metrics import (
+    baseline_configuration,
+    perf_improvement,
+    speedup_percent,
+    workload_cost,
+)
+from repro.bench.harness import AdvisorRun, ExperimentResult, run_advisor, compare_advisors
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "baseline_configuration",
+    "workload_cost",
+    "perf_improvement",
+    "speedup_percent",
+    "AdvisorRun",
+    "ExperimentResult",
+    "run_advisor",
+    "compare_advisors",
+    "format_table",
+]

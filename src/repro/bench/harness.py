@@ -1,0 +1,112 @@
+"""Experiment runner used by the per-figure benchmark scripts."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.advisors.base import Advisor, Recommendation
+from repro.bench.metrics import baseline_configuration, perf_improvement
+from repro.core.constraints import SoftConstraint, TuningConstraint
+from repro.indexes.candidate_generation import CandidateSet
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.workload import Workload
+
+__all__ = ["AdvisorRun", "ExperimentResult", "run_advisor", "compare_advisors"]
+
+
+@dataclass
+class AdvisorRun:
+    """One advisor's outcome on one tuning-problem instance."""
+
+    advisor_name: str
+    recommendation: Recommendation
+    perf: float
+    wall_seconds: float
+
+    @property
+    def speedup_percent(self) -> float:
+        return 100.0 * self.perf
+
+    def row(self) -> dict[str, float | int | str]:
+        return {
+            "advisor": self.advisor_name,
+            "perf": round(self.perf, 4),
+            "speedup_%": round(self.speedup_percent, 2),
+            "indexes": self.recommendation.index_count,
+            "candidates": self.recommendation.candidate_count,
+            "whatif_calls": self.recommendation.whatif_calls,
+            "seconds": round(self.wall_seconds, 3),
+            "inum_s": round(self.recommendation.timings.get("inum", 0.0), 3),
+            "build_s": round(self.recommendation.timings.get("build", 0.0), 3),
+            "solve_s": round(self.recommendation.timings.get("solve", 0.0), 3),
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """A named collection of advisor runs (one paper table / figure)."""
+
+    name: str
+    runs: list[AdvisorRun] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def run_for(self, advisor_name: str) -> AdvisorRun:
+        for run in self.runs:
+            if run.advisor_name == advisor_name:
+                return run
+        raise KeyError(f"No run for advisor {advisor_name!r} in {self.name!r}")
+
+    def perf_ratio(self, numerator: str, denominator: str) -> float:
+        """Ratio of perf improvements (the Table-1 metric)."""
+        denominator_perf = self.run_for(denominator).perf
+        if denominator_perf <= 0:
+            return float("inf")
+        return self.run_for(numerator).perf / denominator_perf
+
+    def time_ratio(self, numerator: str, denominator: str) -> float:
+        denominator_time = self.run_for(denominator).wall_seconds
+        if denominator_time <= 0:
+            return float("inf")
+        return self.run_for(numerator).wall_seconds / denominator_time
+
+    def rows(self) -> list[dict]:
+        return [run.row() for run in self.runs]
+
+
+def run_advisor(advisor: Advisor, evaluation_optimizer: WhatIfOptimizer,
+                workload: Workload,
+                constraints: Sequence[TuningConstraint | SoftConstraint] = (),
+                candidates: CandidateSet | None = None) -> AdvisorRun:
+    """Run one advisor and evaluate its recommendation against ground truth.
+
+    The evaluation optimizer is deliberately a *separate* what-if optimizer so
+    that the advisor's own call counters and caches are not polluted by the
+    evaluation, mirroring the paper's use of the DBMS optimizer as the ground
+    truth regardless of the advisor's internal approximations.
+    """
+    started = time.perf_counter()
+    recommendation = advisor.tune(workload, constraints, candidates=candidates)
+    wall_seconds = time.perf_counter() - started
+    baseline = baseline_configuration(evaluation_optimizer.schema)
+    perf = perf_improvement(evaluation_optimizer, workload,
+                            recommendation.configuration, baseline)
+    return AdvisorRun(advisor_name=advisor.name, recommendation=recommendation,
+                      perf=perf, wall_seconds=wall_seconds)
+
+
+def compare_advisors(advisors: Sequence[Advisor],
+                     evaluation_optimizer: WhatIfOptimizer,
+                     workload: Workload,
+                     constraints: Sequence[TuningConstraint | SoftConstraint] = (),
+                     candidates: CandidateSet | None = None,
+                     name: str = "experiment") -> ExperimentResult:
+    """Run several advisors on the same tuning-problem instance."""
+    result = ExperimentResult(name=name,
+                              metadata={"workload": workload.name,
+                                        "statements": len(workload)})
+    for advisor in advisors:
+        result.runs.append(run_advisor(advisor, evaluation_optimizer, workload,
+                                       constraints, candidates))
+    return result

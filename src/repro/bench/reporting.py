@@ -1,0 +1,53 @@
+"""Plain-text report formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Used by the benchmark scripts to print the same rows/series the paper's
+    tables and figures report.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(text.ljust(widths[column])
+                                for text, column in zip(rendered, columns)))
+    return "\n".join(lines)
+
+
+def format_series(points: Sequence[tuple[float, float]], x_label: str,
+                  y_label: str, title: str = "") -> str:
+    """Render an (x, y) series as a two-column table (for figure-style output)."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, title=title)

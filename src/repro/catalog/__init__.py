@@ -1,0 +1,26 @@
+"""Relational catalog substrate: schemas, tables, columns and statistics.
+
+The catalog plays the role of the database system's metadata layer.  The
+what-if optimizer (:mod:`repro.optimizer`) costs plans purely from the
+statistics stored here, which is what lets the whole reproduction run without
+a real DBMS: hypothetical ("what-if") indexes are simply indexes that exist in
+the catalog but have no physical representation anywhere.
+"""
+
+from repro.catalog.column import Column, ColumnType
+from repro.catalog.statistics import ColumnStatistics, Histogram, HistogramBucket
+from repro.catalog.table import Table
+from repro.catalog.schema import Schema
+from repro.catalog.tpch import tpch_schema, TPCH_TABLE_NAMES
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ColumnStatistics",
+    "Histogram",
+    "HistogramBucket",
+    "Table",
+    "Schema",
+    "tpch_schema",
+    "TPCH_TABLE_NAMES",
+]

@@ -1,0 +1,68 @@
+"""Column definitions for the relational catalog."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ColumnType(enum.Enum):
+    """Logical column types with a fixed storage width in bytes.
+
+    The widths are deliberately simple (fixed-size encodings) because they are
+    only consumed by index/table size estimation and by the cost model; the
+    reproduction never stores actual tuples.
+    """
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    FLOAT = "float"
+    DATE = "date"
+    CHAR = "char"
+    VARCHAR = "varchar"
+    TEXT = "text"
+
+    @property
+    def default_width(self) -> int:
+        """Storage width in bytes used when a column does not override it."""
+        return _DEFAULT_WIDTHS[self]
+
+
+_DEFAULT_WIDTHS = {
+    ColumnType.INTEGER: 4,
+    ColumnType.BIGINT: 8,
+    ColumnType.DECIMAL: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.DATE: 4,
+    ColumnType.CHAR: 16,
+    ColumnType.VARCHAR: 32,
+    ColumnType.TEXT: 128,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a table.
+
+    Attributes:
+        name: Column name, unique within its table.
+        column_type: Logical type; determines the default storage width.
+        width: Storage width in bytes.  Defaults to the type's width.
+        nullable: Whether the column may contain NULLs (affects selectivity
+            of IS NULL predicates).
+    """
+
+    name: str
+    column_type: ColumnType = ColumnType.INTEGER
+    width: int = field(default=0)
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Column name must be non-empty")
+        if self.width <= 0:
+            object.__setattr__(self, "width", self.column_type.default_width)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,124 @@
+"""Table definitions: columns, row counts, page counts and per-column statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.catalog.column import Column
+from repro.catalog.statistics import ColumnStatistics
+from repro.exceptions import CatalogError
+
+DEFAULT_PAGE_SIZE_BYTES = 8192
+#: Per-tuple bookkeeping overhead (headers, alignment) charged on top of the
+#: declared column widths when estimating table and index sizes.
+TUPLE_OVERHEAD_BYTES = 24
+
+
+@dataclass
+class Table:
+    """A base table with columns, cardinality and statistics.
+
+    Attributes:
+        name: Table name, unique within a schema.
+        columns: Ordered column definitions.
+        row_count: Number of rows in the table.
+        statistics: Optional per-column statistics (column name -> stats).
+        primary_key: Names of the primary-key columns (assumed clustered).
+        page_size: Page size in bytes used for page-count estimates.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    row_count: float
+    statistics: dict[str, ColumnStatistics] = field(default_factory=dict)
+    primary_key: tuple[str, ...] = ()
+    page_size: int = DEFAULT_PAGE_SIZE_BYTES
+
+    def __init__(self, name: str, columns: Iterable[Column], row_count: float,
+                 statistics: Mapping[str, ColumnStatistics] | None = None,
+                 primary_key: Iterable[str] = (),
+                 page_size: int = DEFAULT_PAGE_SIZE_BYTES):
+        if not name:
+            raise CatalogError("Table name must be non-empty")
+        columns = tuple(columns)
+        if not columns:
+            raise CatalogError(f"Table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"Table {name!r} has duplicate column names")
+        if row_count < 0:
+            raise CatalogError(f"Table {name!r} has negative row_count")
+        self.name = name
+        self.columns = columns
+        self.row_count = float(row_count)
+        self.statistics = dict(statistics or {})
+        self.primary_key = tuple(primary_key)
+        self.page_size = int(page_size)
+        self._columns_by_name = {c.name: c for c in columns}
+        for key_column in self.primary_key:
+            if key_column not in self._columns_by_name:
+                raise CatalogError(
+                    f"Primary-key column {key_column!r} not in table {name!r}")
+        for stats_column in self.statistics:
+            if stats_column not in self._columns_by_name:
+                raise CatalogError(
+                    f"Statistics refer to unknown column {stats_column!r} "
+                    f"in table {name!r}")
+
+    # ------------------------------------------------------------------ columns
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, column_name: str) -> bool:
+        return column_name in self._columns_by_name
+
+    def column(self, column_name: str) -> Column:
+        try:
+            return self._columns_by_name[column_name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"Table {self.name!r} has no column {column_name!r}") from exc
+
+    def column_width(self, column_name: str) -> int:
+        return self.column(column_name).width
+
+    # --------------------------------------------------------------- statistics
+    def column_statistics(self, column_name: str) -> ColumnStatistics:
+        """Statistics for a column, synthesising a conservative default if absent."""
+        self.column(column_name)
+        stats = self.statistics.get(column_name)
+        if stats is not None:
+            return stats
+        default = ColumnStatistics(
+            distinct_values=max(1.0, self.row_count / 10.0),
+            average_width=float(self.column_width(column_name)),
+        )
+        self.statistics[column_name] = default
+        return default
+
+    def set_column_statistics(self, column_name: str, stats: ColumnStatistics) -> None:
+        self.column(column_name)
+        self.statistics[column_name] = stats
+
+    # --------------------------------------------------------------------- size
+    @property
+    def tuple_width(self) -> int:
+        """Average width of a full tuple in bytes, including per-tuple overhead."""
+        return sum(c.width for c in self.columns) + TUPLE_OVERHEAD_BYTES
+
+    @property
+    def page_count(self) -> float:
+        """Number of heap pages occupied by the table."""
+        tuples_per_page = max(1.0, self.page_size / self.tuple_width)
+        return max(1.0, self.row_count / tuples_per_page)
+
+    @property
+    def size_bytes(self) -> float:
+        """Total heap size of the table in bytes."""
+        return self.page_count * self.page_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Table(name={self.name!r}, columns={len(self.columns)}, "
+                f"rows={self.row_count:.0f})")

@@ -1,0 +1,175 @@
+"""The CoPhy index advisor facade.
+
+Wires together CGen, INUM, BIPGen and the Solver (Figure 2 of the paper) and
+reports the same execution-time breakdown the paper uses in its evaluation
+(INUM time, BIP build time, solve time).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.advisors.base import Advisor, Recommendation
+from repro.catalog.schema import Schema
+from repro.core.bip_builder import BipBuilder, CophyBip
+from repro.core.constraints import (
+    SoftConstraint,
+    TuningConstraint,
+    split_constraints,
+)
+from repro.core.soft_constraints import ParetoExplorer, ParetoPoint
+from repro.core.solver import CoPhySolver, SolverBackend
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.indexes.index import Index
+from repro.inum.cache import InumCache
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.workload import Workload
+
+__all__ = ["CoPhyAdvisor", "Recommendation"]
+
+
+class CoPhyAdvisor(Advisor):
+    """The CoPhy index advisor.
+
+    Args:
+        schema: The database catalog being tuned.
+        optimizer: Optional what-if optimizer to share with other components
+            (a fresh one over ``schema`` is created otherwise).
+        cost_model: Cost-model constants for a freshly created optimizer.
+        candidate_generator: Optional custom CGen instance.
+        backend: Which BIP solver backend to delegate to.
+        gap_tolerance: Early-termination optimality gap (paper default: 5%).
+        time_limit_seconds: Wall-clock limit for each solver call.
+        apply_relaxation: Apply the Lagrangian-style relaxation before solving.
+        max_orders_per_table / max_templates_per_query: INUM enumeration caps.
+    """
+
+    name = "cophy"
+
+    def __init__(self, schema: Schema, optimizer: WhatIfOptimizer | None = None,
+                 cost_model: CostModel | None = None,
+                 candidate_generator: CandidateGenerator | None = None,
+                 backend: SolverBackend = SolverBackend.MILP,
+                 gap_tolerance: float = 0.05,
+                 time_limit_seconds: float | None = None,
+                 apply_relaxation: bool = False,
+                 max_orders_per_table: int = 2,
+                 max_templates_per_query: int = 64):
+        self.schema = schema
+        self.optimizer = optimizer or WhatIfOptimizer(schema, cost_model)
+        self.candidate_generator = candidate_generator or CandidateGenerator(schema)
+        self.inum = InumCache(self.optimizer,
+                              max_orders_per_table=max_orders_per_table,
+                              max_templates_per_query=max_templates_per_query)
+        self.bip_builder = BipBuilder(self.inum)
+        self.solver = CoPhySolver(backend=backend, gap_tolerance=gap_tolerance,
+                                  time_limit_seconds=time_limit_seconds,
+                                  apply_relaxation=apply_relaxation)
+        self.gap_tolerance = gap_tolerance
+
+    # -------------------------------------------------------------------- public
+    def generate_candidates(self, workload: Workload,
+                            dba_indexes: Iterable[Index] = ()) -> CandidateSet:
+        """Run CGen on a workload (plus DBA-supplied indexes ``S_DBA``)."""
+        return self.candidate_generator.generate(workload, dba_indexes=dba_indexes)
+
+    def build_bip(self, workload: Workload,
+                  candidates: CandidateSet | None = None,
+                  dba_indexes: Iterable[Index] = ()) -> CophyBip:
+        """Pre-process a workload into its Theorem-1 BIP (INUM + BIPGen)."""
+        if candidates is None:
+            candidates = self.generate_candidates(workload, dba_indexes)
+        self.inum.build_workload(workload)
+        return self.bip_builder.build(workload, candidates)
+
+    def tune(self, workload: Workload,
+             constraints: Sequence[TuningConstraint | SoftConstraint] = (),
+             candidates: CandidateSet | None = None,
+             dba_indexes: Iterable[Index] = ()) -> Recommendation:
+        """Run a complete tuning session.
+
+        Hard constraints are merged into the BIP; if soft constraints are
+        present the Pareto curve is explored and the cost-optimal end of the
+        curve is returned as the primary recommendation, with the full curve
+        available under ``extras['pareto_points']``.
+        """
+        hard, soft = split_constraints(constraints)
+        timings: dict[str, float] = {}
+
+        started = time.perf_counter()
+        if candidates is None:
+            candidates = self.generate_candidates(workload, dba_indexes)
+        timings["candidate_generation"] = time.perf_counter() - started
+
+        whatif_before = self.optimizer.whatif_calls + self.inum.template_build_calls
+        inum_started = time.perf_counter()
+        self.inum.build_workload(workload)
+        timings["inum"] = time.perf_counter() - inum_started
+
+        build_started = time.perf_counter()
+        bip = self.bip_builder.build(workload, candidates)
+        timings["build"] = time.perf_counter() - build_started
+
+        solve_started = time.perf_counter()
+        extras: dict = {"bip_statistics": dict(bip.statistics)}
+        if soft:
+            explorer = ParetoExplorer(self.solver)
+            points = explorer.explore(bip, soft, hard_constraints=hard)
+            timings["solve"] = time.perf_counter() - solve_started
+            best = max(points, key=lambda p: p.lambda_value)
+            extras["pareto_points"] = points
+            recommendation = Recommendation(
+                configuration=best.configuration,
+                advisor_name=self.name,
+                objective_estimate=best.workload_cost,
+                timings=timings,
+                candidate_count=len(candidates),
+                whatif_calls=(self.optimizer.whatif_calls
+                              + self.inum.template_build_calls - whatif_before),
+                gap=0.0,
+                extras=extras,
+            )
+        else:
+            report = self.solver.solve(bip, hard_constraints=hard)
+            timings["solve"] = time.perf_counter() - solve_started
+            extras["solve_report"] = report
+            recommendation = Recommendation(
+                configuration=report.configuration,
+                advisor_name=self.name,
+                objective_estimate=report.objective,
+                timings=timings,
+                candidate_count=len(candidates),
+                whatif_calls=(self.optimizer.whatif_calls
+                              + self.inum.template_build_calls - whatif_before),
+                gap=report.gap,
+                gap_trace=report.gap_trace,
+                extras=extras,
+            )
+        timings["total"] = time.perf_counter() - started
+        recommendation.extras["bip"] = bip
+        return recommendation
+
+    def explore_tradeoffs(self, workload: Workload,
+                          soft_constraints: Sequence[SoftConstraint],
+                          hard_constraints: Sequence[TuningConstraint] = (),
+                          candidates: CandidateSet | None = None,
+                          lambdas: Sequence[float] | None = None
+                          ) -> list[ParetoPoint]:
+        """Explore the Pareto curve of one or more soft constraints."""
+        bip = self.build_bip(workload, candidates)
+        explorer = ParetoExplorer(self.solver)
+        return explorer.explore(bip, soft_constraints,
+                                hard_constraints=hard_constraints, lambdas=lambdas)
+
+    def create_session(self, workload: Workload,
+                       constraints: Sequence[TuningConstraint | SoftConstraint] = (),
+                       candidates: CandidateSet | None = None,
+                       dba_indexes: Iterable[Index] = ()):
+        """Start an interactive tuning session (incremental re-tuning)."""
+        from repro.core.interactive import InteractiveTuningSession
+
+        return InteractiveTuningSession(self, workload, constraints=constraints,
+                                        candidates=candidates,
+                                        dba_indexes=dba_indexes)

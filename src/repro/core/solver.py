@@ -1,0 +1,244 @@
+"""The Solver component of CoPhy (Figure 3 of the paper).
+
+Responsibilities:
+
+1. merge the DBA's hard constraints into the BIP as linear rows;
+2. probe feasibility and report the offending constraints back to the DBA
+   (raising :class:`~repro.exceptions.InfeasibleProblemError`);
+3. optionally apply a Lagrangian-style relaxation of the slot-assignment
+   constraints (moving them into the objective as penalty terms) to avoid
+   solver corner cases;
+4. hand the program to the off-the-shelf BIP solver — either the pure-Python
+   branch-and-bound solver (which provides the gap trace used for early
+   termination feedback and warm starts for interactive tuning) or the
+   scipy/HiGHS MILP backend;
+5. extract the recommended configuration ``X*`` from the solution.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.bip_builder import CophyBip
+from repro.core.constraints import TuningConstraint
+from repro.exceptions import InfeasibleProblemError, SolverError
+from repro.indexes.configuration import Configuration
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.constraint import Constraint, ConstraintSense
+from repro.lp.expression import LinearExpression
+from repro.lp.highs_backend import MilpBackend
+from repro.lp.model import Model
+from repro.lp.solution import GapTracePoint, Solution, SolutionStatus
+from repro.lp.variable import Variable
+
+__all__ = ["SolverBackend", "SolveReport", "CoPhySolver"]
+
+
+class SolverBackend(enum.Enum):
+    """Which off-the-shelf BIP solver to delegate to."""
+
+    BRANCH_AND_BOUND = "branch_and_bound"
+    MILP = "milp"
+
+
+@dataclass
+class SolveReport:
+    """Everything the advisor needs to know about one solver run."""
+
+    configuration: Configuration
+    solution: Solution
+    objective: float
+    gap: float
+    solve_seconds: float
+    gap_trace: tuple[GapTracePoint, ...] = ()
+    constraint_rows: int = 0
+    relaxation_applied: bool = False
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.solution.status is SolutionStatus.OPTIMAL
+
+
+class CoPhySolver:
+    """Solves a CoPhy BIP under a set of hard constraints.
+
+    Args:
+        backend: Off-the-shelf solver to use.  The branch-and-bound backend
+            exposes gap traces and warm starts; the MILP backend is the
+            fastest way to just get an answer.
+        gap_tolerance: Relative optimality gap at which the solver may stop
+            (the paper's default CPLEX setting is 5%).
+        time_limit_seconds: Wall-clock limit per solve call.
+        apply_relaxation: Whether to apply the Lagrangian-style relaxation of
+            the slot-assignment constraints before solving (section 4.1).
+        relaxation_penalty: Penalty weight used by the relaxation.
+    """
+
+    def __init__(self, backend: SolverBackend = SolverBackend.MILP,
+                 gap_tolerance: float = 0.05,
+                 time_limit_seconds: float | None = None,
+                 apply_relaxation: bool = False,
+                 relaxation_penalty: float | None = None):
+        self.backend = backend
+        self.gap_tolerance = max(0.0, gap_tolerance)
+        self.time_limit_seconds = time_limit_seconds
+        self.apply_relaxation = apply_relaxation
+        self.relaxation_penalty = relaxation_penalty
+
+    # -------------------------------------------------------------------- public
+    def solve(self, bip: CophyBip,
+              hard_constraints: Sequence[TuningConstraint] = (),
+              warm_start: Mapping[Variable, float] | None = None,
+              extra_objective: LinearExpression | None = None,
+              gap_tolerance: float | None = None,
+              time_limit_seconds: float | None = None) -> SolveReport:
+        """Merge constraints, check feasibility, solve, and extract ``X*``.
+
+        Args:
+            bip: The Theorem-1 BIP produced by :class:`BipBuilder`.
+            hard_constraints: DBA constraints that must hold.
+            warm_start: Optional variable assignment used as the initial
+                incumbent (interactive re-tuning).
+            extra_objective: Optional replacement objective (used by the soft
+                constraint scalarisation); when omitted the BIP's workload-cost
+                objective is used.
+            gap_tolerance: Per-call override of the early-termination gap.
+            time_limit_seconds: Per-call override of the time limit.
+
+        Raises:
+            InfeasibleProblemError: When the hard constraints cannot be met.
+        """
+        model = bip.model
+        constraint_rows = self._merge_constraints(bip, hard_constraints)
+
+        if extra_objective is not None:
+            model.set_objective(extra_objective)
+        else:
+            model.set_objective(bip.cost_expression)
+
+        relaxation_applied = False
+        if self.apply_relaxation:
+            relaxation_applied = self._apply_relaxation(bip)
+
+        effective_gap = self.gap_tolerance if gap_tolerance is None else gap_tolerance
+        effective_limit = (self.time_limit_seconds if time_limit_seconds is None
+                           else time_limit_seconds)
+
+        started = time.perf_counter()
+        if self.backend is SolverBackend.BRANCH_AND_BOUND:
+            solver = BranchAndBoundSolver(gap_tolerance=effective_gap,
+                                          time_limit_seconds=effective_limit)
+            if not solver.is_feasible(model):
+                self._rollback(bip, constraint_rows, relaxation_applied)
+                raise InfeasibleProblemError(
+                    "The hard constraints cannot all be satisfied",
+                    violated_constraints=tuple(c.name for c in hard_constraints))
+            solution = solver.solve(model, warm_start=warm_start,
+                                    gap_tolerance=effective_gap,
+                                    time_limit_seconds=effective_limit)
+        else:
+            backend = MilpBackend(gap_tolerance=effective_gap,
+                                  time_limit_seconds=effective_limit)
+            solution = backend.solve(model)
+            if solution.status is SolutionStatus.INFEASIBLE:
+                self._rollback(bip, constraint_rows, relaxation_applied)
+                raise InfeasibleProblemError(
+                    "The hard constraints cannot all be satisfied",
+                    violated_constraints=tuple(c.name for c in hard_constraints))
+        elapsed = time.perf_counter() - started
+
+        if not solution.is_feasible:
+            self._rollback(bip, constraint_rows, relaxation_applied)
+            raise SolverError(f"BIP solver failed: {solution.message}")
+
+        configuration = bip.extract_configuration(solution)
+        objective = bip.cost_expression.evaluate(solution.values)
+        report = SolveReport(
+            configuration=configuration,
+            solution=solution,
+            objective=objective,
+            gap=solution.gap,
+            solve_seconds=elapsed,
+            gap_trace=solution.gap_trace,
+            constraint_rows=len(constraint_rows),
+            relaxation_applied=relaxation_applied,
+        )
+        self._rollback(bip, constraint_rows, relaxation_applied)
+        return report
+
+    def check_feasibility(self, bip: CophyBip,
+                          hard_constraints: Sequence[TuningConstraint] = ()) -> bool:
+        """The feasibility probe of line 1 in the Solver pseudo-code."""
+        constraint_rows = self._merge_constraints(bip, hard_constraints)
+        try:
+            solver = BranchAndBoundSolver()
+            return solver.is_feasible(bip.model)
+        finally:
+            self._rollback(bip, constraint_rows, relaxation_applied=False)
+
+    # --------------------------------------------------------------- relaxation
+    def _apply_relaxation(self, bip: CophyBip) -> bool:
+        """Lagrangian-style relaxation of the slot-assignment equalities.
+
+        The equality rows ``sum_a x_qkia = y_qk`` are replaced by the weaker
+        ``sum_a x_qkia >= y_qk`` inequalities while a penalty proportional to
+        the selected access methods is added to the objective.  Because every
+        ``gamma`` is non-negative, a cost-minimising solution never selects
+        more than one access method per slot, so the relaxed program has the
+        same optima as the original (this is the "key trick" of section 4.1 —
+        it removes equality rows that slow some solvers down).
+        """
+        model = bip.model
+        if not bip.slot_constraints:
+            return False
+        penalty = self.relaxation_penalty
+        if penalty is None:
+            penalty = 0.0
+        new_objective_terms = bip.model.objective.terms
+        for slot, constraint in bip.slot_constraints.items():
+            if constraint.sense is not ConstraintSense.EQUAL:
+                continue
+            constraint.sense = ConstraintSense.LESS_EQUAL
+            # sum_a x - y == 0  becomes  y - sum_a x <= 0  (i.e. sum_a x >= y).
+            constraint.expression = constraint.expression * -1.0
+            if penalty:
+                for variable, coefficient in constraint.expression.terms.items():
+                    if coefficient < 0:  # the x variables
+                        new_objective_terms[variable] = (
+                            new_objective_terms.get(variable, 0.0) + penalty)
+        if penalty:
+            model.set_objective(LinearExpression(new_objective_terms))
+        model.invalidate_cache()
+        return True
+
+    def _undo_relaxation(self, bip: CophyBip) -> None:
+        for constraint in bip.slot_constraints.values():
+            if constraint.sense is ConstraintSense.LESS_EQUAL:
+                constraint.sense = ConstraintSense.EQUAL
+                constraint.expression = constraint.expression * -1.0
+        bip.model.invalidate_cache()
+
+    # ---------------------------------------------------------------- internals
+    def _merge_constraints(self, bip: CophyBip,
+                           hard_constraints: Sequence[TuningConstraint]
+                           ) -> list[Constraint]:
+        rows: list[Constraint] = []
+        for constraint in hard_constraints:
+            for row in constraint.to_linear(bip):
+                rows.append(bip.model.add_constraint(row))
+        return rows
+
+    def _rollback(self, bip: CophyBip, constraint_rows: Iterable[Constraint],
+                  relaxation_applied: bool) -> None:
+        """Remove per-solve state so the BIP can be reused for the next call."""
+        self._remove_constraints(bip.model, constraint_rows)
+        if relaxation_applied:
+            self._undo_relaxation(bip)
+        bip.model.set_objective(bip.cost_expression)
+
+    @staticmethod
+    def _remove_constraints(model: Model, rows: Iterable[Constraint]) -> None:
+        model.remove_constraints(rows)

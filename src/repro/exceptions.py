@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish library failures from programming errors, mirroring
+how CoPhy reports infeasible tuning problems back to the DBA.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Raised for schema / statistics inconsistencies (unknown tables, columns)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed queries or workloads."""
+
+
+class ParseError(WorkloadError):
+    """Raised when the SQL-subset parser cannot understand a statement."""
+
+
+class IndexDefinitionError(ReproError):
+    """Raised when an index definition is invalid (empty key, cross-table columns)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the what-if optimizer cannot produce a plan for a query."""
+
+
+class SolverError(ReproError):
+    """Raised when the LP / BIP machinery fails (unbounded model, bad variable use)."""
+
+
+class InfeasibleProblemError(SolverError):
+    """Raised when the hard constraints of a tuning problem cannot all be satisfied.
+
+    CoPhy surfaces this to the DBA (Figure 3, line 2 of the Solver pseudo-code)
+    so that offending constraints can be removed or converted to soft constraints.
+    """
+
+    def __init__(self, message: str = "Tuning problem is infeasible",
+                 violated_constraints: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.violated_constraints = tuple(violated_constraints)
+
+
+class ConstraintError(ReproError):
+    """Raised when a DBA constraint cannot be translated to linear form."""

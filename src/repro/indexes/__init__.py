@@ -1,0 +1,26 @@
+"""Index substrate: index definitions, configurations and candidate generation.
+
+Indexes here are *hypothetical*: they are never materialised, only described
+(table, key columns, included columns, clustered flag) and sized from the
+catalog statistics, which is exactly the information the what-if optimizer and
+the BIP need.  This mirrors the role of hypothetical-index facilities such as
+``HypoPG`` or the commercial what-if interfaces the paper relies on.
+"""
+
+from repro.indexes.index import Index, index_size_bytes
+from repro.indexes.configuration import (
+    AtomicConfiguration,
+    Configuration,
+    atomic_configurations,
+)
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+
+__all__ = [
+    "Index",
+    "index_size_bytes",
+    "Configuration",
+    "AtomicConfiguration",
+    "atomic_configurations",
+    "CandidateGenerator",
+    "CandidateSet",
+]

@@ -1,0 +1,162 @@
+"""Index definitions and size estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.catalog.table import TUPLE_OVERHEAD_BYTES, Table
+from repro.exceptions import IndexDefinitionError
+from repro.workload.predicates import ColumnRef
+
+__all__ = ["Index", "index_size_bytes"]
+
+#: Per-entry overhead of a B-tree leaf entry (pointer + alignment).
+_INDEX_ENTRY_OVERHEAD_BYTES = 12
+#: Typical B-tree page fill factor.
+_FILL_FACTOR = 0.70
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (hypothetical) B-tree index on a single table.
+
+    Attributes:
+        table: Name of the indexed table.  The paper requires every index to
+            be defined on exactly one table (no join indexes).
+        key_columns: Ordered key columns; the leading column determines which
+            sort orders and sargable predicates the index can serve.
+        include_columns: Non-key columns stored in the leaves, used to make
+            the index covering without widening the key.
+        clustered: Whether this is the table's clustered index.  Constraint
+            E.3 of the paper limits configurations to one clustered index per
+            table.
+        name: Optional explicit name; a canonical one is derived otherwise.
+    """
+
+    table: str
+    key_columns: tuple[str, ...]
+    include_columns: tuple[str, ...] = ()
+    clustered: bool = False
+    name: str = field(default="", compare=False)
+
+    def __init__(self, table: str, key_columns: Iterable[str],
+                 include_columns: Iterable[str] = (), clustered: bool = False,
+                 name: str | None = None):
+        key_columns = tuple(key_columns)
+        include_columns = tuple(include_columns)
+        if not table:
+            raise IndexDefinitionError("Index must name a table")
+        if not key_columns:
+            raise IndexDefinitionError("Index must have at least one key column")
+        if len(set(key_columns)) != len(key_columns):
+            raise IndexDefinitionError(
+                f"Duplicate key columns in index on {table!r}: {key_columns}")
+        overlap = set(key_columns) & set(include_columns)
+        if overlap:
+            raise IndexDefinitionError(
+                f"Columns {sorted(overlap)} appear both as key and include columns")
+        # Deduplicate include columns while preserving order.
+        include_columns = tuple(dict.fromkeys(include_columns))
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "key_columns", key_columns)
+        object.__setattr__(self, "include_columns", include_columns)
+        object.__setattr__(self, "clustered", bool(clustered))
+        object.__setattr__(self, "name", name or self._canonical_name())
+
+    def _canonical_name(self) -> str:
+        parts = [self.table, "_".join(self.key_columns)]
+        if self.include_columns:
+            parts.append("inc_" + "_".join(self.include_columns))
+        if self.clustered:
+            parts.append("clustered")
+        return "idx_" + "__".join(parts)
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def leading_column(self) -> str:
+        return self.key_columns[0]
+
+    @property
+    def all_columns(self) -> tuple[str, ...]:
+        """Key columns followed by include columns."""
+        return self.key_columns + self.include_columns
+
+    @property
+    def width(self) -> int:
+        """Number of key plus included columns (used by width constraints)."""
+        return len(self.all_columns)
+
+    def covers(self, columns: Iterable[ColumnRef | str]) -> bool:
+        """Whether every given column of this table is stored in the index."""
+        available = set(self.all_columns)
+        for column in columns:
+            column_name = column.column if isinstance(column, ColumnRef) else column
+            if column_name not in available:
+                return False
+        return True
+
+    def provides_order_on(self, column: ColumnRef | str) -> bool:
+        """Whether scanning the index yields rows sorted by ``column``."""
+        column_name = column.column if isinstance(column, ColumnRef) else column
+        return self.key_columns[0] == column_name
+
+    def key_prefix_matches(self, columns: Iterable[str]) -> int:
+        """Length of the longest key prefix fully contained in ``columns``."""
+        available = set(columns)
+        matched = 0
+        for key_column in self.key_columns:
+            if key_column in available:
+                matched += 1
+            else:
+                break
+        return matched
+
+    def __str__(self) -> str:
+        keys = ", ".join(self.key_columns)
+        suffix = ""
+        if self.include_columns:
+            suffix = f" INCLUDE ({', '.join(self.include_columns)})"
+        kind = "CLUSTERED " if self.clustered else ""
+        return f"{kind}INDEX ON {self.table}({keys}){suffix}"
+
+
+def index_size_bytes(index: Index, table: Table) -> float:
+    """Estimate the on-disk size of ``index`` over ``table``.
+
+    A clustered index stores the full tuples (it *is* the table), so its
+    incremental storage cost is only the non-leaf levels; a secondary index
+    stores one leaf entry per row (key + included columns + row pointer), with
+    non-leaf levels adding a logarithmic factor.
+
+    Args:
+        index: The index to size.
+        table: The catalog table it is defined on (supplies row count and
+            column widths).
+
+    Returns:
+        Estimated size in bytes.
+    """
+    if index.table != table.name:
+        raise IndexDefinitionError(
+            f"Index {index.name} is on {index.table!r}, not {table.name!r}")
+    for column in index.all_columns:
+        table.column(column)  # raises CatalogError for unknown columns
+
+    rows = max(table.row_count, 1.0)
+    if index.clustered:
+        # The clustered index holds full tuples; charge only the sparse
+        # non-leaf levels over the heap.
+        leaf_bytes = rows * (table.tuple_width + _INDEX_ENTRY_OVERHEAD_BYTES)
+        internal_fraction = 0.01
+        return leaf_bytes * internal_fraction + table.page_size
+
+    entry_width = sum(table.column_width(c) for c in index.all_columns)
+    entry_width += _INDEX_ENTRY_OVERHEAD_BYTES
+    leaf_bytes = rows * entry_width / _FILL_FACTOR
+    entries_per_page = max(2.0, table.page_size * _FILL_FACTOR / entry_width)
+    leaf_pages = max(1.0, rows / entries_per_page)
+    # Upper levels: a geometric series bounded by leaf_pages / (fanout - 1).
+    internal_pages = leaf_pages / max(entries_per_page - 1.0, 1.0)
+    return (leaf_pages + internal_pages) * table.page_size

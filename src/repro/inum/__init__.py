@@ -1,0 +1,13 @@
+"""INUM: fast what-if optimization through cached template plans.
+
+INUM (Papadomanolakis, Dash, Ailamaki — VLDB 2007) pre-processes each query
+with a handful of optimizer calls and caches a set of *template plans*; the
+cost of the query under any index configuration is then the minimum over
+templates of ``beta + sum_i gamma_i`` — the linear-composability property
+(Definition 1 of the CoPhy paper) that the whole BIP formulation rests on.
+"""
+
+from repro.inum.template_plan import TemplatePlan
+from repro.inum.cache import InumCache
+
+__all__ = ["TemplatePlan", "InumCache"]

@@ -1,0 +1,278 @@
+"""The INUM cache: template-plan construction and fast configuration costing."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.catalog.schema import Schema
+from repro.exceptions import OptimizerError
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
+from repro.optimizer.plan import Plan, ScanNode
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.predicates import ColumnRef
+from repro.workload.query import Query, UpdateQuery
+from repro.workload.workload import Workload
+
+__all__ = ["InumCache"]
+
+
+class InumCache:
+    """Per-query template-plan cache implementing fast what-if optimization.
+
+    The cache is built once per query with a small number of optimizer
+    invocations — one per enumerated combination of interesting orders — and
+    afterwards answers ``cost(q, X)`` for arbitrary configurations without
+    touching the optimizer, by minimising ``beta_qk + sum_i gamma_qkia`` over
+    the templates ``k`` and the per-slot access-method choices.
+
+    Args:
+        optimizer: The underlying what-if optimizer (used only at build time
+            and for update-maintenance costs).
+        max_orders_per_table: Cap on interesting orders considered per slot.
+        max_templates_per_query: Cap on the number of template plans kept per
+            query.  When the full cross product of interesting orders exceeds
+            the cap, a representative subset is enumerated instead (the
+            all-unordered template, all single-order templates and the
+            all-ordered template).
+    """
+
+    def __init__(self, optimizer: WhatIfOptimizer, max_orders_per_table: int = 2,
+                 max_templates_per_query: int = 64):
+        if max_orders_per_table < 0:
+            raise ValueError("max_orders_per_table must be non-negative")
+        if max_templates_per_query < 1:
+            raise ValueError("max_templates_per_query must be at least 1")
+        self._optimizer = optimizer
+        self._schema: Schema = optimizer.schema
+        self._max_orders = max_orders_per_table
+        self._max_templates = max_templates_per_query
+        self._templates: dict[str, tuple[TemplatePlan, ...]] = {}
+        self._queries: dict[str, Query] = {}
+        self._build_calls = 0
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def template_build_calls(self) -> int:
+        """Number of optimizer invocations spent building template plans."""
+        return self._build_calls
+
+    @property
+    def cached_query_count(self) -> int:
+        return len(self._templates)
+
+    def total_template_count(self) -> int:
+        return sum(len(templates) for templates in self._templates.values())
+
+    # ----------------------------------------------------------------- building
+    def build_workload(self, workload: Workload) -> None:
+        """Pre-process every statement of a workload."""
+        for statement in workload:
+            self.build(statement.query)
+
+    def build(self, query: Query) -> tuple[TemplatePlan, ...]:
+        """Build (or return cached) ``TPlans(q)`` for a statement."""
+        shell = self._shell(query)
+        cached = self._templates.get(shell.name)
+        if cached is not None:
+            return cached
+        templates = self._enumerate_templates(shell)
+        self._templates[shell.name] = templates
+        self._queries[shell.name] = shell
+        return templates
+
+    def templates(self, query: Query) -> tuple[TemplatePlan, ...]:
+        """``TPlans(q)``, building them on first use."""
+        return self.build(query)
+
+    # ------------------------------------------------------------------ costing
+    def access_cost(self, query: Query, table: str, index: Index | None) -> float:
+        """The order-independent access cost of ``table`` via ``index`` (``gamma``)."""
+        shell = self._shell(query)
+        return self._optimizer.access_scan(shell, table, index).cost
+
+    def gamma(self, query: Query, template: TemplatePlan, table: str,
+              index: Index | None) -> float:
+        """``gamma_qkia``: slot access cost, or infinity when incompatible."""
+        shell = self._shell(query)
+        if table not in template.order_requirements:
+            return 0.0
+        scan = self._optimizer.access_scan(shell, table, index)
+        if not template.accepts(table, scan):
+            return INFEASIBLE_COST
+        return scan.cost
+
+    def cost(self, query: Query, configuration: Configuration | Iterable[Index]
+             ) -> float:
+        """INUM-approximated ``cost(q, X)`` for a SELECT statement / query shell."""
+        shell = self._shell(query)
+        if not isinstance(configuration, Configuration):
+            configuration = Configuration(configuration)
+        templates = self.build(shell)
+        best = INFEASIBLE_COST
+        for template in templates:
+            total = template.internal_cost
+            for table in shell.tables:
+                slot_best = self._best_slot_cost(shell, template, table, configuration)
+                total += slot_best
+                if total >= best:
+                    break
+            best = min(best, total)
+        if best is INFEASIBLE_COST or best == float("inf"):
+            raise OptimizerError(
+                f"INUM produced no feasible template for query {shell.name!r}")
+        return best
+
+    def statement_cost(self, query: Query,
+                       configuration: Configuration | Iterable[Index]) -> float:
+        """Full statement cost (adds update-maintenance terms for UPDATEs)."""
+        if not isinstance(configuration, Configuration):
+            configuration = Configuration(configuration)
+        if isinstance(query, UpdateQuery):
+            shell_cost = self.cost(query.query_shell(), configuration)
+            maintenance = sum(
+                self._optimizer.update_maintenance_cost(index, query)
+                for index in configuration.indexes_on(query.table))
+            return shell_cost + maintenance + self._optimizer.base_update_cost(query)
+        return self.cost(query, configuration)
+
+    def workload_cost(self, workload: Workload,
+                      configuration: Configuration | Iterable[Index]) -> float:
+        """Weighted INUM cost of a whole workload under a configuration."""
+        if not isinstance(configuration, Configuration):
+            configuration = Configuration(configuration)
+        return sum(statement.weight * self.statement_cost(statement.query, configuration)
+                   for statement in workload)
+
+    def _best_slot_cost(self, query: Query, template: TemplatePlan, table: str,
+                        configuration: Configuration) -> float:
+        best = self.gamma(query, template, table, None)
+        for index in configuration.indexes_on(table):
+            candidate = self.gamma(query, template, table, index)
+            if candidate < best:
+                best = candidate
+        return best
+
+    # ---------------------------------------------------------------- internals
+    @staticmethod
+    def _shell(query: Query) -> Query:
+        if isinstance(query, UpdateQuery):
+            return query.query_shell()
+        return query
+
+    def _interesting_orders(self, query: Query, table: str) -> tuple[ColumnRef, ...]:
+        table_def = self._schema.table(table)
+        orders = [column for column in query.interesting_order_columns(table)
+                  if table_def.has_column(column.column)]
+        return tuple(orders[:self._max_orders])
+
+    def _enumerate_templates(self, query: Query) -> tuple[TemplatePlan, ...]:
+        per_table_orders: dict[str, tuple[ColumnRef | None, ...]] = {}
+        for table in query.tables:
+            options: list[ColumnRef | None] = [None]
+            options.extend(self._interesting_orders(query, table))
+            per_table_orders[table] = tuple(options)
+
+        specs = self._order_specs(query.tables, per_table_orders)
+        templates: list[TemplatePlan] = []
+        seen_signatures: set[tuple] = set()
+        for spec in specs:
+            template = self._build_template(query, spec)
+            if template.signature() in seen_signatures:
+                continue
+            seen_signatures.add(template.signature())
+            templates.append(template)
+        return tuple(self._prune_dominated(templates))
+
+    @staticmethod
+    def _prune_dominated(templates: list[TemplatePlan]) -> list[TemplatePlan]:
+        """Drop templates dominated by a cheaper, less-demanding template.
+
+        Template ``A`` dominates ``B`` when ``A`` costs no more internally and
+        every slot of ``A`` accepts at least the access methods ``B`` accepts
+        (``A``'s requirement is either none or identical).  Dominated
+        templates can never win the minimisation, so removing them keeps the
+        BIP compact without changing any cost.
+        """
+        kept: list[TemplatePlan] = []
+        for candidate in templates:
+            dominated = False
+            for other in templates:
+                if other is candidate:
+                    continue
+                if other.internal_cost > candidate.internal_cost + 1e-9:
+                    continue
+                weaker = all(
+                    other.required_order(table) is None
+                    or other.required_order(table) == candidate.required_order(table)
+                    for table in candidate.tables)
+                strictly = (other.internal_cost < candidate.internal_cost - 1e-9
+                            or other.signature() != candidate.signature())
+                if weaker and strictly:
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append(candidate)
+        return kept or templates
+
+    def _order_specs(self, tables: Sequence[str],
+                     per_table_orders: Mapping[str, Sequence[ColumnRef | None]]
+                     ) -> list[dict[str, ColumnRef | None]]:
+        """Enumerate interesting-order combinations, bounded by the template cap."""
+        option_lists = [per_table_orders[table] for table in tables]
+        product_size = 1
+        for options in option_lists:
+            product_size *= len(options)
+        specs: list[dict[str, ColumnRef | None]] = []
+        if product_size <= self._max_templates:
+            for combination in itertools.product(*option_lists):
+                specs.append(dict(zip(tables, combination)))
+            return specs
+        # Representative subset: no orders, one order at a time, all first orders.
+        base: dict[str, ColumnRef | None] = {table: None for table in tables}
+        specs.append(dict(base))
+        for table in tables:
+            for order in per_table_orders[table]:
+                if order is None:
+                    continue
+                spec = dict(base)
+                spec[table] = order
+                specs.append(spec)
+                if len(specs) >= self._max_templates - 1:
+                    break
+            if len(specs) >= self._max_templates - 1:
+                break
+        all_first = {
+            table: next((o for o in per_table_orders[table] if o is not None), None)
+            for table in tables}
+        specs.append(all_first)
+        return specs
+
+    def _build_template(self, query: Query,
+                        order_spec: Mapping[str, ColumnRef | None]) -> TemplatePlan:
+        """Build one template plan by optimizing with synthetic ordered leaves."""
+        self._build_calls += 1
+        scans: dict[str, ScanNode] = {}
+        widths: dict[str, float] = {}
+        for table in query.tables:
+            base = self._optimizer.access_scan(query, table, None)
+            required = order_spec.get(table)
+            scans[table] = ScanNode(
+                cost=base.cost,
+                rows=base.rows,
+                output_order=required,
+                table=table,
+                index=None,
+                access_path=base.access_path,
+            )
+            widths[table] = self._optimizer.access_selector.output_width(query, table)
+        plan = self._optimizer.plan_builder.build(query, scans, widths)
+        internal_cost = plan.internal_cost
+        return TemplatePlan(
+            query_name=query.name,
+            order_requirements=dict(order_spec),
+            internal_cost=internal_cost,
+            representative_plan=plan,
+        )

@@ -1,0 +1,271 @@
+"""A branch-and-bound binary-integer-program solver over LP relaxations.
+
+This is the "off-the-shelf BIP solver" of the reproduction.  It provides the
+behaviours CoPhy's Solver component builds on:
+
+* a **feasibility probe** (:meth:`BranchAndBoundSolver.is_feasible`) used to
+  reject unsatisfiable hard-constraint sets before solving;
+* **continuous feedback**: every improvement of the incumbent or of the best
+  bound is recorded as a :class:`~repro.lp.solution.GapTracePoint`, which is
+  what Figure 6a of the paper plots;
+* **early termination** once the relative optimality gap falls below a
+  threshold (the paper tunes CPLEX to stop at 5%);
+* **warm starts** from a known-good assignment, which is how interactive
+  re-tuning reuses the computation of a previous solve (Figure 6b);
+* node and wall-clock limits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.lp.highs_backend import LinearRelaxationBackend
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.solution import GapTracePoint, Solution, SolutionStatus
+from repro.lp.variable import Variable, VariableKind
+
+__all__ = ["BranchAndBoundSolver"]
+
+_INTEGRALITY_TOLERANCE = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its LP bound (best-first search)."""
+
+    bound: float
+    sequence: int
+    depth: int = field(compare=False)
+    bounds: np.ndarray = field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """Branch-and-bound over scipy/HiGHS LP relaxations.
+
+    Args:
+        gap_tolerance: Stop as soon as the relative gap between the incumbent
+            and the best bound drops to this value (0 = prove optimality).
+        time_limit_seconds: Wall-clock budget; the best incumbent found so far
+            is returned when it runs out.
+        node_limit: Maximum number of explored nodes.
+        progress_callback: Optional callable invoked with each new
+            :class:`GapTracePoint` (CoPhy's interactive feedback hook).
+    """
+
+    def __init__(self, gap_tolerance: float = 0.0,
+                 time_limit_seconds: float | None = None,
+                 node_limit: int = 100_000,
+                 progress_callback: Callable[[GapTracePoint], None] | None = None):
+        self.gap_tolerance = max(0.0, float(gap_tolerance))
+        self.time_limit_seconds = time_limit_seconds
+        self.node_limit = int(node_limit)
+        self.progress_callback = progress_callback
+        self._relaxation = LinearRelaxationBackend()
+
+    # ------------------------------------------------------------------- probes
+    def is_feasible(self, model: Model) -> bool:
+        """Fast feasibility probe via the LP relaxation.
+
+        An infeasible relaxation proves the BIP infeasible.  (A feasible
+        relaxation does not *prove* integer feasibility, but for the index
+        tuning constraint classes of the paper — budgets, cardinality limits,
+        per-table rules — LP feasibility coincides with BIP feasibility.)
+        """
+        relaxed = self._relaxation.solve(model)
+        return relaxed.status is not SolutionStatus.INFEASIBLE
+
+    # -------------------------------------------------------------------- solve
+    def solve(self, model: Model, warm_start: Mapping[Variable, float] | None = None,
+              gap_tolerance: float | None = None,
+              time_limit_seconds: float | None = None) -> Solution:
+        """Solve the binary integer program.
+
+        Args:
+            model: The model to solve (binary and continuous variables).
+            warm_start: Optional assignment used as the initial incumbent if it
+                is feasible; this is how re-tuning reuses prior solutions.
+            gap_tolerance: Per-call override of the construction-time tolerance.
+            time_limit_seconds: Per-call override of the time limit.
+        """
+        started = time.perf_counter()
+        effective_gap = (self.gap_tolerance if gap_tolerance is None
+                         else max(0.0, gap_tolerance))
+        effective_limit = (self.time_limit_seconds if time_limit_seconds is None
+                           else time_limit_seconds)
+        matrices = model.to_matrices()
+        root_bounds = matrices["bounds"].copy()
+        binary_indices = np.array(
+            [v.index for v in model.variables if v.kind is VariableKind.BINARY],
+            dtype=np.int64)
+        # The search works in minimisation space; maximisation models are
+        # handled by flipping the sign of every objective value.
+        sign = -1.0 if model.sense is ObjectiveSense.MAXIMIZE else 1.0
+
+        incumbent_values: dict[Variable, float] | None = None
+        incumbent_objective = math.inf
+        if warm_start is not None and model.is_feasible_assignment(warm_start):
+            incumbent_values = {v: float(warm_start.get(v, 0.0))
+                                for v in model.variables}
+            incumbent_objective = sign * model.objective_value(incumbent_values)
+
+        gap_trace: list[GapTracePoint] = []
+        nodes_explored = 0
+        best_bound = -math.inf
+        counter = itertools.count()
+
+        root = self._relaxation.solve(model, root_bounds)
+        if root.status is SolutionStatus.INFEASIBLE:
+            return Solution(status=SolutionStatus.INFEASIBLE,
+                            solve_seconds=time.perf_counter() - started,
+                            message="LP relaxation infeasible")
+        if root.status is SolutionStatus.UNBOUNDED:
+            return Solution(status=SolutionStatus.UNBOUNDED,
+                            solve_seconds=time.perf_counter() - started,
+                            message="LP relaxation unbounded")
+        if not root.status.has_solution:
+            return Solution(status=SolutionStatus.ERROR,
+                            solve_seconds=time.perf_counter() - started,
+                            message=root.message)
+
+        heap: list[_Node] = []
+        heapq.heappush(heap, _Node(bound=sign * root.objective, sequence=next(counter),
+                                   depth=0, bounds=root_bounds))
+
+        def record(force: bool = False) -> None:
+            nonlocal gap_trace
+            gap = self._relative_gap(incumbent_objective, best_bound)
+            point = GapTracePoint(
+                elapsed_seconds=time.perf_counter() - started,
+                incumbent_objective=sign * incumbent_objective,
+                best_bound=sign * best_bound,
+                gap=gap,
+                nodes_explored=nodes_explored,
+            )
+            if force or not gap_trace or (gap_trace[-1].gap - gap) > 1e-12:
+                gap_trace.append(point)
+                if self.progress_callback is not None:
+                    self.progress_callback(point)
+
+        while heap:
+            if effective_limit is not None and (
+                    time.perf_counter() - started) > effective_limit:
+                break
+            if nodes_explored >= self.node_limit:
+                break
+            node = heapq.heappop(heap)
+            # Prune by bound against the incumbent.
+            if node.bound >= incumbent_objective - 1e-12:
+                continue
+            best_bound = node.bound if not heap else min(node.bound,
+                                                         min(n.bound for n in heap))
+            relaxed = self._relaxation.solve(model, node.bounds)
+            nodes_explored += 1
+            if not relaxed.status.has_solution:
+                continue
+            relaxed_objective = sign * relaxed.objective
+            if relaxed_objective >= incumbent_objective - 1e-12:
+                record()
+                if self._should_stop(incumbent_objective, best_bound, effective_gap):
+                    break
+                continue
+
+            fractional_index = self._most_fractional(relaxed, model, binary_indices)
+            if fractional_index is None:
+                # Integral solution: new incumbent.
+                incumbent_values = dict(relaxed.values)
+                incumbent_objective = relaxed_objective
+                record(force=True)
+            else:
+                rounded = self._rounding_heuristic(model, relaxed)
+                if rounded is not None:
+                    rounded_objective = sign * model.objective_value(rounded)
+                    if rounded_objective < incumbent_objective - 1e-12:
+                        incumbent_values = rounded
+                        incumbent_objective = rounded_objective
+                        record(force=True)
+                for branch_value in (0.0, 1.0):
+                    child_bounds = node.bounds.copy()
+                    child_bounds[fractional_index, 0] = branch_value
+                    child_bounds[fractional_index, 1] = branch_value
+                    heapq.heappush(heap, _Node(bound=relaxed_objective,
+                                               sequence=next(counter),
+                                               depth=node.depth + 1,
+                                               bounds=child_bounds))
+            if heap:
+                best_bound = min(n.bound for n in heap)
+            else:
+                best_bound = incumbent_objective
+            record()
+            if self._should_stop(incumbent_objective, best_bound, effective_gap):
+                break
+
+        elapsed = time.perf_counter() - started
+        if incumbent_values is None:
+            # No integral solution found within the limits.
+            return Solution(status=SolutionStatus.ERROR, solve_seconds=elapsed,
+                            nodes_explored=nodes_explored,
+                            gap_trace=tuple(gap_trace),
+                            message="No integer-feasible solution found")
+        if not heap:
+            best_bound = incumbent_objective
+        gap = self._relative_gap(incumbent_objective, best_bound)
+        status = (SolutionStatus.OPTIMAL if gap <= max(effective_gap, 1e-9)
+                  else SolutionStatus.FEASIBLE)
+        record(force=True)
+        return Solution(status=status, objective=sign * incumbent_objective,
+                        values=incumbent_values, best_bound=sign * best_bound,
+                        gap=gap, solve_seconds=elapsed,
+                        nodes_explored=nodes_explored, gap_trace=tuple(gap_trace))
+
+    # ---------------------------------------------------------------- internals
+    @staticmethod
+    def _relative_gap(incumbent: float, bound: float) -> float:
+        if not math.isfinite(incumbent):
+            return math.inf
+        if not math.isfinite(bound):
+            return math.inf
+        denominator = max(abs(incumbent), 1e-9)
+        return max(0.0, (incumbent - bound) / denominator)
+
+    def _should_stop(self, incumbent: float, bound: float, gap_tolerance: float) -> bool:
+        if not math.isfinite(incumbent):
+            return False
+        return self._relative_gap(incumbent, bound) <= gap_tolerance
+
+    @staticmethod
+    def _most_fractional(solution: Solution, model: Model,
+                         binary_indices: np.ndarray) -> int | None:
+        """Index of the binary variable farthest from integrality, if any."""
+        worst_index: int | None = None
+        worst_distance = _INTEGRALITY_TOLERANCE
+        for variable in model.variables:
+            if variable.kind is not VariableKind.BINARY:
+                continue
+            value = solution.values.get(variable, 0.0)
+            distance = abs(value - round(value))
+            if distance > worst_distance:
+                worst_distance = distance
+                worst_index = variable.index
+        return worst_index
+
+    @staticmethod
+    def _rounding_heuristic(model: Model, relaxed: Solution
+                            ) -> dict[Variable, float] | None:
+        """Round the LP solution to the nearest integers; keep it if feasible."""
+        rounded: dict[Variable, float] = {}
+        for variable in model.variables:
+            value = relaxed.values.get(variable, 0.0)
+            if variable.kind is VariableKind.BINARY:
+                rounded[variable] = float(round(value))
+            else:
+                rounded[variable] = value
+        if model.is_feasible_assignment(rounded):
+            return rounded
+        return None

@@ -1,0 +1,139 @@
+"""Linear expressions over decision variables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import SolverError
+from repro.lp.variable import Variable
+
+__all__ = ["LinearExpression"]
+
+
+class LinearExpression:
+    """An affine expression ``sum_i coefficient_i * variable_i + constant``.
+
+    Supports the usual arithmetic (``+``, ``-``, ``*`` by scalars) plus the
+    comparison operators ``<=``, ``>=`` and ``==`` which produce
+    :class:`~repro.lp.constraint.Constraint` objects.
+    """
+
+    __slots__ = ("_terms", "_constant")
+
+    def __init__(self, terms: Mapping[Variable, float] | None = None,
+                 constant: float = 0.0):
+        self._terms: dict[Variable, float] = dict(terms or {})
+        self._constant = float(constant)
+
+    # ---------------------------------------------------------------- factories
+    @classmethod
+    def sum_of(cls, variables: Iterable[Variable],
+               coefficients: Iterable[float] | None = None) -> "LinearExpression":
+        """Build ``sum_i coefficient_i * variable_i`` efficiently."""
+        variables = list(variables)
+        if coefficients is None:
+            coefficient_list = [1.0] * len(variables)
+        else:
+            coefficient_list = [float(c) for c in coefficients]
+            if len(coefficient_list) != len(variables):
+                raise SolverError("coefficients must match the number of variables")
+        terms: dict[Variable, float] = {}
+        for variable, coefficient in zip(variables, coefficient_list):
+            terms[variable] = terms.get(variable, 0.0) + coefficient
+        return cls(terms)
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def terms(self) -> dict[Variable, float]:
+        return dict(self._terms)
+
+    @property
+    def constant(self) -> float:
+        return self._constant
+
+    def coefficient(self, variable: Variable) -> float:
+        return self._terms.get(variable, 0.0)
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(self._terms.keys())
+
+    def is_empty(self) -> bool:
+        return not self._terms
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        """Value of the expression under a variable assignment."""
+        return self._constant + sum(
+            coefficient * values.get(variable, 0.0)
+            for variable, coefficient in self._terms.items())
+
+    # --------------------------------------------------------------- arithmetic
+    def _coerce(self, other) -> "LinearExpression":
+        if isinstance(other, LinearExpression):
+            return other
+        if isinstance(other, Variable):
+            return LinearExpression({other: 1.0})
+        if isinstance(other, (int, float)):
+            return LinearExpression(constant=float(other))
+        raise SolverError(f"Cannot combine a linear expression with {type(other).__name__}")
+
+    def __add__(self, other) -> "LinearExpression":
+        other = self._coerce(other)
+        terms = dict(self._terms)
+        for variable, coefficient in other._terms.items():
+            terms[variable] = terms.get(variable, 0.0) + coefficient
+        return LinearExpression(terms, self._constant + other._constant)
+
+    def __radd__(self, other) -> "LinearExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinearExpression":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, scalar) -> "LinearExpression":
+        if not isinstance(scalar, (int, float)):
+            raise SolverError("Linear expressions can only be scaled by numbers")
+        factor = float(scalar)
+        terms = {variable: coefficient * factor
+                 for variable, coefficient in self._terms.items()}
+        return LinearExpression(terms, self._constant * factor)
+
+    def __rmul__(self, scalar) -> "LinearExpression":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinearExpression":
+        return self.__mul__(-1.0)
+
+    # -------------------------------------------------------------- comparisons
+    def __le__(self, other):
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        difference = self - self._coerce(other)
+        return Constraint(difference, ConstraintSense.LESS_EQUAL)
+
+    def __ge__(self, other):
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        difference = self._coerce(other) - self
+        return Constraint(difference, ConstraintSense.LESS_EQUAL)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        if isinstance(other, (int, float, Variable, LinearExpression)):
+            difference = self - self._coerce(other)
+            return Constraint(difference, ConstraintSense.EQUAL)
+        return NotImplemented
+
+    __hash__ = None  # expressions are mutable-ish builders, not hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{coefficient:+g}*{variable.name}"
+                 for variable, coefficient in list(self._terms.items())[:6]]
+        if len(self._terms) > 6:
+            parts.append("...")
+        if self._constant:
+            parts.append(f"{self._constant:+g}")
+        return "LinearExpression(" + " ".join(parts or ["0"]) + ")"

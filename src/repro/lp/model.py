@@ -1,0 +1,249 @@
+"""The optimization model: variables, constraints, objective and matrix export."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import SolverError
+from repro.lp.constraint import Constraint, ConstraintSense
+from repro.lp.expression import LinearExpression
+from repro.lp.variable import Variable, VariableKind
+
+__all__ = ["Model", "ObjectiveSense"]
+
+
+class ObjectiveSense(enum.Enum):
+    """Direction of optimization (index tuning always minimises cost)."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+class Model:
+    """A linear / binary-integer optimization model.
+
+    The model owns its variables (created through :meth:`add_binary` /
+    :meth:`add_continuous`), collects constraints and an objective, and can
+    export the standard matrix form consumed by the scipy backends:
+    inequality rows ``A_ub x <= b_ub``, equality rows ``A_eq x == b_eq``, a
+    cost vector ``c`` and variable bounds.
+    """
+
+    def __init__(self, name: str = "model",
+                 sense: ObjectiveSense = ObjectiveSense.MINIMIZE):
+        self.name = name
+        self.sense = sense
+        self._variables: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective = LinearExpression()
+        self._matrix_cache: dict | None = None
+
+    # ---------------------------------------------------------------- variables
+    def add_binary(self, name: str) -> Variable:
+        """Add a binary decision variable."""
+        variable = Variable(name=name, index=len(self._variables),
+                            kind=VariableKind.BINARY,
+                            lower_bound=0.0, upper_bound=1.0)
+        self._variables.append(variable)
+        self._matrix_cache = None
+        return variable
+
+    def add_continuous(self, name: str, lower_bound: float = 0.0,
+                       upper_bound: float = float("inf")) -> Variable:
+        """Add a continuous decision variable."""
+        if upper_bound < lower_bound:
+            raise SolverError(f"Variable {name!r} has empty bounds")
+        variable = Variable(name=name, index=len(self._variables),
+                            kind=VariableKind.CONTINUOUS,
+                            lower_bound=lower_bound, upper_bound=upper_bound)
+        self._variables.append(variable)
+        self._matrix_cache = None
+        return variable
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(self._variables)
+
+    @property
+    def variable_count(self) -> int:
+        return len(self._variables)
+
+    def binary_variables(self) -> tuple[Variable, ...]:
+        return tuple(v for v in self._variables if v.kind is VariableKind.BINARY)
+
+    # -------------------------------------------------------------- constraints
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built with the expression comparison operators."""
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                "add_constraint expects a Constraint (did you compare an "
+                "expression with <=, >= or ==?)")
+        if name:
+            constraint.name = name
+        self._owns_variables(constraint.variables())
+        self._constraints.append(constraint)
+        self._matrix_cache = None
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def constraint_count(self) -> int:
+        return len(self._constraints)
+
+    # ---------------------------------------------------------------- objective
+    def set_objective(self, expression: LinearExpression | Variable,
+                      sense: ObjectiveSense | None = None) -> None:
+        if isinstance(expression, Variable):
+            expression = LinearExpression({expression: 1.0})
+        if not isinstance(expression, LinearExpression):
+            raise SolverError("Objective must be a linear expression")
+        self._owns_variables(expression.variables())
+        self._objective = expression
+        if sense is not None:
+            self.sense = sense
+        self._matrix_cache = None
+
+    @property
+    def objective(self) -> LinearExpression:
+        return self._objective
+
+    def objective_value(self, values: Mapping[Variable, float]) -> float:
+        return self._objective.evaluate(values)
+
+    def remove_constraints(self, constraints: Iterable[Constraint]) -> int:
+        """Remove previously added constraints (compared by identity).
+
+        Returns the number of constraints actually removed.  Used by CoPhy to
+        roll back per-solve constraint merges so the same BIP can be re-used
+        across tuning sessions.
+        """
+        to_remove = {id(constraint) for constraint in constraints}
+        if not to_remove:
+            return 0
+        before = len(self._constraints)
+        self._constraints = [c for c in self._constraints if id(c) not in to_remove]
+        removed = before - len(self._constraints)
+        if removed:
+            self._matrix_cache = None
+        return removed
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached matrix export after in-place constraint edits.
+
+        Callers that mutate a constraint's expression directly (e.g. CoPhy's
+        incremental BIP extension) must invalidate the cache so the next
+        export reflects the edit.
+        """
+        self._matrix_cache = None
+
+    # ------------------------------------------------------------------- export
+    def to_matrices(self) -> dict:
+        """Export the model in the matrix form used by the scipy backends.
+
+        Returns a dict with keys ``c`` (cost vector, already negated for
+        maximisation), ``A_ub``/``b_ub``, ``A_eq``/``b_eq`` (sparse CSR
+        matrices, or ``None`` when there are no rows of that kind),
+        ``bounds`` (an ``n x 2`` array of lower/upper bounds),
+        ``integrality`` (1 for binary columns, 0 otherwise) and
+        ``objective_constant``.
+        """
+        if self._matrix_cache is not None:
+            return self._matrix_cache
+        variable_count = len(self._variables)
+        cost = np.zeros(variable_count)
+        for variable, coefficient in self._objective.terms.items():
+            cost[variable.index] = coefficient
+        if self.sense is ObjectiveSense.MAXIMIZE:
+            cost = -cost
+
+        ub_rows: list[tuple[dict[Variable, float], float]] = []
+        eq_rows: list[tuple[dict[Variable, float], float]] = []
+        for constraint in self._constraints:
+            row = constraint.row()
+            if constraint.sense is ConstraintSense.EQUAL:
+                eq_rows.append(row)
+            else:
+                ub_rows.append(row)
+
+        bounds = np.zeros((variable_count, 2))
+        for variable in self._variables:
+            bounds[variable.index, 0] = variable.lower_bound
+            bounds[variable.index, 1] = variable.upper_bound
+        integrality = np.array(
+            [1 if v.kind is VariableKind.BINARY else 0 for v in self._variables],
+            dtype=np.int8)
+
+        matrices = {
+            "c": cost,
+            "A_ub": self._build_sparse(ub_rows, variable_count),
+            "b_ub": np.array([rhs for _, rhs in ub_rows]) if ub_rows else None,
+            "A_eq": self._build_sparse(eq_rows, variable_count),
+            "b_eq": np.array([rhs for _, rhs in eq_rows]) if eq_rows else None,
+            "bounds": bounds,
+            "integrality": integrality,
+            "objective_constant": self._objective.constant,
+        }
+        self._matrix_cache = matrices
+        return matrices
+
+    @staticmethod
+    def _build_sparse(rows: Sequence[tuple[dict[Variable, float], float]],
+                      variable_count: int):
+        if not rows:
+            return None
+        data: list[float] = []
+        row_indices: list[int] = []
+        column_indices: list[int] = []
+        for row_number, (coefficients, _) in enumerate(rows):
+            for variable, coefficient in coefficients.items():
+                if coefficient == 0.0:
+                    continue
+                data.append(coefficient)
+                row_indices.append(row_number)
+                column_indices.append(variable.index)
+        return sparse.csr_matrix(
+            (data, (row_indices, column_indices)),
+            shape=(len(rows), variable_count))
+
+    # ----------------------------------------------------------------- checking
+    def is_feasible_assignment(self, values: Mapping[Variable, float],
+                               tolerance: float = 1e-6) -> bool:
+        """Whether an assignment satisfies all constraints and variable bounds."""
+        for variable in self._variables:
+            value = values.get(variable, 0.0)
+            if value < variable.lower_bound - tolerance:
+                return False
+            if value > variable.upper_bound + tolerance:
+                return False
+            if variable.kind is VariableKind.BINARY:
+                if min(abs(value), abs(value - 1.0)) > tolerance:
+                    return False
+        return all(constraint.is_satisfied(values, tolerance)
+                   for constraint in self._constraints)
+
+    def violated_constraints(self, values: Mapping[Variable, float],
+                             tolerance: float = 1e-6) -> tuple[Constraint, ...]:
+        return tuple(constraint for constraint in self._constraints
+                     if not constraint.is_satisfied(values, tolerance))
+
+    def _owns_variables(self, variables: Iterable[Variable]) -> None:
+        for variable in variables:
+            if (variable.index >= len(self._variables)
+                    or self._variables[variable.index] is not variable):
+                raise SolverError(
+                    f"Variable {variable.name!r} does not belong to model {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Model(name={self.name!r}, variables={len(self._variables)}, "
+                f"constraints={len(self._constraints)})")

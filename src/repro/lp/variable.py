@@ -1,0 +1,84 @@
+"""Decision variables for the BIP modelling layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.lp.expression import LinearExpression
+
+__all__ = ["Variable", "VariableKind"]
+
+
+class VariableKind(enum.Enum):
+    """Kind of decision variable."""
+
+    BINARY = "binary"
+    CONTINUOUS = "continuous"
+
+
+@dataclass(frozen=True, eq=False)
+class Variable:
+    """A decision variable owned by a :class:`~repro.lp.model.Model`.
+
+    Variables compare by identity (two variables with the same name in
+    different models are different variables) and support the arithmetic
+    needed to write objective/constraint expressions naturally::
+
+        model.add_constraint(2 * x + y <= 3)
+
+    Attributes:
+        name: Human-readable name (used in solutions and debugging output).
+        index: Position of the variable in its model's column order.
+        kind: Binary or continuous.
+        lower_bound: Lower bound (0.0 for binary variables).
+        upper_bound: Upper bound (1.0 for binary variables).
+    """
+
+    name: str
+    index: int
+    kind: VariableKind = VariableKind.BINARY
+    lower_bound: float = 0.0
+    upper_bound: float = 1.0
+
+    # -------------------------------------------------------------- arithmetic
+    def _as_expression(self) -> "LinearExpression":
+        from repro.lp.expression import LinearExpression
+
+        return LinearExpression({self: 1.0})
+
+    def __add__(self, other) -> "LinearExpression":
+        return self._as_expression() + other
+
+    def __radd__(self, other) -> "LinearExpression":
+        return self._as_expression() + other
+
+    def __sub__(self, other) -> "LinearExpression":
+        return self._as_expression() - other
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return (-1.0 * self._as_expression()) + other
+
+    def __mul__(self, coefficient: float) -> "LinearExpression":
+        return self._as_expression() * coefficient
+
+    def __rmul__(self, coefficient: float) -> "LinearExpression":
+        return self._as_expression() * coefficient
+
+    def __neg__(self) -> "LinearExpression":
+        return self._as_expression() * -1.0
+
+    # -------------------------------------------------------------- comparisons
+    # Note: ``==`` is deliberately *not* overloaded on variables so they stay
+    # safe to use as dictionary keys; build equality constraints from
+    # expressions instead (e.g. ``(x + y) == 1`` or ``1 * x == 1``).
+    def __le__(self, other):
+        return self._as_expression() <= other
+
+    def __ge__(self, other):
+        return self._as_expression() >= other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"

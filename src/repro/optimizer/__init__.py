@@ -1,0 +1,39 @@
+"""What-if optimizer substrate.
+
+This package plays the role of the DBMS query optimizer (and its what-if
+interface) in the paper: given a statement and a hypothetical index
+configuration it produces a physical plan and its estimated cost, purely from
+catalog statistics.  The cost model is deliberately non-linear (random vs.
+sequential I/O, logarithmic B-tree descents, sort ``n log n`` terms, memory
+spill thresholds), because the whole point of linear composability
+(Definition 1 in the paper) is that it does *not* require a linear optimizer
+cost model — the non-linearity is folded into the per-query constants.
+"""
+
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.optimizer.plan import (
+    AccessPath,
+    AggregateNode,
+    JoinAlgorithm,
+    JoinNode,
+    Plan,
+    PlanNode,
+    ScanNode,
+    SortNode,
+)
+from repro.optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "CostModel",
+    "SelectivityEstimator",
+    "AccessPath",
+    "AggregateNode",
+    "JoinAlgorithm",
+    "JoinNode",
+    "Plan",
+    "PlanNode",
+    "ScanNode",
+    "SortNode",
+    "WhatIfOptimizer",
+]

@@ -1,0 +1,137 @@
+"""Access-path selection: costing heap scans and (hypothetical) index scans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+from repro.indexes.index import Index
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.plan import AccessPath, ScanNode
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.workload.predicates import ColumnRef, ComparisonOperator, SimplePredicate
+from repro.workload.query import Query
+
+__all__ = ["AccessPathSelector"]
+
+
+@dataclass(frozen=True)
+class _IndexApplicability:
+    """How well an index matches a query's predicates on its table."""
+
+    prefix_length: int
+    index_selectivity: float
+    covering: bool
+
+
+class AccessPathSelector:
+    """Builds costed :class:`ScanNode` leaves for a query/table/index triple.
+
+    The scan node produced for an index access uses exactly that index (it
+    does not silently fall back to a heap scan); choosing between the index
+    and the heap is the job of the configuration search above — in the BIP it
+    corresponds to the ``I_0`` ("no index") variable, in the what-if optimizer
+    to enumerating atomic configurations.
+    """
+
+    def __init__(self, schema: Schema, cost_model: CostModel,
+                 selectivity: SelectivityEstimator):
+        self._schema = schema
+        self._cost_model = cost_model
+        self._selectivity = selectivity
+
+    # -------------------------------------------------------------------- public
+    def seq_scan(self, query: Query, table: str) -> ScanNode:
+        """A heap scan of ``table`` with the query's local predicates applied."""
+        table_def = self._schema.table(table)
+        output_rows = self._selectivity.table_cardinality(query, table)
+        cost = self._cost_model.seq_scan_cost(table_def.page_count, table_def.row_count)
+        order = self._heap_order(table_def)
+        return ScanNode(cost=cost, rows=output_rows, output_order=order,
+                        table=table, index=None, access_path=AccessPath.SEQ_SCAN)
+
+    def index_scan(self, query: Query, table: str, index: Index) -> ScanNode:
+        """An index scan of ``table`` via ``index``."""
+        table_def = self._schema.table(table)
+        applicability = self._applicability(query, table, index)
+        output_rows = self._selectivity.table_cardinality(query, table)
+        matched_rows = max(1.0, table_def.row_count * applicability.index_selectivity)
+
+        entry_width = sum(table_def.column_width(c) for c in index.all_columns) + 12
+        entries_per_page = max(2.0, table_def.page_size * 0.7 / entry_width)
+        leaf_pages = max(1.0, table_def.row_count / entries_per_page)
+        tree_height = self._cost_model.btree_height(table_def.row_count,
+                                                    entries_per_page)
+        leading_stats = table_def.column_statistics(index.leading_column)
+        correlation = 1.0 if index.clustered else leading_stats.correlation
+
+        cost = self._cost_model.index_scan_cost(
+            matched_rows=matched_rows,
+            total_rows=table_def.row_count,
+            leaf_pages=leaf_pages,
+            heap_pages=table_def.page_count,
+            covering=applicability.covering,
+            correlation=correlation,
+            tree_height=tree_height,
+        )
+        access_path = (AccessPath.INDEX_ONLY_SCAN if applicability.covering
+                       else AccessPath.INDEX_SCAN)
+        order = ColumnRef(table, index.leading_column)
+        return ScanNode(cost=cost, rows=output_rows, output_order=order,
+                        table=table, index=index, access_path=access_path)
+
+    def scan(self, query: Query, table: str, index: Index | None) -> ScanNode:
+        """Dispatch to :meth:`seq_scan` or :meth:`index_scan`."""
+        if index is None:
+            return self.seq_scan(query, table)
+        return self.index_scan(query, table, index)
+
+    def output_width(self, query: Query, table: str) -> float:
+        """Width in bytes of the columns ``table`` contributes to the query."""
+        table_def = self._schema.table(table)
+        columns = query.referenced_columns_on(table)
+        if not columns:
+            return 8.0
+        return float(sum(table_def.column_width(c.column) for c in columns)) + 8.0
+
+    # ----------------------------------------------------------------- internals
+    def _heap_order(self, table_def: Table) -> ColumnRef | None:
+        """Heap scans deliver clustered-key order when the table has a primary key."""
+        if table_def.primary_key:
+            return ColumnRef(table_def.name, table_def.primary_key[0])
+        return None
+
+    def _applicability(self, query: Query, table: str,
+                       index: Index) -> _IndexApplicability:
+        """Match the query's sargable predicates against the index key prefix."""
+        predicates = query.sargable_predicates_on(table)
+        by_column: dict[str, list[SimplePredicate]] = {}
+        for predicate in predicates:
+            by_column.setdefault(predicate.column.column, []).append(predicate)
+
+        index_selectivity = 1.0
+        prefix_length = 0
+        for key_column in index.key_columns:
+            column_predicates = by_column.get(key_column)
+            if not column_predicates:
+                break
+            prefix_length += 1
+            column_selectivity = 1.0
+            only_equalities = True
+            for predicate in column_predicates:
+                column_selectivity *= self._selectivity.predicate_selectivity(predicate)
+                if predicate.operator not in (ComparisonOperator.EQ,
+                                              ComparisonOperator.IN):
+                    only_equalities = False
+            index_selectivity *= column_selectivity
+            if not only_equalities:
+                # A range predicate consumes the rest of the key prefix: later
+                # key columns can no longer narrow the scanned range.
+                break
+
+        referenced = query.referenced_columns_on(table)
+        covering = index.covers(referenced) if referenced else True
+        return _IndexApplicability(prefix_length=prefix_length,
+                                   index_selectivity=min(1.0, index_selectivity),
+                                   covering=covering)

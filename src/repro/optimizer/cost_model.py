@@ -1,0 +1,156 @@
+"""Cost-model constants and primitive cost formulas.
+
+The formulas follow the classic System-R / PostgreSQL style: page I/O split
+into sequential and random accesses, CPU charged per tuple and per operator
+invocation, B-tree descents charged logarithmically, sorts charged
+``n log n`` with a spill penalty beyond working memory, and hash joins charged
+per build/probe tuple with their own spill penalty.  These non-linearities are
+what make the optimizer interesting for INUM — they are captured inside the
+per-query constants and never need to be linear.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the synthetic optimizer's cost model.
+
+    The defaults are PostgreSQL-like (sequential page cost 1.0, random page
+    cost 4.0, per-tuple CPU 0.01).  ``work_mem_bytes`` bounds in-memory sorts
+    and hash tables; exceeding it triggers a spill penalty, one of the
+    non-linear effects the cost model deliberately includes.
+    """
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    work_mem_bytes: float = 4 * 1024 * 1024
+    page_size_bytes: float = 8192.0
+    hash_build_factor: float = 1.4
+    spill_penalty_factor: float = 2.5
+
+    # ------------------------------------------------------------------- scans
+    def seq_scan_cost(self, pages: float, rows: float) -> float:
+        """Full sequential scan of a heap."""
+        return pages * self.seq_page_cost + rows * self.cpu_tuple_cost
+
+    def index_scan_cost(self, *, matched_rows: float, total_rows: float,
+                        leaf_pages: float, heap_pages: float,
+                        covering: bool, correlation: float,
+                        tree_height: float) -> float:
+        """Cost of a (range) B-tree index scan.
+
+        Args:
+            matched_rows: Rows satisfying the index-sargable predicates.
+            total_rows: Table cardinality.
+            leaf_pages: Number of index leaf pages.
+            heap_pages: Number of heap pages of the table.
+            covering: Whether the index covers the query (no heap fetches).
+            correlation: Physical correlation of the leading key in [-1, 1].
+            tree_height: Height of the B-tree (descend cost, random I/O).
+        """
+        selectivity = 0.0 if total_rows <= 0 else min(1.0, matched_rows / total_rows)
+        descend = tree_height * self.random_page_cost
+        leaf_io = max(1.0, leaf_pages * selectivity) * self.seq_page_cost
+        cpu = matched_rows * (self.cpu_index_tuple_cost + self.cpu_operator_cost)
+        if covering:
+            return descend + leaf_io + cpu
+        heap_io = self.heap_fetch_cost(matched_rows, heap_pages, correlation)
+        return descend + leaf_io + cpu + heap_io + matched_rows * self.cpu_tuple_cost
+
+    def heap_fetch_cost(self, matched_rows: float, heap_pages: float,
+                        correlation: float) -> float:
+        """Cost of fetching matched rows from the heap after an index scan.
+
+        Uses a Mackert–Lohman style cap (never more page reads than the heap
+        has pages, and never more than one read per matched row) and blends
+        sequential and random I/O according to the physical correlation of
+        the index's leading column.
+        """
+        if matched_rows <= 0:
+            return 0.0
+        fetched_pages = min(heap_pages, matched_rows)
+        abs_correlation = min(1.0, abs(correlation))
+        per_page = (abs_correlation * self.seq_page_cost
+                    + (1.0 - abs_correlation) * self.random_page_cost)
+        return fetched_pages * per_page
+
+    def btree_height(self, rows: float, entries_per_page: float) -> float:
+        """Height of a B-tree with ``rows`` entries and the given fanout."""
+        fanout = max(2.0, entries_per_page)
+        return max(1.0, math.ceil(math.log(max(rows, 2.0), fanout)))
+
+    # ------------------------------------------------------------------- sorts
+    def sort_cost(self, rows: float, row_width: float) -> float:
+        """Cost of sorting ``rows`` tuples of ``row_width`` bytes."""
+        if rows <= 1:
+            return self.cpu_operator_cost
+        comparisons = rows * math.log2(max(rows, 2.0))
+        cpu = comparisons * self.cpu_operator_cost
+        data_bytes = rows * max(row_width, 1.0)
+        if data_bytes <= self.work_mem_bytes:
+            return cpu
+        # External sort: read + write each page roughly twice, plus penalty.
+        pages = data_bytes / self.page_size_bytes
+        spill_io = 2.0 * pages * self.seq_page_cost * self.spill_penalty_factor
+        return cpu + spill_io
+
+    # ------------------------------------------------------------------- joins
+    def hash_join_cost(self, build_rows: float, probe_rows: float,
+                       build_width: float, output_rows: float) -> float:
+        """Hash join: build the smaller input, probe with the larger one."""
+        cpu = (build_rows * self.cpu_operator_cost * self.hash_build_factor
+               + probe_rows * self.cpu_operator_cost
+               + output_rows * self.cpu_tuple_cost)
+        build_bytes = build_rows * max(build_width, 1.0)
+        if build_bytes <= self.work_mem_bytes:
+            return cpu
+        pages = build_bytes / self.page_size_bytes
+        spill_io = 2.0 * pages * self.seq_page_cost * self.spill_penalty_factor
+        return cpu + spill_io
+
+    def merge_join_cost(self, left_rows: float, right_rows: float,
+                        output_rows: float) -> float:
+        """Merge join over two already-sorted inputs."""
+        return ((left_rows + right_rows) * self.cpu_operator_cost
+                + output_rows * self.cpu_tuple_cost)
+
+    def nested_loop_cost(self, outer_rows: float, inner_rows: float,
+                         output_rows: float) -> float:
+        """Naive nested-loop join (only competitive for tiny inputs)."""
+        return (outer_rows * inner_rows * self.cpu_operator_cost
+                + output_rows * self.cpu_tuple_cost)
+
+    # ------------------------------------------------------------- aggregation
+    def hash_aggregate_cost(self, input_rows: float, group_count: float) -> float:
+        """Hash-based grouping."""
+        return (input_rows * self.cpu_operator_cost * self.hash_build_factor
+                + group_count * self.cpu_tuple_cost)
+
+    def stream_aggregate_cost(self, input_rows: float, group_count: float) -> float:
+        """Grouping over an input already sorted on the grouping columns."""
+        return input_rows * self.cpu_operator_cost + group_count * self.cpu_tuple_cost
+
+    def plain_aggregate_cost(self, input_rows: float) -> float:
+        """Scalar aggregation without grouping."""
+        return input_rows * self.cpu_operator_cost + self.cpu_tuple_cost
+
+    # ----------------------------------------------------------------- updates
+    def index_maintenance_cost(self, updated_rows: float, tree_height: float) -> float:
+        """Cost of maintaining one index for ``updated_rows`` modified rows."""
+        per_row = (tree_height * self.random_page_cost * 0.5
+                   + self.cpu_index_tuple_cost)
+        return updated_rows * per_row
+
+    def base_update_cost(self, updated_rows: float, heap_pages: float) -> float:
+        """Cost of updating the base tuples themselves (the ``c_q`` term)."""
+        touched_pages = min(heap_pages, updated_rows)
+        return touched_pages * self.random_page_cost + updated_rows * self.cpu_tuple_cost

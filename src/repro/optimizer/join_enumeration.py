@@ -1,0 +1,286 @@
+"""Join enumeration and plan finishing (aggregation, ordering).
+
+Given one costed :class:`~repro.optimizer.plan.ScanNode` per referenced table,
+the :class:`PlanBuilder` enumerates join orders with a dynamic program over
+connected table subsets, choosing between hash joins, merge joins (adding
+explicit sorts when an input is not suitably ordered) and nested loops for
+tiny inputs.  It then adds grouping/aggregation and ORDER BY handling on top.
+
+The builder is deliberately order-aware: providing a sorted access path for a
+join, group-by or order-by column removes sort work from the *internal* plan,
+which is exactly the effect INUM's interesting-order templates capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.exceptions import OptimizerError
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.plan import (
+    AggregateNode,
+    JoinAlgorithm,
+    JoinNode,
+    Plan,
+    PlanNode,
+    ScanNode,
+    SortNode,
+)
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.workload.predicates import ColumnRef, JoinPredicate
+from repro.workload.query import Query
+
+__all__ = ["PlanBuilder"]
+
+#: Inputs at or below this cardinality may use a naive nested-loop join.
+_NESTED_LOOP_THRESHOLD = 64.0
+
+
+@dataclass
+class _SubPlan:
+    """A DP entry: a plan covering a set of tables plus its output width."""
+
+    node: PlanNode
+    width: float
+
+    @property
+    def cost(self) -> float:
+        return self.node.total_cost()
+
+    @property
+    def rows(self) -> float:
+        return self.node.rows
+
+    @property
+    def order(self) -> ColumnRef | None:
+        return self.node.output_order
+
+
+class PlanBuilder:
+    """Builds a full physical plan from per-table access paths."""
+
+    def __init__(self, cost_model: CostModel, selectivity: SelectivityEstimator):
+        self._cost_model = cost_model
+        self._selectivity = selectivity
+
+    # -------------------------------------------------------------------- public
+    def build(self, query: Query, scans: Mapping[str, ScanNode],
+              widths: Mapping[str, float]) -> Plan:
+        """Assemble the cheapest plan for ``query`` over the given leaf scans.
+
+        Args:
+            query: The statement being planned.
+            scans: One scan node per referenced table.
+            widths: Output width (bytes) each table contributes to the query.
+        """
+        missing = [t for t in query.tables if t not in scans]
+        if missing:
+            raise OptimizerError(f"No access path supplied for tables {missing}")
+        joined = self._join_tables(query, scans, widths)
+        finished = self._finish(query, joined)
+        return Plan(finished.node, query_name=query.name)
+
+    # ------------------------------------------------------------------- joining
+    def _join_tables(self, query: Query, scans: Mapping[str, ScanNode],
+                     widths: Mapping[str, float]) -> _SubPlan:
+        tables = list(query.tables)
+        if len(tables) == 1:
+            table = tables[0]
+            return _SubPlan(scans[table], widths.get(table, 8.0))
+
+        table_bit = {table: 1 << position for position, table in enumerate(tables)}
+        best: dict[int, _SubPlan] = {}
+        for table in tables:
+            best[table_bit[table]] = _SubPlan(scans[table], widths.get(table, 8.0))
+
+        full_mask = (1 << len(tables)) - 1
+        # Enumerate subsets in increasing popcount order so both halves of any
+        # split are already solved.
+        subsets = sorted(range(1, full_mask + 1), key=lambda m: (bin(m).count("1"), m))
+        for subset in subsets:
+            if subset in best and bin(subset).count("1") == 1:
+                continue
+            candidate_best: _SubPlan | None = best.get(subset)
+            # Enumerate proper splits of `subset` into left/right halves.
+            left = (subset - 1) & subset
+            while left:
+                right = subset ^ left
+                if left < right:
+                    left = (left - 1) & subset
+                    continue
+                left_plan = best.get(left)
+                right_plan = best.get(right)
+                if left_plan is not None and right_plan is not None:
+                    connecting = self._connecting_joins(query, tables, table_bit,
+                                                        left, right)
+                    if connecting:
+                        joined = self._best_join(left_plan, right_plan, connecting)
+                        if candidate_best is None or joined.cost < candidate_best.cost:
+                            candidate_best = joined
+                left = (left - 1) & subset
+            if candidate_best is not None:
+                best[subset] = candidate_best
+
+        if full_mask not in best:
+            # The join graph is disconnected: bridge remaining pieces with
+            # cartesian-product hash joins (rare, but keeps the builder total).
+            return self._bridge_disconnected(best, full_mask)
+        return best[full_mask]
+
+    def _connecting_joins(self, query: Query, tables: Sequence[str],
+                          table_bit: Mapping[str, int], left_mask: int,
+                          right_mask: int) -> tuple[JoinPredicate, ...]:
+        connecting = []
+        for join in query.joins:
+            left_table, right_table = join.tables
+            bits = (table_bit[left_table], table_bit[right_table])
+            if (bits[0] & left_mask and bits[1] & right_mask) or (
+                    bits[1] & left_mask and bits[0] & right_mask):
+                connecting.append(join)
+        return tuple(connecting)
+
+    def _best_join(self, left: _SubPlan, right: _SubPlan,
+                   joins: tuple[JoinPredicate, ...]) -> _SubPlan:
+        join_selectivity = 1.0
+        for join in joins:
+            join_selectivity *= self._selectivity.join_selectivity(join)
+        output_rows = max(1.0, left.rows * right.rows * join_selectivity)
+        output_width = left.width + right.width
+        primary = joins[0]
+        left_column = self._column_on_side(primary, left.node)
+        right_column = self._column_on_side(primary, right.node)
+
+        candidates = [
+            self._hash_join(left, right, output_rows, output_width,
+                            left_column, right_column),
+            self._merge_join(left, right, output_rows, output_width,
+                             left_column, right_column),
+        ]
+        if min(left.rows, right.rows) <= _NESTED_LOOP_THRESHOLD:
+            candidates.append(self._nested_loop(left, right, output_rows,
+                                                output_width, left_column,
+                                                right_column))
+        return min(candidates, key=lambda sub: sub.cost)
+
+    def _column_on_side(self, join: JoinPredicate, side: PlanNode) -> ColumnRef:
+        side_tables = {node.table for node in side.walk() if isinstance(node, ScanNode)}
+        if join.left.table in side_tables:
+            return join.left
+        return join.right
+
+    def _hash_join(self, left: _SubPlan, right: _SubPlan, output_rows: float,
+                   output_width: float, left_column: ColumnRef,
+                   right_column: ColumnRef) -> _SubPlan:
+        build, probe = (left, right) if left.rows <= right.rows else (right, left)
+        cost = self._cost_model.hash_join_cost(build.rows, probe.rows, build.width,
+                                               output_rows)
+        node = JoinNode(cost=cost, rows=output_rows, output_order=None,
+                        algorithm=JoinAlgorithm.HASH_JOIN,
+                        left=left.node, right=right.node,
+                        join_column_left=left_column,
+                        join_column_right=right_column)
+        return _SubPlan(node, output_width)
+
+    def _merge_join(self, left: _SubPlan, right: _SubPlan, output_rows: float,
+                    output_width: float, left_column: ColumnRef,
+                    right_column: ColumnRef) -> _SubPlan:
+        left_input = self._ensure_order(left, left_column)
+        right_input = self._ensure_order(right, right_column)
+        cost = self._cost_model.merge_join_cost(left_input.rows, right_input.rows,
+                                                output_rows)
+        node = JoinNode(cost=cost, rows=output_rows, output_order=left_column,
+                        algorithm=JoinAlgorithm.MERGE_JOIN,
+                        left=left_input.node, right=right_input.node,
+                        join_column_left=left_column,
+                        join_column_right=right_column)
+        return _SubPlan(node, output_width)
+
+    def _nested_loop(self, left: _SubPlan, right: _SubPlan, output_rows: float,
+                     output_width: float, left_column: ColumnRef,
+                     right_column: ColumnRef) -> _SubPlan:
+        outer, inner = (left, right) if left.rows <= right.rows else (right, left)
+        cost = self._cost_model.nested_loop_cost(outer.rows, inner.rows, output_rows)
+        node = JoinNode(cost=cost, rows=output_rows, output_order=outer.order,
+                        algorithm=JoinAlgorithm.NESTED_LOOP,
+                        left=left.node, right=right.node,
+                        join_column_left=left_column,
+                        join_column_right=right_column)
+        return _SubPlan(node, output_width)
+
+    def _ensure_order(self, sub: _SubPlan, column: ColumnRef) -> _SubPlan:
+        """Add a Sort above ``sub`` unless its output is already ordered by ``column``."""
+        if sub.order == column:
+            return sub
+        sort_cost = self._cost_model.sort_cost(sub.rows, sub.width)
+        node = SortNode(cost=sort_cost, rows=sub.rows, output_order=column,
+                        child=sub.node, sort_column=column)
+        return _SubPlan(node, sub.width)
+
+    def _bridge_disconnected(self, best: Mapping[int, _SubPlan],
+                             full_mask: int) -> _SubPlan:
+        pieces = []
+        covered = 0
+        for mask in sorted(best, key=lambda m: -bin(m).count("1")):
+            if mask & covered:
+                continue
+            pieces.append(best[mask])
+            covered |= mask
+            if covered == full_mask:
+                break
+        if covered != full_mask or not pieces:
+            raise OptimizerError("Could not cover all tables during join enumeration")
+        result = pieces[0]
+        for piece in pieces[1:]:
+            output_rows = max(1.0, result.rows * piece.rows)
+            cost = self._cost_model.hash_join_cost(
+                min(result.rows, piece.rows), max(result.rows, piece.rows),
+                min(result.width, piece.width), output_rows)
+            node = JoinNode(cost=cost, rows=output_rows, output_order=None,
+                            algorithm=JoinAlgorithm.HASH_JOIN,
+                            left=result.node, right=piece.node)
+            result = _SubPlan(node, result.width + piece.width)
+        return result
+
+    # ----------------------------------------------------------------- finishing
+    def _finish(self, query: Query, joined: _SubPlan) -> _SubPlan:
+        current = joined
+        if query.group_by:
+            current = self._aggregate(query, current)
+        elif query.aggregates:
+            cost = self._cost_model.plain_aggregate_cost(current.rows)
+            node = AggregateNode(cost=cost, rows=1.0, output_order=None,
+                                 child=current.node, strategy="plain")
+            current = _SubPlan(node, current.width)
+        if query.order_by:
+            current = self._order(query, current)
+        return current
+
+    def _aggregate(self, query: Query, current: _SubPlan) -> _SubPlan:
+        group_count = self._selectivity.group_count(query, current.rows)
+        leading_group = query.group_by[0]
+        if current.order == leading_group:
+            cost = self._cost_model.stream_aggregate_cost(current.rows, group_count)
+            node = AggregateNode(cost=cost, rows=group_count,
+                                 output_order=leading_group, child=current.node,
+                                 strategy="stream", group_columns=query.group_by)
+            return _SubPlan(node, current.width)
+        hash_cost = self._cost_model.hash_aggregate_cost(current.rows, group_count)
+        sort_cost = self._cost_model.sort_cost(current.rows, current.width)
+        stream_cost = self._cost_model.stream_aggregate_cost(current.rows, group_count)
+        if hash_cost <= sort_cost + stream_cost:
+            node = AggregateNode(cost=hash_cost, rows=group_count, output_order=None,
+                                 child=current.node, strategy="hash",
+                                 group_columns=query.group_by)
+            return _SubPlan(node, current.width)
+        sorted_input = self._ensure_order(current, leading_group)
+        node = AggregateNode(cost=stream_cost, rows=group_count,
+                             output_order=leading_group, child=sorted_input.node,
+                             strategy="stream", group_columns=query.group_by)
+        return _SubPlan(node, current.width)
+
+    def _order(self, query: Query, current: _SubPlan) -> _SubPlan:
+        leading_order = query.order_by[0]
+        if current.order == leading_order:
+            return current
+        return self._ensure_order(current, leading_order)

@@ -1,0 +1,115 @@
+"""Selectivity estimation from catalog statistics (and generator hints)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.schema import Schema
+from repro.workload.predicates import ComparisonOperator, JoinPredicate, SimplePredicate
+from repro.workload.query import Query
+
+__all__ = ["SelectivityEstimator"]
+
+#: Default selectivity for operators the histogram cannot help with.
+_DEFAULT_SELECTIVITY = {
+    ComparisonOperator.NE: 0.9,
+    ComparisonOperator.LIKE: 0.1,
+    ComparisonOperator.IS_NULL: 0.05,
+}
+#: Floor applied to combined selectivities so cardinalities never hit zero.
+_MIN_SELECTIVITY = 1e-7
+
+
+class SelectivityEstimator:
+    """Estimates predicate, table and join selectivities.
+
+    Workload generators may attach ``selectivity_hint`` values to predicates;
+    hints take precedence over histogram-based estimates so that experiments
+    can control exactly how selective the generated workloads are (the same
+    way the TPC-H QGEN substitution parameters do for the paper).
+    """
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+
+    # --------------------------------------------------------------- predicates
+    def predicate_selectivity(self, predicate: SimplePredicate) -> float:
+        """Selectivity of a single selection predicate."""
+        table = self._schema.table(predicate.table)
+        stats = table.column_statistics(predicate.column.column)
+        if predicate.selectivity_hint is not None:
+            # Hints describe the fraction of the *domain* the predicate
+            # covers; on skewed data a typical domain slice holds fewer rows,
+            # so the row selectivity shrinks accordingly.
+            return self._clamp(predicate.selectivity_hint
+                               * stats.typical_mass_ratio())
+        operator = predicate.operator
+        if operator is ComparisonOperator.EQ:
+            value = self._numeric(predicate.value)
+            return self._clamp(stats.equality_selectivity(value))
+        if operator is ComparisonOperator.IN:
+            values = predicate.value if isinstance(predicate.value, (tuple, list)) else ()
+            total = sum(stats.equality_selectivity(self._numeric(v)) for v in values)
+            return self._clamp(total)
+        if operator is ComparisonOperator.BETWEEN:
+            low, high = predicate.value
+            return self._clamp(stats.range_selectivity(self._numeric(low),
+                                                       self._numeric(high)))
+        if operator in (ComparisonOperator.LT, ComparisonOperator.LE):
+            return self._clamp(stats.range_selectivity(None, self._numeric(predicate.value)))
+        if operator in (ComparisonOperator.GT, ComparisonOperator.GE):
+            return self._clamp(stats.range_selectivity(self._numeric(predicate.value), None))
+        if operator is ComparisonOperator.IS_NULL:
+            return self._clamp(stats.null_fraction or _DEFAULT_SELECTIVITY[operator])
+        return self._clamp(_DEFAULT_SELECTIVITY.get(operator, 1.0 / 3.0))
+
+    def combined_selectivity(self, predicates: Iterable[SimplePredicate]) -> float:
+        """Selectivity of a conjunction, assuming independence."""
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= self.predicate_selectivity(predicate)
+        return self._clamp(selectivity)
+
+    def table_selectivity(self, query: Query, table: str) -> float:
+        """Combined selectivity of all local predicates on ``table`` in ``query``."""
+        return self.combined_selectivity(query.predicates_on(table))
+
+    def table_cardinality(self, query: Query, table: str) -> float:
+        """Estimated number of rows of ``table`` surviving the local predicates."""
+        table_def = self._schema.table(table)
+        return max(1.0, table_def.row_count * self.table_selectivity(query, table))
+
+    # -------------------------------------------------------------------- joins
+    def join_selectivity(self, join: JoinPredicate) -> float:
+        """Selectivity of an equi-join: ``1 / max(ndv(left), ndv(right))``."""
+        left_stats = self._schema.table(join.left.table).column_statistics(join.left.column)
+        right_stats = self._schema.table(join.right.table).column_statistics(join.right.column)
+        ndv = max(left_stats.distinct_values, right_stats.distinct_values, 1.0)
+        return self._clamp(1.0 / ndv)
+
+    def group_count(self, query: Query, input_rows: float) -> float:
+        """Estimated number of groups produced by the query's GROUP BY."""
+        if not query.group_by:
+            return 1.0
+        distinct = 1.0
+        for column in query.group_by:
+            stats = self._schema.table(column.table).column_statistics(column.column)
+            distinct *= max(1.0, stats.distinct_values)
+        return max(1.0, min(distinct, input_rows))
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _numeric(value) -> float | None:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            # Hash strings onto a stable pseudo-position so equality estimates
+            # stay deterministic even without a real value domain.
+            return float(abs(hash(value)) % 10_000)
+        return None
+
+    @staticmethod
+    def _clamp(selectivity: float) -> float:
+        return min(1.0, max(_MIN_SELECTIVITY, selectivity))

@@ -1,0 +1,54 @@
+"""Workload model: queries, predicates, workloads, a SQL-subset parser and generators.
+
+The paper's workloads are ``W_hom`` (random instantiations of fifteen TPC-H
+query templates) and ``W_het`` (a heterogeneous suite of SPJ queries with
+group-by and aggregation from an index-tuning benchmark), each used at sizes
+of 250, 500 and 1000 statements, with updates mixed in.  This package models
+statements structurally (tables, predicates, joins, group/order by,
+projections, update columns), which is what the candidate generator, the
+what-if optimizer and INUM consume.
+"""
+
+from repro.workload.predicates import (
+    ColumnRef,
+    ComparisonOperator,
+    JoinPredicate,
+    Predicate,
+    SimplePredicate,
+)
+from repro.workload.query import (
+    AggregateFunction,
+    Query,
+    SelectQuery,
+    StatementKind,
+    UpdateQuery,
+)
+from repro.workload.workload import Workload, WorkloadStatement
+from repro.workload.parser import parse_statement, parse_workload
+from repro.workload.generators import (
+    HeterogeneousWorkloadGenerator,
+    HomogeneousWorkloadGenerator,
+    generate_heterogeneous_workload,
+    generate_homogeneous_workload,
+)
+
+__all__ = [
+    "ColumnRef",
+    "ComparisonOperator",
+    "JoinPredicate",
+    "Predicate",
+    "SimplePredicate",
+    "AggregateFunction",
+    "Query",
+    "SelectQuery",
+    "StatementKind",
+    "UpdateQuery",
+    "Workload",
+    "WorkloadStatement",
+    "parse_statement",
+    "parse_workload",
+    "HomogeneousWorkloadGenerator",
+    "HeterogeneousWorkloadGenerator",
+    "generate_homogeneous_workload",
+    "generate_heterogeneous_workload",
+]

@@ -1,0 +1,464 @@
+"""A small SQL-subset parser producing the structural query model.
+
+CoPhy's prototype parses SQL text before handing statements to INUM; we
+provide the same convenience for the subset of SQL the workloads need:
+
+* ``SELECT <item, ...> FROM <table, ...> [WHERE ...] [GROUP BY ...] [ORDER BY ...]``
+* ``UPDATE <table> SET col = value [, ...] [WHERE ...]``
+
+Supported WHERE conjuncts: ``t.c <op> constant``, ``t.c BETWEEN a AND b``,
+``t.c IN (v, ...)``, ``t.c LIKE 'pattern'``, ``t.c IS NULL`` and equi-joins
+``t1.c1 = t2.c2``.  Only conjunctions (AND) are supported, mirroring the SPJ
+queries of the paper's workloads.  Column references may be unqualified when
+a :class:`~repro.catalog.schema.Schema` is provided, in which case they are
+resolved against the FROM list.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.catalog.schema import Schema
+from repro.exceptions import ParseError
+from repro.workload.predicates import (
+    ColumnRef,
+    ComparisonOperator,
+    JoinPredicate,
+    SimplePredicate,
+)
+from repro.workload.query import (
+    Aggregate,
+    AggregateFunction,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+
+__all__ = ["parse_statement", "parse_workload"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')      # quoted string
+      | (?P<number>-?\d+(?:\.\d+)?)     # numeric literal
+      | (?P<identifier>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+      | (?P<operator><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),*;])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "and", "between",
+    "in", "like", "is", "null", "update", "set", "asc", "desc", "as",
+    "sum", "count", "avg", "min", "max", "not",
+}
+
+_AGGREGATES = {
+    "sum": AggregateFunction.SUM,
+    "count": AggregateFunction.COUNT,
+    "avg": AggregateFunction.AVG,
+    "min": AggregateFunction.MIN,
+    "max": AggregateFunction.MAX,
+}
+
+_OPERATORS = {
+    "=": ComparisonOperator.EQ,
+    "<>": ComparisonOperator.NE,
+    "!=": ComparisonOperator.NE,
+    "<": ComparisonOperator.LT,
+    "<=": ComparisonOperator.LE,
+    ">": ComparisonOperator.GT,
+    ">=": ComparisonOperator.GE,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            remainder = sql[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"Unexpected input near {remainder[:25]!r}")
+        position = match.end()
+        if match.lastgroup is None:
+            continue
+        text = match.group(match.lastgroup)
+        kind = match.lastgroup
+        if kind == "identifier" and text.lower() in _KEYWORDS:
+            kind = "keyword"
+            text = text.lower()
+        tokens.append(_Token(kind, text))
+    return tokens
+
+
+class _TokenStream:
+    """A cursor over the token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: Sequence[_Token]):
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> _Token | None:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("Unexpected end of statement")
+        self._index += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and token.text in keywords:
+            self._index += 1
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            found = self.peek()
+            raise ParseError(f"Expected keyword {keyword!r}, found "
+                             f"{found.text if found else 'end of statement'!r}")
+
+    def accept_punct(self, punct: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == punct:
+            self._index += 1
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.accept_punct(punct):
+            found = self.peek()
+            raise ParseError(f"Expected {punct!r}, found "
+                             f"{found.text if found else 'end of statement'!r}")
+
+    def at_end(self) -> bool:
+        token = self.peek()
+        return token is None or (token.kind == "punct" and token.text == ";")
+
+
+class _StatementParser:
+    """Recursive-descent parser for the SQL subset."""
+
+    def __init__(self, sql: str, schema: Schema | None = None,
+                 name: str | None = None):
+        self._stream = _TokenStream(_tokenize(sql))
+        self._schema = schema
+        self._name = name
+        self._from_tables: list[str] = []
+
+    # ------------------------------------------------------------------ entry
+    def parse(self) -> Query:
+        if self._stream.accept_keyword("select"):
+            return self._parse_select()
+        if self._stream.accept_keyword("update"):
+            return self._parse_update()
+        token = self._stream.peek()
+        raise ParseError(f"Statement must start with SELECT or UPDATE, found "
+                         f"{token.text if token else 'nothing'!r}")
+
+    # ----------------------------------------------------------------- select
+    def _parse_select(self) -> SelectQuery:
+        # The SELECT list is parsed before the FROM clause, so unqualified
+        # column references stay deferred until the table list is known.
+        select_items = self._parse_select_items()
+        self._stream.expect_keyword("from")
+        self._from_tables = self._parse_table_list()
+        predicates, joins = self._parse_where()
+        group_by = self._parse_column_list_clause("group")
+        order_by = self._parse_column_list_clause("order")
+        projections: list[ColumnRef] = []
+        aggregates: list[Aggregate] = []
+        for item in select_items:
+            if isinstance(item, _DeferredColumn):
+                projections.append(self._resolve_deferred(item))
+            elif isinstance(item, _DeferredAggregate):
+                column = (None if item.column is None
+                          else self._resolve_deferred(item.column))
+                aggregates.append(Aggregate(item.function, column))
+        return SelectQuery(
+            tables=self._from_tables,
+            projections=projections,
+            predicates=predicates,
+            joins=joins,
+            group_by=group_by,
+            order_by=order_by,
+            aggregates=aggregates,
+            name=self._name,
+        )
+
+    def _parse_select_items(self) -> list["_DeferredColumn | _DeferredAggregate | None"]:
+        items: list[_DeferredColumn | _DeferredAggregate | None] = []
+        while True:
+            token = self._stream.peek()
+            if token is None:
+                raise ParseError("Unexpected end of SELECT list")
+            if token.kind == "punct" and token.text == "*":
+                self._stream.next()
+            elif token.kind == "keyword" and token.text in _AGGREGATES:
+                items.append(self._parse_aggregate())
+            else:
+                items.append(self._parse_deferred_column())
+            self._maybe_alias()
+            if not self._stream.accept_punct(","):
+                break
+        return [item for item in items if item is not None]
+
+    def _parse_aggregate(self) -> "_DeferredAggregate":
+        function_token = self._stream.next()
+        function = _AGGREGATES[function_token.text]
+        self._stream.expect_punct("(")
+        token = self._stream.peek()
+        column: _DeferredColumn | None
+        if token is not None and token.kind == "punct" and token.text == "*":
+            self._stream.next()
+            column = None
+        else:
+            column = self._parse_deferred_column()
+        self._stream.expect_punct(")")
+        return _DeferredAggregate(function, column)
+
+    def _maybe_alias(self) -> None:
+        if self._stream.accept_keyword("as"):
+            self._stream.next()  # the alias identifier itself
+        else:
+            token = self._stream.peek()
+            if token is not None and token.kind == "identifier" and "." not in token.text:
+                # A bare identifier immediately after an item is an implicit alias.
+                following = self._stream.peek(1)
+                if following is None or (following.kind == "punct"
+                                         and following.text in {",", ";"}):
+                    self._stream.next()
+
+    # ----------------------------------------------------------------- update
+    def _parse_update(self) -> UpdateQuery:
+        table_token = self._stream.next()
+        if table_token.kind != "identifier":
+            raise ParseError("UPDATE must be followed by a table name")
+        table = table_token.text
+        self._from_tables = [table]
+        self._stream.expect_keyword("set")
+        set_columns: list[ColumnRef] = []
+        while True:
+            column = self._resolve_deferred(self._parse_deferred_column())
+            operator = self._stream.next()
+            if operator.kind != "operator" or operator.text != "=":
+                raise ParseError("SET clause must assign with '='")
+            self._parse_value()
+            set_columns.append(column)
+            if not self._stream.accept_punct(","):
+                break
+        predicates, joins = self._parse_where()
+        if joins:
+            raise ParseError("UPDATE statements may not contain join predicates")
+        return UpdateQuery(table=table, set_columns=set_columns,
+                           predicates=predicates, name=self._name)
+
+    # ------------------------------------------------------------------ where
+    def _parse_table_list(self) -> list[str]:
+        tables: list[str] = []
+        while True:
+            token = self._stream.next()
+            if token.kind != "identifier":
+                raise ParseError(f"Expected a table name, found {token.text!r}")
+            tables.append(token.text)
+            self._maybe_alias()
+            if not self._stream.accept_punct(","):
+                break
+        return tables
+
+    def _parse_where(self) -> tuple[list[SimplePredicate], list[JoinPredicate]]:
+        predicates: list[SimplePredicate] = []
+        joins: list[JoinPredicate] = []
+        if not self._stream.accept_keyword("where"):
+            return predicates, joins
+        while True:
+            predicate = self._parse_condition()
+            if isinstance(predicate, JoinPredicate):
+                joins.append(predicate)
+            else:
+                predicates.append(predicate)
+            if not self._stream.accept_keyword("and"):
+                break
+        return predicates, joins
+
+    def _parse_condition(self) -> SimplePredicate | JoinPredicate:
+        column = self._resolve_deferred(self._parse_deferred_column())
+        token = self._stream.peek()
+        if token is None:
+            raise ParseError(f"Dangling condition on {column}")
+        if token.kind == "keyword" and token.text == "between":
+            self._stream.next()
+            low = self._parse_value()
+            self._stream.expect_keyword("and")
+            high = self._parse_value()
+            return SimplePredicate(column, ComparisonOperator.BETWEEN, (low, high))
+        if token.kind == "keyword" and token.text == "in":
+            self._stream.next()
+            self._stream.expect_punct("(")
+            values = [self._parse_value()]
+            while self._stream.accept_punct(","):
+                values.append(self._parse_value())
+            self._stream.expect_punct(")")
+            return SimplePredicate(column, ComparisonOperator.IN, tuple(values))
+        if token.kind == "keyword" and token.text == "like":
+            self._stream.next()
+            pattern = self._parse_value()
+            return SimplePredicate(column, ComparisonOperator.LIKE, pattern)
+        if token.kind == "keyword" and token.text == "is":
+            self._stream.next()
+            self._stream.accept_keyword("not")
+            self._stream.expect_keyword("null")
+            return SimplePredicate(column, ComparisonOperator.IS_NULL)
+        if token.kind == "operator":
+            operator_token = self._stream.next()
+            operator = _OPERATORS[operator_token.text]
+            right = self._stream.peek()
+            if (right is not None and right.kind == "identifier"
+                    and self._looks_like_column(right.text)):
+                right_column = self._resolve_deferred(self._parse_deferred_column())
+                if operator is not ComparisonOperator.EQ:
+                    raise ParseError("Only equi-joins between columns are supported")
+                if right_column.table == column.table:
+                    raise ParseError("Join predicates must connect two tables")
+                return JoinPredicate(column, right_column)
+            value = self._parse_value()
+            return SimplePredicate(column, operator, value)
+        raise ParseError(f"Unsupported condition near {token.text!r}")
+
+    def _looks_like_column(self, text: str) -> bool:
+        if "." in text:
+            return True
+        if self._schema is None:
+            return False
+        return any(self._schema.has_column(table, text) for table in self._from_tables)
+
+    # ------------------------------------------------------------------ atoms
+    def _parse_deferred_column(self) -> "_DeferredColumn":
+        token = self._stream.next()
+        if token.kind != "identifier":
+            raise ParseError(f"Expected a column reference, found {token.text!r}")
+        if "." in token.text:
+            table, column = token.text.split(".", 1)
+            return _DeferredColumn(table, column)
+        return _DeferredColumn(None, token.text)
+
+    def _resolve_deferred(self, deferred: "_DeferredColumn") -> ColumnRef:
+        if deferred.table is not None:
+            return ColumnRef(deferred.table, deferred.column)
+        if self._schema is None:
+            raise ParseError(
+                f"Column {deferred.column!r} must be table-qualified when no "
+                "schema is supplied")
+        owners = [table for table in self._from_tables
+                  if self._schema.has_column(table, deferred.column)]
+        if not owners:
+            raise ParseError(f"Column {deferred.column!r} not found in the FROM list")
+        if len(owners) > 1:
+            raise ParseError(f"Column {deferred.column!r} is ambiguous "
+                             f"(candidates: {', '.join(owners)})")
+        return ColumnRef(owners[0], deferred.column)
+
+    def _parse_value(self):
+        token = self._stream.next()
+        if token.kind == "number":
+            number = float(token.text)
+            return int(number) if number.is_integer() else number
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "keyword" and token.text == "null":
+            return None
+        if token.kind == "identifier":
+            return token.text
+        raise ParseError(f"Expected a literal value, found {token.text!r}")
+
+    def _parse_column_list_clause(self, keyword: str) -> list[ColumnRef]:
+        if not self._stream.accept_keyword(keyword):
+            return []
+        self._stream.expect_keyword("by")
+        columns: list[ColumnRef] = []
+        while True:
+            columns.append(self._resolve_deferred(self._parse_deferred_column()))
+            self._stream.accept_keyword("asc")
+            self._stream.accept_keyword("desc")
+            if not self._stream.accept_punct(","):
+                break
+        return columns
+
+
+@dataclass(frozen=True)
+class _DeferredColumn:
+    """A column reference that may still need schema-based table resolution."""
+
+    table: str | None
+    column: str
+
+
+@dataclass(frozen=True)
+class _DeferredAggregate:
+    """An aggregate whose argument column has not been resolved yet."""
+
+    function: AggregateFunction
+    column: _DeferredColumn | None
+
+
+def parse_statement(sql: str, schema: Schema | None = None,
+                    name: str | None = None) -> Query:
+    """Parse a single SELECT or UPDATE statement.
+
+    Args:
+        sql: Statement text in the supported SQL subset.
+        schema: Optional catalog used to resolve unqualified column names and
+            to validate references.
+        name: Optional statement name carried into the query object.
+
+    Returns:
+        A :class:`SelectQuery` or :class:`UpdateQuery`.
+
+    Raises:
+        ParseError: If the statement falls outside the supported subset.
+    """
+    parser = _StatementParser(sql, schema=schema, name=name)
+    query = parser.parse()
+    if schema is not None:
+        query.validate_against(schema)
+    return query
+
+
+def parse_workload(statements: Iterable[str], schema: Schema | None = None,
+                   weights: Iterable[float] | None = None,
+                   name: str = "parsed-workload"):
+    """Parse several statements into a :class:`~repro.workload.workload.Workload`."""
+    from repro.workload.workload import Workload, WorkloadStatement
+
+    statement_list = list(statements)
+    if weights is None:
+        weight_list = [1.0] * len(statement_list)
+    else:
+        weight_list = list(weights)
+        if len(weight_list) != len(statement_list):
+            raise ParseError("weights must match the number of statements")
+    parsed = [
+        WorkloadStatement(parse_statement(sql, schema=schema, name=f"stmt{i + 1}"),
+                          weight)
+        for i, (sql, weight) in enumerate(zip(statement_list, weight_list))
+    ]
+    return Workload(parsed, name=name)

@@ -1,0 +1,102 @@
+"""Tests for the evaluation harness: metrics, runner and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisors.dta import DtaAdvisor
+from repro.bench.harness import AdvisorRun, ExperimentResult, compare_advisors, run_advisor
+from repro.bench.metrics import (
+    baseline_configuration,
+    perf_improvement,
+    speedup_percent,
+    workload_cost,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.core.advisor import CoPhyAdvisor
+from repro.core.constraints import StorageBudgetConstraint
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+class TestMetrics:
+    def test_workload_cost_is_weighted(self, simple_schema, simple_workload):
+        optimizer = WhatIfOptimizer(simple_schema)
+        total = workload_cost(optimizer, simple_workload, Configuration())
+        manual = sum(s.weight * optimizer.statement_cost(s.query, Configuration())
+                     for s in simple_workload)
+        assert total == pytest.approx(manual)
+
+    def test_perf_improvement_for_obviously_good_index(self, simple_schema,
+                                                       simple_workload):
+        optimizer = WhatIfOptimizer(simple_schema)
+        good = Configuration([
+            Index("orders", ("o_customer",), include_columns=("o_total",)),
+            Index("items", ("i_shipdate",), include_columns=("i_price",)),
+        ])
+        assert perf_improvement(optimizer, simple_workload, good) > 0.0
+        assert speedup_percent(optimizer, simple_workload, good) == pytest.approx(
+            100 * perf_improvement(optimizer, simple_workload, good))
+
+    def test_custom_baseline(self, simple_schema, simple_workload):
+        optimizer = WhatIfOptimizer(simple_schema)
+        baseline = baseline_configuration(simple_schema)
+        assert perf_improvement(optimizer, simple_workload, Configuration(),
+                                baseline) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestHarness:
+    def test_run_advisor_produces_row(self, simple_schema, simple_workload):
+        evaluation = WhatIfOptimizer(simple_schema)
+        run = run_advisor(CoPhyAdvisor(simple_schema), evaluation, simple_workload,
+                          [StorageBudgetConstraint.from_fraction_of_data(
+                              simple_schema, 1.0)])
+        row = run.row()
+        assert row["advisor"] == "cophy"
+        assert 0 <= row["perf"] <= 1
+        assert row["seconds"] > 0
+        assert run.speedup_percent == pytest.approx(100 * run.perf)
+
+    def test_compare_advisors_collects_all_runs(self, simple_schema,
+                                                simple_workload):
+        evaluation = WhatIfOptimizer(simple_schema)
+        result = compare_advisors(
+            [CoPhyAdvisor(simple_schema), DtaAdvisor(simple_schema)],
+            evaluation, simple_workload, name="unit")
+        assert {run.advisor_name for run in result.runs} == {"cophy", "tool-b"}
+        assert result.metadata["statements"] == len(simple_workload)
+        assert result.perf_ratio("cophy", "tool-b") > 0
+        assert result.time_ratio("tool-b", "cophy") > 0
+        with pytest.raises(KeyError):
+            result.run_for("missing")
+
+    def test_perf_ratio_handles_zero_denominator(self, simple_schema,
+                                                 simple_workload):
+        recommendation = CoPhyAdvisor(simple_schema).tune(simple_workload)
+        zero_run = AdvisorRun("zero", recommendation, perf=0.0, wall_seconds=0.0)
+        good_run = AdvisorRun("good", recommendation, perf=0.5, wall_seconds=1.0)
+        result = ExperimentResult("x", runs=[zero_run, good_run])
+        assert result.perf_ratio("good", "zero") == float("inf")
+        assert result.time_ratio("good", "zero") == float("inf")
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"advisor": "cophy", "perf": 0.61, "seconds": 8.3},
+                {"advisor": "tool-a", "perf": 0.35, "seconds": 419.0}]
+        text = format_table(rows, title="Figure 7")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 7"
+        assert "advisor" in lines[1] and "perf" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_missing_keys_and_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        text = format_series([(250, 35.0), (500, 32.0)], "workload", "speedup")
+        assert "workload" in text and "speedup" in text
+        assert "250" in text and "500" in text

@@ -1,0 +1,171 @@
+"""Unit and property tests for histograms and column statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    Histogram,
+    HistogramBucket,
+    zipf_frequencies,
+)
+
+
+class TestZipfFrequencies:
+    def test_uniform_when_skew_is_zero(self):
+        frequencies = zipf_frequencies(4, 0.0)
+        assert frequencies == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_sums_to_one(self):
+        assert sum(zipf_frequencies(10, 1.5)) == pytest.approx(1.0)
+
+    def test_monotonically_decreasing_under_skew(self):
+        frequencies = zipf_frequencies(8, 2.0)
+        assert all(a >= b for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_higher_skew_concentrates_more_mass(self):
+        mild = zipf_frequencies(16, 0.5)[0]
+        heavy = zipf_frequencies(16, 2.0)[0]
+        assert heavy > mild
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_frequencies(4, -1.0)
+
+    @given(n=st.integers(min_value=1, max_value=200),
+           z=st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_property_valid_distribution(self, n, z):
+        frequencies = zipf_frequencies(n, z)
+        assert len(frequencies) == n
+        assert sum(frequencies) == pytest.approx(1.0)
+        assert all(f >= 0 for f in frequencies)
+
+
+class TestHistogramBucket:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            HistogramBucket(low=10, high=5, frequency=0.1, distinct_values=1)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            HistogramBucket(low=0, high=1, frequency=-0.1, distinct_values=1)
+
+    def test_width(self):
+        bucket = HistogramBucket(low=2.0, high=6.0, frequency=0.5, distinct_values=4)
+        assert bucket.width == pytest.approx(4.0)
+
+
+class TestHistogram:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_normalises_frequencies(self):
+        histogram = Histogram([
+            HistogramBucket(0, 1, 2.0, 1),
+            HistogramBucket(1, 2, 2.0, 1),
+        ])
+        assert histogram.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_full_range_selectivity_is_one(self):
+        histogram = Histogram.from_domain(0, 100, 100, skew=0.0)
+        assert histogram.selectivity_range(0, 100) == pytest.approx(1.0, abs=1e-6)
+
+    def test_half_range_uniform(self):
+        histogram = Histogram.from_domain(0, 100, 100, skew=0.0, num_buckets=10)
+        assert histogram.selectivity_range(0, 50) == pytest.approx(0.5, abs=0.05)
+
+    def test_out_of_domain_equality_is_zero(self):
+        histogram = Histogram.from_domain(0, 100, 100)
+        assert histogram.selectivity_eq(1_000) == 0.0
+
+    def test_equality_selectivity_positive_inside_domain(self):
+        histogram = Histogram.from_domain(0, 100, 100)
+        assert histogram.selectivity_eq(50) > 0.0
+
+    def test_empty_range_is_zero(self):
+        histogram = Histogram.from_domain(0, 100, 100)
+        assert histogram.selectivity_range(60, 40) == 0.0
+
+    def test_skew_increases_max_bucket_frequency(self):
+        uniform = Histogram.from_domain(0, 100, 100, skew=0.0, num_buckets=10)
+        skewed = Histogram.from_domain(0, 100, 100, skew=2.0, num_buckets=10)
+        assert skewed.max_bucket_frequency > uniform.max_bucket_frequency
+
+    def test_skewed_histogram_front_loaded(self):
+        skewed = Histogram.from_domain(0, 100, 100, skew=2.0, num_buckets=10)
+        front = skewed.selectivity_range(0, 10)
+        back = skewed.selectivity_range(90, 100)
+        assert front > back
+
+    @given(low=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+           span=st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+           distinct=st.integers(min_value=1, max_value=10_000),
+           skew=st.floats(min_value=0.0, max_value=2.5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_property_range_selectivity_bounded(self, low, span, distinct, skew):
+        histogram = Histogram.from_domain(low, low + span, distinct, skew=skew)
+        for fraction in (0.0, 0.3, 0.7, 1.0):
+            selectivity = histogram.selectivity_range(low, low + span * fraction)
+            assert 0.0 <= selectivity <= 1.0
+
+    @given(split=st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_property_range_monotone_in_upper_bound(self, split):
+        histogram = Histogram.from_domain(0, 1000, 500, skew=1.0)
+        narrow = histogram.selectivity_range(0, 1000 * split * 0.5)
+        wide = histogram.selectivity_range(0, 1000 * split)
+        assert wide >= narrow - 1e-9
+
+
+class TestColumnStatistics:
+    def test_rejects_non_positive_ndv(self):
+        with pytest.raises(ValueError):
+            ColumnStatistics(distinct_values=0)
+
+    def test_rejects_bad_null_fraction(self):
+        with pytest.raises(ValueError):
+            ColumnStatistics(distinct_values=10, null_fraction=1.5)
+
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(ValueError):
+            ColumnStatistics(distinct_values=10, correlation=2.0)
+
+    def test_equality_selectivity_default_uses_ndv(self):
+        stats = ColumnStatistics(distinct_values=50)
+        assert stats.equality_selectivity() == pytest.approx(1.0 / 50)
+
+    def test_key_column_statistics(self):
+        stats = ColumnStatistics.for_key_column(10_000)
+        assert stats.distinct_values == pytest.approx(10_000)
+        assert stats.correlation == pytest.approx(1.0)
+        assert stats.equality_selectivity(5_000) <= 1.0 / 1_000
+
+    def test_categorical_statistics(self):
+        stats = ColumnStatistics.for_categorical(5)
+        assert stats.distinct_values == 5
+        assert stats.equality_selectivity(2) == pytest.approx(0.2, rel=0.5)
+
+    def test_numeric_range_statistics(self):
+        stats = ColumnStatistics.for_numeric_range(0, 100, 200, skew=0.0)
+        assert stats.range_selectivity(0, 100) == pytest.approx(1.0, abs=1e-6)
+        assert 0.0 < stats.range_selectivity(0, 25) < 0.5
+
+    def test_skew_factor_grows_with_skew(self):
+        uniform = ColumnStatistics.for_numeric_range(0, 100, 100, skew=0.0)
+        skewed = ColumnStatistics.for_numeric_range(0, 100, 100, skew=2.0)
+        assert skewed.skew_factor() > uniform.skew_factor()
+        assert uniform.skew_factor() == pytest.approx(1.0, rel=0.05)
+
+    def test_range_selectivity_without_histogram(self):
+        stats = ColumnStatistics(distinct_values=10, histogram=None)
+        assert stats.range_selectivity(None, None) == 1.0
+        assert 0.0 < stats.range_selectivity(0, 5) <= 1.0

@@ -1,0 +1,165 @@
+"""Unit tests for columns, tables, schemas and the TPC-H catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.column import Column, ColumnType
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import ColumnStatistics
+from repro.catalog.table import Table
+from repro.catalog.tpch import TPCH_TABLE_NAMES, tpch_schema
+from repro.exceptions import CatalogError
+
+
+class TestColumn:
+    def test_default_width_from_type(self):
+        assert Column("a", ColumnType.INTEGER).width == 4
+        assert Column("b", ColumnType.BIGINT).width == 8
+        assert Column("c", ColumnType.VARCHAR).width == 32
+
+    def test_explicit_width_overrides_default(self):
+        assert Column("a", ColumnType.CHAR, width=1).width == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Column("")
+
+    def test_is_hashable_and_frozen(self):
+        column = Column("a")
+        assert column in {column}
+        with pytest.raises(AttributeError):
+            column.name = "b"  # type: ignore[misc]
+
+
+class TestTable:
+    def _table(self, **kwargs) -> Table:
+        defaults = dict(
+            name="t",
+            columns=(Column("a"), Column("b", ColumnType.VARCHAR)),
+            row_count=1_000,
+        )
+        defaults.update(kwargs)
+        return Table(**defaults)
+
+    def test_basic_accessors(self):
+        table = self._table()
+        assert table.column_names == ("a", "b")
+        assert table.has_column("a")
+        assert not table.has_column("missing")
+        assert table.column("a").column_type is ColumnType.INTEGER
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            self._table().column("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", (Column("a"), Column("a")), 10)
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", (), 10)
+        with pytest.raises(CatalogError):
+            Table("", (Column("a"),), 10)
+
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(CatalogError):
+            self._table(row_count=-1)
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            self._table(primary_key=("missing",))
+
+    def test_statistics_must_reference_existing_columns(self):
+        with pytest.raises(CatalogError):
+            self._table(statistics={"missing": ColumnStatistics(distinct_values=3)})
+
+    def test_default_statistics_are_synthesised(self):
+        table = self._table()
+        stats = table.column_statistics("a")
+        assert stats.distinct_values > 0
+        # The synthesised statistics are cached for later calls.
+        assert table.column_statistics("a") is stats
+
+    def test_page_count_grows_with_rows(self):
+        small = self._table(row_count=1_000)
+        large = self._table(row_count=100_000)
+        assert large.page_count > small.page_count
+        assert large.size_bytes > small.size_bytes
+
+    def test_tuple_width_includes_overhead(self):
+        table = self._table()
+        assert table.tuple_width > sum(c.width for c in table.columns)
+
+
+class TestSchema:
+    def test_lookup_and_iteration(self, simple_schema):
+        assert len(simple_schema) == 2
+        assert "orders" in simple_schema
+        assert "missing" not in simple_schema
+        assert {t.name for t in simple_schema} == {"orders", "items"}
+
+    def test_unknown_table_raises(self, simple_schema):
+        with pytest.raises(CatalogError):
+            simple_schema.table("missing")
+
+    def test_resolve_column(self, simple_schema):
+        column = simple_schema.resolve_column("orders", "o_id")
+        assert column.name == "o_id"
+        with pytest.raises(CatalogError):
+            simple_schema.resolve_column("orders", "missing")
+
+    def test_duplicate_tables_rejected(self, simple_schema):
+        with pytest.raises(CatalogError):
+            Schema(list(simple_schema.tables) + [simple_schema.table("orders")])
+
+    def test_add_table(self, simple_schema):
+        extra = Table("extra", (Column("x"),), 10)
+        simple_schema.add_table(extra)
+        assert "extra" in simple_schema
+        with pytest.raises(CatalogError):
+            simple_schema.add_table(extra)
+
+    def test_total_size_is_sum_of_tables(self, simple_schema):
+        assert simple_schema.total_size_bytes == pytest.approx(
+            sum(t.size_bytes for t in simple_schema))
+
+
+class TestTpchSchema:
+    def test_has_all_eight_tables(self, tpch):
+        assert set(tpch.table_names) == set(TPCH_TABLE_NAMES)
+
+    def test_scale_factor_scales_fact_tables(self):
+        small = tpch_schema(scale_factor=0.01)
+        large = tpch_schema(scale_factor=0.1)
+        assert large.table("lineitem").row_count == pytest.approx(
+            10 * small.table("lineitem").row_count)
+        # Tiny dimension tables are not scaled.
+        assert large.table("nation").row_count == small.table("nation").row_count
+
+    def test_cardinality_ratios_match_tpch(self, tpch):
+        assert tpch.table("lineitem").row_count == pytest.approx(
+            4 * tpch.table("orders").row_count)
+        assert tpch.table("orders").row_count == pytest.approx(
+            10 * tpch.table("customer").row_count)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            tpch_schema(scale_factor=0.0)
+        with pytest.raises(ValueError):
+            tpch_schema(scale_factor=1.0, skew=-1.0)
+
+    def test_skew_changes_statistics(self, tpch, tpch_skewed):
+        uniform_stats = tpch.table("lineitem").column_statistics("l_shipdate")
+        skewed_stats = tpch_skewed.table("lineitem").column_statistics("l_shipdate")
+        assert skewed_stats.skew_factor() > uniform_stats.skew_factor()
+
+    def test_primary_keys_declared(self, tpch):
+        assert tpch.table("orders").primary_key == ("o_orderkey",)
+        assert tpch.table("lineitem").primary_key == ("l_orderkey", "l_linenumber")
+
+    def test_every_statistic_refers_to_real_column(self, tpch):
+        for table in tpch:
+            for column_name in table.statistics:
+                assert table.has_column(column_name)

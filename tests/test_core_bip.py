@@ -1,0 +1,234 @@
+"""Tests for BIPGen (Theorem 1): structure, equivalence with brute force, deltas."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.bip_builder import BipBuilder
+from repro.core.solver import CoPhySolver, SolverBackend
+from repro.exceptions import SolverError
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.inum.cache import InumCache
+from repro.lp.highs_backend import MilpBackend
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def inum(simple_schema) -> InumCache:
+    return InumCache(WhatIfOptimizer(simple_schema))
+
+
+@pytest.fixture
+def builder(inum) -> BipBuilder:
+    return BipBuilder(inum)
+
+
+def brute_force_best(inum: InumCache, workload: Workload,
+                     candidates: CandidateSet,
+                     max_size: int | None = None,
+                     storage_budget: float | None = None) -> tuple[float, set]:
+    """Exhaustively search every candidate subset for the cheapest workload cost."""
+    best_cost = float("inf")
+    best_subset: set = set()
+    indexes = list(candidates)
+    for size in range(0, len(indexes) + 1):
+        if max_size is not None and size > max_size:
+            break
+        for subset in itertools.combinations(indexes, size):
+            if storage_budget is not None:
+                storage = sum(candidates.size_of(index) for index in subset)
+                if storage > storage_budget:
+                    continue
+            cost = inum.workload_cost(workload, Configuration(subset))
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best_subset = set(subset)
+    return best_cost, best_subset
+
+
+class TestBipStructure:
+    def test_variable_families_present(self, builder, simple_workload,
+                                       simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        assert len(bip.z_variables) == len(candidates)
+        assert len(bip.y_variables) >= len(simple_workload)
+        assert bip.x_variables, "expected slot variables"
+        assert bip.model.variable_count == (
+            len(bip.z_variables) + len(bip.y_variables)
+            + sum(len(v) for v in bip.x_variables.values()))
+
+    def test_one_template_constraint_per_statement(self, builder, simple_workload,
+                                                   simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        template_rows = [c for c in bip.model.constraints
+                         if c.name.startswith("one_template")]
+        assert len(template_rows) == len(simple_workload)
+
+    def test_slot_constraints_cover_every_slot(self, builder, simple_workload,
+                                               simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        assert set(bip.slot_constraints.keys()) == set(bip.x_variables.keys())
+
+    def test_statistics_capture_beta_and_gamma(self, builder, simple_workload,
+                                               simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        assert any(key.startswith("beta::") for key in bip.statistics)
+        assert any(key.startswith("gamma::") for key in bip.statistics)
+        assert bip.statistics["variables"] == float(bip.model.variable_count)
+
+    def test_update_costs_attached_to_z_variables(self, builder, simple_workload,
+                                                  simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        ucost_keys = [key for key in bip.statistics if key.startswith("ucost::")]
+        assert ucost_keys, "expected update-maintenance coefficients"
+        update_expression = bip.update_cost_expression()
+        assert not update_expression.is_empty()
+
+    def test_storage_expression_uses_candidate_sizes(self, builder, simple_workload,
+                                                     simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        expression = bip.storage_expression()
+        full_selection = {variable: 1.0 for variable in bip.z_variables.values()}
+        assert expression.evaluate(full_selection) == pytest.approx(
+            candidates.total_size())
+
+    def test_query_cost_expression_for_known_statement(self, builder,
+                                                       simple_workload,
+                                                       simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        query = simple_workload.statements[0].query
+        expression = bip.query_cost_expression(query)
+        assert not expression.is_empty()
+
+    def test_unknown_index_variable_lookup_raises(self, builder, simple_workload,
+                                                  simple_schema):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        with pytest.raises(SolverError):
+            bip.index_variable(Index("orders", ("o_id", "o_total", "o_status")))
+
+
+class TestTheoremOneEquivalence:
+    """The heart of the reproduction: the BIP optimum equals the true optimum."""
+
+    def _small_instance(self, simple_schema, simple_workload):
+        # A hand-picked, diverse candidate set small enough for brute force.
+        candidates = CandidateSet(simple_schema, [
+            Index("orders", ("o_customer",), include_columns=("o_total",)),
+            Index("orders", ("o_date",)),
+            Index("orders", ("o_status", "o_date")),
+            Index("items", ("i_shipdate",)),
+            Index("items", ("i_order",)),
+            Index("items", ("i_shipdate",), include_columns=("i_price",)),
+        ])
+        return candidates
+
+    def test_unconstrained_optimum_matches_brute_force(self, simple_schema,
+                                                       simple_workload, inum,
+                                                       builder):
+        candidates = self._small_instance(simple_schema, simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        solution = MilpBackend().solve(bip.model)
+        chosen = bip.extract_configuration(solution)
+        bip_cost = inum.workload_cost(simple_workload, chosen)
+        brute_cost, _ = brute_force_best(inum, simple_workload, candidates)
+        assert bip_cost == pytest.approx(brute_cost, rel=1e-6)
+        # The BIP objective itself must equal the INUM cost of its own solution.
+        assert solution.objective == pytest.approx(bip_cost, rel=1e-6)
+
+    def test_storage_constrained_optimum_matches_brute_force(self, simple_schema,
+                                                             simple_workload, inum,
+                                                             builder):
+        from repro.core.constraints import StorageBudgetConstraint
+
+        candidates = self._small_instance(simple_schema, simple_workload)
+        budget = 0.4 * candidates.total_size()
+        bip = builder.build(simple_workload, candidates)
+        solver = CoPhySolver(backend=SolverBackend.MILP, gap_tolerance=0.0)
+        report = solver.solve(bip, [StorageBudgetConstraint(budget)])
+        chosen_cost = inum.workload_cost(simple_workload, report.configuration)
+        chosen_storage = sum(candidates.size_of(i) for i in report.configuration)
+        brute_cost, brute_subset = brute_force_best(
+            inum, simple_workload, candidates, storage_budget=budget)
+        assert chosen_storage <= budget * (1 + 1e-9)
+        assert chosen_cost == pytest.approx(brute_cost, rel=1e-6)
+
+    def test_branch_and_bound_agrees_with_milp(self, simple_schema, simple_workload,
+                                               builder):
+        candidates = self._small_instance(simple_schema, simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        milp = CoPhySolver(backend=SolverBackend.MILP, gap_tolerance=0.0).solve(bip)
+        bnb = CoPhySolver(backend=SolverBackend.BRANCH_AND_BOUND,
+                          gap_tolerance=0.0).solve(bip)
+        assert bnb.objective == pytest.approx(milp.objective, rel=1e-6)
+
+
+class TestIncrementalExtension:
+    def test_extend_adds_variables_and_preserves_existing(self, simple_schema,
+                                                          simple_workload, builder):
+        generator = CandidateGenerator(simple_schema)
+        all_candidates = list(generator.generate(simple_workload))
+        initial = CandidateSet(simple_schema, all_candidates[:6])
+        bip = builder.build(simple_workload, initial)
+        variables_before = bip.model.variable_count
+        added = all_candidates[6:10]
+        builder.extend(bip, added)
+        assert bip.model.variable_count > variables_before
+        for index in added:
+            assert index in bip.candidates
+            assert index in bip.z_variables
+
+    def test_extend_is_equivalent_to_building_from_scratch(self, simple_schema,
+                                                           simple_workload):
+        generator = CandidateGenerator(simple_schema)
+        all_candidates = list(generator.generate(simple_workload))
+        subset, added = all_candidates[:6], all_candidates[6:12]
+
+        shared_inum = InumCache(WhatIfOptimizer(simple_schema))
+        incremental_builder = BipBuilder(shared_inum)
+        incremental = incremental_builder.build(
+            simple_workload, CandidateSet(simple_schema, subset))
+        incremental_builder.extend(incremental, added)
+        incremental_solution = MilpBackend().solve(incremental.model)
+
+        fresh_inum = InumCache(WhatIfOptimizer(simple_schema))
+        fresh_builder = BipBuilder(fresh_inum)
+        fresh = fresh_builder.build(simple_workload,
+                                    CandidateSet(simple_schema, subset + added))
+        fresh_solution = MilpBackend().solve(fresh.model)
+
+        assert incremental_solution.objective == pytest.approx(
+            fresh_solution.objective, rel=1e-6)
+
+    def test_extend_with_duplicates_is_a_no_op(self, simple_schema, simple_workload,
+                                               builder):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        variables_before = bip.model.variable_count
+        builder.extend(bip, list(candidates)[:3])
+        assert bip.model.variable_count == variables_before
+
+    def test_warm_start_from_configuration_is_feasible(self, simple_schema,
+                                                       simple_workload, builder):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        bip = builder.build(simple_workload, candidates)
+        solution = MilpBackend().solve(bip.model)
+        configuration = bip.extract_configuration(solution)
+        warm = bip.warm_start_from(configuration)
+        assert bip.model.is_feasible_assignment(warm)
+        # The warm start selects exactly the indexes of the configuration.
+        for index, variable in bip.z_variables.items():
+            expected = 1.0 if index in configuration else 0.0
+            assert warm[variable] == expected

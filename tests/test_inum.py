@@ -1,0 +1,197 @@
+"""Tests for INUM: template plans, linear composability and cost accuracy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OptimizerError
+from repro.indexes.candidate_generation import CandidateGenerator
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.inum.cache import InumCache
+from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
+from repro.optimizer.plan import ScanNode
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.predicates import ColumnRef
+from repro.workload.query import UpdateQuery
+
+
+@pytest.fixture
+def optimizer(simple_schema) -> WhatIfOptimizer:
+    return WhatIfOptimizer(simple_schema)
+
+
+@pytest.fixture
+def inum(optimizer) -> InumCache:
+    return InumCache(optimizer)
+
+
+class TestTemplatePlan:
+    def test_accepts_checks_order_requirement(self):
+        template = TemplatePlan(
+            query_name="q",
+            order_requirements={"orders": ColumnRef("orders", "o_id"), "items": None},
+            internal_cost=10.0,
+        )
+        ordered = ScanNode(cost=1, rows=1, table="orders",
+                           output_order=ColumnRef("orders", "o_id"))
+        unordered = ScanNode(cost=1, rows=1, table="orders", output_order=None)
+        anything = ScanNode(cost=1, rows=1, table="items", output_order=None)
+        assert template.accepts("orders", ordered)
+        assert not template.accepts("orders", unordered)
+        assert template.accepts("items", anything)
+
+    def test_accepts_index_uses_leading_column_and_heap_order(self):
+        template = TemplatePlan(
+            query_name="q",
+            order_requirements={"orders": ColumnRef("orders", "o_id")},
+            internal_cost=10.0,
+        )
+        good = Index("orders", ("o_id", "o_date"))
+        bad = Index("orders", ("o_date", "o_id"))
+        assert template.accepts_index("orders", good, heap_order=None)
+        assert not template.accepts_index("orders", bad, heap_order=None)
+        assert template.accepts_index("orders", None,
+                                      heap_order=ColumnRef("orders", "o_id"))
+        assert not template.accepts_index("orders", None, heap_order=None)
+
+    def test_signature_and_equality(self):
+        a = TemplatePlan("q", {"orders": None}, 5.0)
+        b = TemplatePlan("q", {"orders": None}, 5.0)
+        c = TemplatePlan("q", {"orders": ColumnRef("orders", "o_id")}, 5.0)
+        assert a == b
+        assert a != c
+        assert a.signature() != c.signature()
+
+
+class TestInumCacheConstruction:
+    def test_builds_at_least_one_template_per_statement(self, inum, simple_workload):
+        for statement in simple_workload:
+            templates = inum.build(statement.query)
+            assert len(templates) >= 1
+
+    def test_build_is_cached_by_statement_name(self, inum, simple_workload):
+        query = simple_workload.statements[0].query
+        first = inum.build(query)
+        calls_after_first = inum.template_build_calls
+        second = inum.build(query)
+        assert first is second
+        assert inum.template_build_calls == calls_after_first
+
+    def test_join_query_gets_order_aware_templates(self, inum, simple_workload):
+        join_query = simple_workload.statements[2].query
+        templates = inum.build(join_query)
+        requirements = {order for template in templates
+                        for order in template.order_requirements.values()
+                        if order is not None}
+        assert requirements, "expected at least one interesting-order template"
+
+    def test_update_statements_use_their_query_shell(self, inum, simple_workload):
+        update = simple_workload.statements[3].query
+        assert isinstance(update, UpdateQuery)
+        templates = inum.build(update)
+        assert all(t.query_name == update.query_shell().name for t in templates)
+
+    def test_template_cap_is_respected(self, optimizer, simple_workload):
+        capped = InumCache(optimizer, max_templates_per_query=2)
+        for statement in simple_workload:
+            assert len(capped.build(statement.query)) <= 2
+
+    def test_workload_build_populates_cache(self, inum, simple_workload):
+        inum.build_workload(simple_workload)
+        assert inum.cached_query_count == len(simple_workload)
+        assert inum.total_template_count() >= len(simple_workload)
+
+    def test_invalid_parameters_rejected(self, optimizer):
+        with pytest.raises(ValueError):
+            InumCache(optimizer, max_orders_per_table=-1)
+        with pytest.raises(ValueError):
+            InumCache(optimizer, max_templates_per_query=0)
+
+
+class TestGamma:
+    def test_incompatible_access_method_is_infeasible(self, inum, simple_workload):
+        join_query = simple_workload.statements[2].query
+        templates = inum.build(join_query)
+        ordered_templates = [
+            t for t in templates
+            if t.required_order("items") == ColumnRef("items", "i_order")]
+        if not ordered_templates:
+            pytest.skip("no template requires an items order for this plan shape")
+        template = ordered_templates[0]
+        incompatible = Index("items", ("i_shipdate",))
+        compatible = Index("items", ("i_order",))
+        assert inum.gamma(join_query, template, "items", incompatible) == INFEASIBLE_COST
+        assert inum.gamma(join_query, template, "items", compatible) < INFEASIBLE_COST
+
+    def test_gamma_matches_access_cost_when_compatible(self, inum, simple_workload):
+        query = simple_workload.statements[0].query
+        template = inum.build(query)[0]
+        index = Index("orders", ("o_customer",))
+        gamma = inum.gamma(query, template, "orders", index)
+        assert gamma == pytest.approx(inum.access_cost(query, "orders", index))
+
+
+class TestInumCost:
+    def test_matches_optimizer_for_empty_configuration(self, inum, optimizer,
+                                                       simple_workload):
+        """INUM should approximate the optimizer closely (the paper's premise)."""
+        for statement in simple_workload:
+            inum_cost = inum.statement_cost(statement.query, Configuration())
+            optimizer_cost = optimizer.statement_cost(statement.query, Configuration())
+            assert inum_cost == pytest.approx(optimizer_cost, rel=0.25)
+
+    def test_tracks_optimizer_across_configurations(self, inum, optimizer,
+                                                    simple_schema, simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        interesting = list(candidates)[:8]
+        configuration = Configuration(interesting)
+        for statement in simple_workload:
+            inum_cost = inum.statement_cost(statement.query, configuration)
+            optimizer_cost = optimizer.statement_cost(statement.query, configuration)
+            assert inum_cost == pytest.approx(optimizer_cost, rel=0.35)
+
+    def test_cost_is_monotone_in_configuration(self, inum, simple_workload):
+        query = simple_workload.statements[2].query
+        indexes = [Index("items", ("i_order",)),
+                   Index("orders", ("o_status", "o_id")),
+                   Index("orders", ("o_id",), include_columns=("o_date",))]
+        previous = inum.cost(query, Configuration())
+        for count in range(1, len(indexes) + 1):
+            current = inum.cost(query, Configuration(indexes[:count]))
+            assert current <= previous + 1e-6
+            previous = current
+
+    def test_good_index_reduces_inum_cost(self, inum, simple_workload):
+        point = simple_workload.statements[0].query
+        index = Index("orders", ("o_customer",), include_columns=("o_total",))
+        assert inum.cost(point, Configuration([index])) < inum.cost(point,
+                                                                    Configuration())
+
+    def test_workload_cost_is_weighted_sum(self, inum, simple_workload):
+        total = inum.workload_cost(simple_workload, Configuration())
+        manual = sum(s.weight * inum.statement_cost(s.query, Configuration())
+                     for s in simple_workload)
+        assert total == pytest.approx(manual)
+
+    def test_update_cost_adds_maintenance(self, inum, simple_workload):
+        update = simple_workload.statements[3].query
+        affected = Index("orders", ("o_status",))
+        base = inum.statement_cost(update, Configuration())
+        with_index = inum.statement_cost(update, Configuration([affected]))
+        assert with_index > base
+
+    def test_linear_composability_identity(self, inum, simple_workload):
+        """cost(q, X) must equal min_k (beta_k + sum_i min_a gamma_kia)."""
+        query = simple_workload.statements[2].query
+        configuration = Configuration([Index("items", ("i_order",)),
+                                       Index("orders", ("o_date",))])
+        templates = inum.build(query)
+        expected = min(
+            template.internal_cost + sum(
+                min([inum.gamma(query, template, table, None)]
+                    + [inum.gamma(query, template, table, index)
+                       for index in configuration.indexes_on(table)])
+                for table in query.tables)
+            for template in templates)
+        assert inum.cost(query, configuration) == pytest.approx(expected)

@@ -1,0 +1,169 @@
+"""Tests for the LP/BIP modelling layer (variables, expressions, constraints, model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.lp.constraint import Constraint, ConstraintSense
+from repro.lp.expression import LinearExpression
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.variable import VariableKind
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.model = Model("m")
+        self.x = self.model.add_binary("x")
+        self.y = self.model.add_binary("y")
+        self.z = self.model.add_continuous("z", 0.0, 10.0)
+
+    def test_variable_arithmetic_builds_expressions(self):
+        expression = 2 * self.x + self.y - 3
+        assert expression.coefficient(self.x) == 2.0
+        assert expression.coefficient(self.y) == 1.0
+        assert expression.constant == -3.0
+
+    def test_subtraction_and_negation(self):
+        expression = -(self.x - self.y)
+        assert expression.coefficient(self.x) == -1.0
+        assert expression.coefficient(self.y) == 1.0
+
+    def test_sum_of_merges_duplicates(self):
+        expression = LinearExpression.sum_of([self.x, self.x, self.y], [1, 2, 5])
+        assert expression.coefficient(self.x) == 3.0
+        assert expression.coefficient(self.y) == 5.0
+
+    def test_sum_of_rejects_mismatched_lengths(self):
+        with pytest.raises(SolverError):
+            LinearExpression.sum_of([self.x], [1.0, 2.0])
+
+    def test_evaluate(self):
+        expression = 2 * self.x + 3 * self.y + 1
+        assert expression.evaluate({self.x: 1.0, self.y: 0.0}) == pytest.approx(3.0)
+        assert expression.evaluate({self.x: 1.0, self.y: 1.0}) == pytest.approx(6.0)
+
+    def test_scaling_by_non_number_rejected(self):
+        with pytest.raises(SolverError):
+            (1 * self.x) * self.y  # type: ignore[operator]
+
+    def test_incompatible_operand_rejected(self):
+        with pytest.raises(SolverError):
+            (1 * self.x) + "nope"  # type: ignore[operator]
+
+    def test_comparisons_produce_constraints(self):
+        le = (self.x + self.y) <= 1
+        ge = (self.x + self.y) >= 1
+        eq = (self.x + self.y) == 1
+        assert isinstance(le, Constraint) and le.sense is ConstraintSense.LESS_EQUAL
+        assert isinstance(ge, Constraint) and ge.sense is ConstraintSense.LESS_EQUAL
+        assert isinstance(eq, Constraint) and eq.sense is ConstraintSense.EQUAL
+
+    def test_constraint_row_moves_constant_to_rhs(self):
+        constraint = (2 * self.x + 3) <= 7
+        coefficients, rhs = constraint.row()
+        assert coefficients[self.x] == 2.0
+        assert rhs == pytest.approx(4.0)
+
+    def test_constraint_satisfaction_and_violation(self):
+        constraint = (self.x + self.y) <= 1
+        assert constraint.is_satisfied({self.x: 1.0, self.y: 0.0})
+        assert not constraint.is_satisfied({self.x: 1.0, self.y: 1.0})
+        assert constraint.violation({self.x: 1.0, self.y: 1.0}) == pytest.approx(1.0)
+        equality = (self.x + self.y) == 1
+        assert equality.is_satisfied({self.x: 0.0, self.y: 1.0})
+        assert not equality.is_satisfied({self.x: 0.0, self.y: 0.0})
+
+    @given(a=st.floats(-5, 5, allow_nan=False), b=st.floats(-5, 5, allow_nan=False),
+           vx=st.floats(0, 1), vy=st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_evaluation_is_linear(self, a, b, vx, vy):
+        expression = a * self.x + b * self.y
+        values = {self.x: vx, self.y: vy}
+        assert expression.evaluate(values) == pytest.approx(a * vx + b * vy, abs=1e-9)
+
+
+class TestModel:
+    def test_variable_registration(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        z = model.add_continuous("z", 1.0, 2.0)
+        assert model.variable_count == 2
+        assert x.kind is VariableKind.BINARY
+        assert z.kind is VariableKind.CONTINUOUS
+        assert model.binary_variables() == (x,)
+
+    def test_invalid_continuous_bounds_rejected(self):
+        with pytest.raises(SolverError):
+            Model("m").add_continuous("z", 5.0, 1.0)
+
+    def test_foreign_variables_rejected(self):
+        first = Model("a")
+        second = Model("b")
+        x = first.add_binary("x")
+        with pytest.raises(SolverError):
+            second.add_constraint((1 * x) <= 1)
+        with pytest.raises(SolverError):
+            second.set_objective(1 * x)
+
+    def test_add_constraint_requires_constraint_object(self):
+        model = Model("m")
+        model.add_binary("x")
+        with pytest.raises(SolverError):
+            model.add_constraint("x <= 1")  # type: ignore[arg-type]
+
+    def test_objective_and_feasibility_checks(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.set_objective(x + 2 * y)
+        model.add_constraint((x + y) <= 1, name="cap")
+        feasible = {x: 1.0, y: 0.0}
+        infeasible = {x: 1.0, y: 1.0}
+        fractional = {x: 0.5, y: 0.0}
+        assert model.is_feasible_assignment(feasible)
+        assert not model.is_feasible_assignment(infeasible)
+        assert not model.is_feasible_assignment(fractional)
+        assert model.objective_value(feasible) == pytest.approx(1.0)
+        assert [c.name for c in model.violated_constraints(infeasible)] == ["cap"]
+
+    def test_remove_constraints(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        kept = model.add_constraint((1 * x) <= 1)
+        removed = model.add_constraint((1 * x) <= 0)
+        assert model.constraint_count == 2
+        assert model.remove_constraints([removed]) == 1
+        assert model.constraints == (kept,)
+        assert model.remove_constraints([removed]) == 0
+
+    def test_matrix_export_shapes(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        y = model.add_continuous("y", 0.0, 4.0)
+        model.add_constraint((x + y) <= 3)
+        model.add_constraint((2 * x + y) == 2)
+        model.set_objective(x + y)
+        matrices = model.to_matrices()
+        assert matrices["c"].shape == (2,)
+        assert matrices["A_ub"].shape == (1, 2)
+        assert matrices["A_eq"].shape == (1, 2)
+        assert matrices["bounds"].shape == (2, 2)
+        assert list(matrices["integrality"]) == [1, 0]
+
+    def test_matrix_cache_invalidation(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        model.set_objective(1 * x)
+        first = model.to_matrices()
+        assert model.to_matrices() is first
+        model.add_constraint((1 * x) <= 1)
+        assert model.to_matrices() is not first
+
+    def test_maximisation_negates_cost_vector(self):
+        model = Model("m", sense=ObjectiveSense.MAXIMIZE)
+        x = model.add_binary("x")
+        model.set_objective(5 * x)
+        assert model.to_matrices()["c"][0] == pytest.approx(-5.0)

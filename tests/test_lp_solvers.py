@@ -1,0 +1,228 @@
+"""Tests for the LP relaxation backend, the MILP backend and branch and bound."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.expression import LinearExpression
+from repro.lp.highs_backend import LinearRelaxationBackend, MilpBackend
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.solution import SolutionStatus
+
+
+def build_knapsack(values, weights, capacity, maximize=True) -> tuple[Model, list]:
+    """A small knapsack model used throughout the solver tests."""
+    model = Model("knapsack",
+                  sense=ObjectiveSense.MAXIMIZE if maximize else ObjectiveSense.MINIMIZE)
+    variables = [model.add_binary(f"x{i}") for i in range(len(values))]
+    model.set_objective(LinearExpression.sum_of(variables, values))
+    model.add_constraint(
+        LinearExpression.sum_of(variables, weights) <= capacity, name="capacity")
+    return model, variables
+
+
+def brute_force_knapsack(values, weights, capacity) -> float:
+    best = 0.0
+    n = len(values)
+    for mask in range(1 << n):
+        weight = sum(weights[i] for i in range(n) if mask >> i & 1)
+        if weight <= capacity + 1e-9:
+            best = max(best, sum(values[i] for i in range(n) if mask >> i & 1))
+    return best
+
+
+class TestLinearRelaxationBackend:
+    def test_solves_simple_lp(self):
+        model = Model("lp")
+        x = model.add_continuous("x", 0.0, 10.0)
+        y = model.add_continuous("y", 0.0, 10.0)
+        model.add_constraint((x + y) <= 4)
+        model.set_objective(-1 * x - 2 * y)  # minimise => push x+y to the bound
+        solution = LinearRelaxationBackend().solve(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.value(x) + solution.value(y) == pytest.approx(4.0, abs=1e-6)
+        assert solution.objective == pytest.approx(-8.0, abs=1e-6)
+
+    def test_detects_infeasibility(self):
+        model = Model("lp")
+        x = model.add_continuous("x", 0.0, 1.0)
+        model.add_constraint((1 * x) >= 2)
+        model.set_objective(1 * x)
+        solution = LinearRelaxationBackend().solve(model)
+        assert solution.status is SolutionStatus.INFEASIBLE
+
+    def test_relaxation_of_binary_model_can_be_fractional(self):
+        model, variables = build_knapsack([10, 10], [1, 1], 1.0)
+        solution = LinearRelaxationBackend().solve(model)
+        total = sum(solution.value(v) for v in variables)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounds_override(self):
+        model = Model("lp")
+        x = model.add_continuous("x", 0.0, 10.0)
+        model.set_objective(-1 * x)
+        matrices = model.to_matrices()
+        tightened = matrices["bounds"].copy()
+        tightened[0, 1] = 2.0
+        solution = LinearRelaxationBackend().solve(model, bounds_override=tightened)
+        assert solution.value(x) == pytest.approx(2.0, abs=1e-6)
+
+
+class TestMilpBackend:
+    def test_solves_knapsack_to_optimality(self):
+        values = [6, 5, 4, 3]
+        weights = [4, 3, 2, 1]
+        model, variables = build_knapsack(values, weights, 6)
+        solution = MilpBackend().solve(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 6))
+        assert all(solution.value(v) in (0.0, 1.0) for v in variables)
+
+    def test_detects_infeasibility(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        model.add_constraint((1 * x) >= 2)
+        model.set_objective(1 * x)
+        solution = MilpBackend().solve(model)
+        assert solution.status is SolutionStatus.INFEASIBLE
+
+    def test_gap_tolerance_accepted(self):
+        values = list(range(1, 13))
+        weights = [v + 0.5 for v in values]
+        model, _ = build_knapsack(values, weights, 20)
+        solution = MilpBackend(gap_tolerance=0.2).solve(model)
+        assert solution.is_feasible
+        assert solution.objective >= 0.75 * brute_force_knapsack(values, weights, 20)
+
+
+class TestBranchAndBound:
+    def test_matches_brute_force_on_knapsacks(self):
+        values = [7, 2, 9, 5, 8]
+        weights = [3, 1, 5, 2, 4]
+        model, _ = build_knapsack(values, weights, 8)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 8))
+
+    def test_minimisation_with_covering_constraint(self):
+        model = Model("cover")
+        x = [model.add_binary(f"x{i}") for i in range(4)]
+        costs = [3.0, 2.0, 4.0, 1.0]
+        model.set_objective(LinearExpression.sum_of(x, costs))
+        model.add_constraint((x[0] + x[1]) >= 1)
+        model.add_constraint((x[1] + x[2]) >= 1)
+        model.add_constraint((x[2] + x[3]) >= 1)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(3.0)  # pick x1 and x3
+
+    def test_detects_infeasibility(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constraint((x + y) >= 3)
+        model.set_objective(x + y)
+        solver = BranchAndBoundSolver()
+        assert not solver.is_feasible(model)
+        assert solver.solve(model).status is SolutionStatus.INFEASIBLE
+
+    def test_feasibility_probe_true_for_feasible_model(self):
+        model, _ = build_knapsack([1, 2], [1, 1], 2)
+        assert BranchAndBoundSolver().is_feasible(model)
+
+    def test_gap_trace_is_monotone_and_final_gap_reported(self):
+        values = [4, 7, 1, 9, 6, 3, 8]
+        weights = [2, 5, 1, 6, 4, 2, 5]
+        model, _ = build_knapsack(values, weights, 12)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.gap_trace, "expected at least one gap trace point"
+        gaps = [point.gap for point in solution.gap_trace]
+        assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+        assert solution.gap <= 1e-6
+
+    def test_gap_tolerance_allows_early_stop(self):
+        values = [4, 7, 1, 9, 6, 3, 8, 5, 2]
+        weights = [2, 5, 1, 6, 4, 2, 5, 3, 1]
+        exact = BranchAndBoundSolver().solve(build_knapsack(values, weights, 15)[0])
+        loose = BranchAndBoundSolver(gap_tolerance=0.25).solve(
+            build_knapsack(values, weights, 15)[0])
+        assert loose.is_feasible
+        assert loose.nodes_explored <= exact.nodes_explored
+        # Within the advertised bound of the optimum.
+        assert loose.objective >= (1 - 0.25) * exact.objective
+
+    def test_warm_start_is_used_as_incumbent(self):
+        values = [5, 4, 3, 2]
+        weights = [4, 3, 2, 1]
+        model, variables = build_knapsack(values, weights, 5)
+        warm = {variables[0]: 1.0, variables[3]: 1.0,
+                variables[1]: 0.0, variables[2]: 0.0}
+        solution = BranchAndBoundSolver().solve(model, warm_start=warm)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 5))
+
+    def test_infeasible_warm_start_is_ignored(self):
+        values = [5, 4]
+        weights = [4, 3]
+        model, variables = build_knapsack(values, weights, 5)
+        bad_warm = {variables[0]: 1.0, variables[1]: 1.0}
+        solution = BranchAndBoundSolver().solve(model, warm_start=bad_warm)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 5))
+
+    def test_node_limit_returns_feasible_solution(self):
+        values = list(range(1, 16))
+        weights = [(v * 7 % 11) + 1 for v in values]
+        model, _ = build_knapsack(values, weights, 25)
+        solver = BranchAndBoundSolver(node_limit=3)
+        solution = solver.solve(model)
+        assert solution.nodes_explored <= 3
+        assert solution.is_feasible or solution.status is SolutionStatus.ERROR
+
+    def test_progress_callback_invoked(self):
+        observed = []
+        values = [4, 7, 1, 9]
+        weights = [2, 5, 1, 6]
+        model, _ = build_knapsack(values, weights, 8)
+        solver = BranchAndBoundSolver(progress_callback=observed.append)
+        solver.solve(model)
+        assert observed
+        assert all(point.elapsed_seconds >= 0 for point in observed)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=7))
+        values = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
+        weights = data.draw(st.lists(st.integers(1, 10), min_size=n, max_size=n))
+        capacity = data.draw(st.integers(1, 25))
+        model, _ = build_knapsack([float(v) for v in values],
+                                  [float(w) for w in weights], float(capacity))
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, capacity))
+
+
+class TestSolutionObject:
+    def test_selected_and_lookup(self):
+        model, variables = build_knapsack([3, 1], [1, 5], 1)
+        solution = MilpBackend().solve(model)
+        assert variables[0] in solution.selected()
+        assert solution.value(variables[1]) == 0.0
+        assert solution.assignment_by_name()["x0"] == 1.0
+
+    def test_with_status_copies(self):
+        model, _ = build_knapsack([3, 1], [1, 5], 1)
+        solution = MilpBackend().solve(model)
+        copy = solution.with_status(SolutionStatus.FEASIBLE)
+        assert copy.status is SolutionStatus.FEASIBLE
+        assert copy.objective == solution.objective
+        assert copy.values == solution.values

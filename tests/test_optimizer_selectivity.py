@@ -1,0 +1,173 @@
+"""Tests for selectivity estimation and the cost model primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.workload.predicates import ColumnRef, ComparisonOperator, JoinPredicate, SimplePredicate
+from repro.workload.query import SelectQuery
+
+
+@pytest.fixture
+def estimator(simple_schema) -> SelectivityEstimator:
+    return SelectivityEstimator(simple_schema)
+
+
+def _pred(column, operator, value, hint=None):
+    return SimplePredicate(ColumnRef("orders", column), operator, value,
+                           selectivity_hint=hint)
+
+
+class TestPredicateSelectivity:
+    def test_hint_takes_precedence(self, estimator):
+        predicate = _pred("o_customer", ComparisonOperator.EQ, 5, hint=0.42)
+        assert estimator.predicate_selectivity(predicate) == pytest.approx(0.42)
+
+    def test_equality_uses_distinct_count(self, estimator):
+        predicate = _pred("o_customer", ComparisonOperator.EQ, 100)
+        assert estimator.predicate_selectivity(predicate) == pytest.approx(
+            1.0 / 5_000, rel=1.0)
+
+    def test_range_narrower_is_more_selective(self, estimator):
+        narrow = _pred("o_date", ComparisonOperator.BETWEEN, (0, 100))
+        wide = _pred("o_date", ComparisonOperator.BETWEEN, (0, 1_000))
+        assert (estimator.predicate_selectivity(narrow)
+                < estimator.predicate_selectivity(wide))
+
+    def test_open_range_operators(self, estimator):
+        lt = _pred("o_date", ComparisonOperator.LT, 1_000)
+        ge = _pred("o_date", ComparisonOperator.GE, 1_000)
+        assert estimator.predicate_selectivity(lt) == pytest.approx(0.5, abs=0.1)
+        assert estimator.predicate_selectivity(ge) == pytest.approx(0.5, abs=0.1)
+
+    def test_in_list_sums_equalities(self, estimator):
+        single = _pred("o_customer", ComparisonOperator.EQ, 5)
+        triple = _pred("o_customer", ComparisonOperator.IN, (5, 6, 7))
+        assert estimator.predicate_selectivity(triple) == pytest.approx(
+            3 * estimator.predicate_selectivity(single), rel=0.01)
+
+    def test_string_values_are_handled(self, estimator):
+        predicate = _pred("o_status", ComparisonOperator.EQ, "shipped")
+        assert 0.0 < estimator.predicate_selectivity(predicate) <= 1.0
+
+    def test_combined_selectivity_multiplies(self, estimator):
+        predicates = [
+            _pred("o_date", ComparisonOperator.BETWEEN, (0, 200), hint=0.1),
+            _pred("o_status", ComparisonOperator.EQ, 1, hint=0.5),
+        ]
+        assert estimator.combined_selectivity(predicates) == pytest.approx(0.05)
+
+    def test_selectivity_never_exceeds_one_or_hits_zero(self, estimator):
+        predicates = [_pred("o_date", ComparisonOperator.BETWEEN, (0, 200), hint=0.01)
+                      for _ in range(10)]
+        combined = estimator.combined_selectivity(predicates)
+        assert 0.0 < combined <= 1.0
+
+
+class TestCardinalityAndJoins:
+    def test_table_cardinality(self, estimator, simple_schema):
+        query = SelectQuery(
+            tables=("orders",),
+            predicates=(_pred("o_status", ComparisonOperator.EQ, 1, hint=0.25),),
+            name="card#1")
+        expected = simple_schema.table("orders").row_count * 0.25
+        assert estimator.table_cardinality(query, "orders") == pytest.approx(expected)
+
+    def test_join_selectivity_uses_larger_ndv(self, estimator):
+        join = JoinPredicate(ColumnRef("orders", "o_id"), ColumnRef("items", "i_order"))
+        assert estimator.join_selectivity(join) == pytest.approx(1.0 / 50_000)
+
+    def test_group_count_bounded_by_input(self, estimator):
+        query = SelectQuery(tables=("orders",),
+                            group_by=(ColumnRef("orders", "o_status"),),
+                            name="grp#1")
+        assert estimator.group_count(query, 10_000) == pytest.approx(3.0)
+        assert estimator.group_count(query, 2.0) <= 2.0
+
+    def test_group_count_without_group_by_is_one(self, estimator):
+        query = SelectQuery(tables=("orders",), name="nogrp#1")
+        assert estimator.group_count(query, 500) == 1.0
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def test_seq_scan_scales_with_pages_and_rows(self):
+        small = self.model.seq_scan_cost(10, 1_000)
+        large = self.model.seq_scan_cost(100, 10_000)
+        assert large > small
+
+    def test_index_scan_cheaper_when_selective(self):
+        common = dict(total_rows=100_000, leaf_pages=500, heap_pages=2_000,
+                      covering=False, correlation=0.0, tree_height=3)
+        selective = self.model.index_scan_cost(matched_rows=10, **common)
+        unselective = self.model.index_scan_cost(matched_rows=50_000, **common)
+        assert selective < unselective
+
+    def test_covering_index_avoids_heap_fetches(self):
+        common = dict(matched_rows=5_000, total_rows=100_000, leaf_pages=500,
+                      heap_pages=2_000, correlation=0.0, tree_height=3)
+        covering = self.model.index_scan_cost(covering=True, **common)
+        fetching = self.model.index_scan_cost(covering=False, **common)
+        assert covering < fetching
+
+    def test_correlation_reduces_heap_fetch_cost(self):
+        clustered = self.model.heap_fetch_cost(1_000, 2_000, correlation=1.0)
+        random_order = self.model.heap_fetch_cost(1_000, 2_000, correlation=0.0)
+        assert clustered < random_order
+
+    def test_heap_fetch_capped_by_pages(self):
+        assert self.model.heap_fetch_cost(1_000_000, 100, correlation=0.0) <= \
+            100 * self.model.random_page_cost
+
+    def test_sort_cost_superlinear(self):
+        small = self.model.sort_cost(1_000, 32)
+        large = self.model.sort_cost(10_000, 32)
+        assert large > 10 * small * 0.9
+
+    def test_sort_spills_beyond_work_mem(self):
+        in_memory = self.model.sort_cost(1_000, 100)
+        model = CostModel(work_mem_bytes=1_000)
+        spilled = model.sort_cost(1_000, 100)
+        assert spilled > in_memory
+
+    def test_hash_join_spills_beyond_work_mem(self):
+        cheap = self.model.hash_join_cost(1_000, 10_000, 50, 10_000)
+        model = CostModel(work_mem_bytes=1_000)
+        expensive = model.hash_join_cost(1_000, 10_000, 50, 10_000)
+        assert expensive > cheap
+
+    def test_merge_join_linear_in_inputs(self):
+        assert self.model.merge_join_cost(100, 100, 100) < \
+            self.model.merge_join_cost(10_000, 10_000, 10_000)
+
+    def test_nested_loop_quadratic(self):
+        assert self.model.nested_loop_cost(1_000, 1_000, 100) > \
+            self.model.hash_join_cost(1_000, 1_000, 32, 100)
+
+    def test_stream_aggregate_cheaper_than_hash(self):
+        assert self.model.stream_aggregate_cost(10_000, 10) < \
+            self.model.hash_aggregate_cost(10_000, 10)
+
+    def test_btree_height_grows_logarithmically(self):
+        shallow = self.model.btree_height(1_000, 100)
+        deep = self.model.btree_height(100_000_000, 100)
+        assert deep > shallow
+        assert deep <= 5
+
+    def test_update_costs_positive(self):
+        assert self.model.index_maintenance_cost(100, 3) > 0
+        assert self.model.base_update_cost(100, 50) > 0
+
+    @given(rows=st.floats(min_value=1, max_value=1e7),
+           width=st.floats(min_value=1, max_value=512))
+    @settings(max_examples=40, deadline=None)
+    def test_property_costs_non_negative(self, rows, width):
+        assert self.model.sort_cost(rows, width) >= 0
+        assert self.model.seq_scan_cost(rows / 10, rows) >= 0
+        assert self.model.hash_join_cost(rows, rows, width, rows) >= 0

@@ -1,0 +1,214 @@
+"""Unit tests for predicates, queries and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.predicates import (
+    ColumnRef,
+    ComparisonOperator,
+    JoinPredicate,
+    SimplePredicate,
+)
+from repro.workload.query import (
+    Aggregate,
+    AggregateFunction,
+    SelectQuery,
+    StatementKind,
+    UpdateQuery,
+)
+from repro.workload.workload import Workload, WorkloadStatement
+
+
+class TestColumnRef:
+    def test_str(self):
+        assert str(ColumnRef("orders", "o_id")) == "orders.o_id"
+
+    def test_requires_both_parts(self):
+        with pytest.raises(WorkloadError):
+            ColumnRef("", "x")
+        with pytest.raises(WorkloadError):
+            ColumnRef("t", "")
+
+    def test_equality_and_hash(self):
+        assert ColumnRef("t", "c") == ColumnRef("t", "c")
+        assert len({ColumnRef("t", "c"), ColumnRef("t", "c")}) == 1
+
+
+class TestSimplePredicate:
+    def test_sargability(self):
+        eq = SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.EQ, 1)
+        like = SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.LIKE, "x%")
+        assert eq.is_sargable and eq.is_equality
+        assert not like.is_sargable
+
+    def test_between_requires_pair(self):
+        with pytest.raises(WorkloadError):
+            SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.BETWEEN, 5)
+
+    def test_in_requires_values(self):
+        with pytest.raises(WorkloadError):
+            SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.IN, ())
+
+    def test_selectivity_hint_validation(self):
+        with pytest.raises(WorkloadError):
+            SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.EQ, 1,
+                            selectivity_hint=0.0)
+        predicate = SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.EQ, 1,
+                                    selectivity_hint=0.5)
+        assert predicate.selectivity_hint == 0.5
+
+    def test_str_renderings(self):
+        between = SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.BETWEEN,
+                                  (1, 2))
+        in_list = SimplePredicate(ColumnRef("t", "c"), ComparisonOperator.IN, (1, 2))
+        assert "BETWEEN" in str(between)
+        assert "IN" in str(in_list)
+
+
+class TestJoinPredicate:
+    def test_must_connect_two_tables(self):
+        with pytest.raises(WorkloadError):
+            JoinPredicate(ColumnRef("t", "a"), ColumnRef("t", "b"))
+
+    def test_column_lookup(self):
+        join = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        assert join.column_for("a") == ColumnRef("a", "x")
+        assert join.other("a") == ColumnRef("b", "y")
+        assert join.references("b")
+        with pytest.raises(WorkloadError):
+            join.column_for("c")
+
+
+class TestSelectQuery:
+    def test_requires_a_table(self):
+        with pytest.raises(WorkloadError):
+            SelectQuery(tables=())
+
+    def test_rejects_predicate_on_unreferenced_table(self):
+        with pytest.raises(WorkloadError):
+            SelectQuery(tables=("orders",),
+                        predicates=(SimplePredicate(ColumnRef("items", "i_price"),
+                                                    ComparisonOperator.EQ, 1),))
+
+    def test_rejects_join_on_unreferenced_table(self):
+        with pytest.raises(WorkloadError):
+            SelectQuery(tables=("orders",),
+                        joins=(JoinPredicate(ColumnRef("orders", "o_id"),
+                                             ColumnRef("items", "i_order")),))
+
+    def test_per_table_accessors(self, simple_workload):
+        join_query = simple_workload.statements[2].query
+        assert join_query.references("orders")
+        assert join_query.predicates_on("orders")
+        assert not join_query.predicates_on("items")
+        assert join_query.join_columns_on("items") == (ColumnRef("items", "i_order"),)
+        assert ColumnRef("orders", "o_date") in join_query.group_by_on("orders")
+
+    def test_interesting_orders_cover_joins_and_grouping(self, simple_workload):
+        join_query = simple_workload.statements[2].query
+        orders_interesting = join_query.interesting_order_columns("orders")
+        assert ColumnRef("orders", "o_id") in orders_interesting
+        assert ColumnRef("orders", "o_date") in orders_interesting
+
+    def test_referenced_and_output_columns(self, simple_workload):
+        point = simple_workload.statements[0].query
+        referenced = point.referenced_columns()
+        assert ColumnRef("orders", "o_total") in referenced
+        assert ColumnRef("orders", "o_customer") in referenced
+        assert point.output_columns_on("orders") == (ColumnRef("orders", "o_total"),)
+
+    def test_validate_against_schema(self, simple_schema, simple_workload):
+        for statement in simple_workload:
+            statement.query.validate_against(simple_schema)
+
+    def test_validate_catches_unknown_column(self, simple_schema):
+        query = SelectQuery(tables=("orders",),
+                            projections=(ColumnRef("orders", "missing"),))
+        with pytest.raises(Exception):
+            query.validate_against(simple_schema)
+
+    def test_names_are_unique_by_default(self):
+        first = SelectQuery(tables=("orders",))
+        second = SelectQuery(tables=("orders",))
+        assert first.name != second.name
+
+
+class TestUpdateQuery:
+    def test_requires_set_columns(self):
+        with pytest.raises(WorkloadError):
+            UpdateQuery(table="orders", set_columns=())
+
+    def test_set_columns_must_belong_to_table(self):
+        with pytest.raises(WorkloadError):
+            UpdateQuery(table="orders",
+                        set_columns=(ColumnRef("items", "i_price"),))
+
+    def test_update_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            UpdateQuery(table="orders",
+                        set_columns=(ColumnRef("orders", "o_status"),),
+                        update_fraction=1.5)
+
+    def test_query_shell_is_a_select(self, simple_workload):
+        update = simple_workload.statements[3].query
+        shell = update.query_shell()
+        assert isinstance(shell, SelectQuery)
+        assert shell.kind is StatementKind.SELECT
+        assert shell.tables == ("orders",)
+        assert shell.name.endswith("__shell")
+        # Shell name is deterministic so INUM can cache by name.
+        assert update.query_shell().name == shell.name
+
+    def test_kind_and_write_check(self, simple_workload):
+        update = simple_workload.statements[3].query
+        assert update.is_update
+        assert update.writes_column(ColumnRef("orders", "o_status"))
+        assert not update.writes_column(ColumnRef("orders", "o_total"))
+
+
+class TestWorkload:
+    def test_requires_statements(self):
+        with pytest.raises(WorkloadError):
+            Workload([])
+
+    def test_accepts_bare_queries(self):
+        workload = Workload([SelectQuery(tables=("orders",))])
+        assert workload.statements[0].weight == 1.0
+
+    def test_rejects_non_queries(self):
+        with pytest.raises(WorkloadError):
+            Workload(["SELECT 1"])  # type: ignore[list-item]
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(WorkloadError):
+            WorkloadStatement(SelectQuery(tables=("orders",)), weight=0.0)
+
+    def test_partitions(self, simple_workload):
+        assert len(simple_workload.select_statements()) == 3
+        assert len(simple_workload.update_statements()) == 1
+
+    def test_weight_lookup(self, simple_workload):
+        first = simple_workload.statements[0]
+        assert simple_workload.weight_of(first.query) == first.weight
+        with pytest.raises(WorkloadError):
+            simple_workload.weight_of(SelectQuery(tables=("orders",)))
+
+    def test_subset_and_extend(self, simple_workload):
+        subset = simple_workload.subset(2)
+        assert len(subset) == 2
+        extended = subset.extended([SelectQuery(tables=("orders",), name="extra#1")])
+        assert len(extended) == 3
+        with pytest.raises(WorkloadError):
+            simple_workload.subset(0)
+
+    def test_summary_and_templates(self, simple_workload):
+        summary = simple_workload.summary()
+        assert summary["statements"] == 4
+        assert summary["updates"] == 1
+        assert summary["templates"] == 4
+        assert summary["total_weight"] == pytest.approx(5.0)
+
+    def test_referenced_tables(self, simple_workload):
+        assert set(simple_workload.referenced_tables()) == {"orders", "items"}

@@ -1,0 +1,142 @@
+"""Tests for the SQL-subset parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.workload.parser import parse_statement, parse_workload
+from repro.workload.predicates import ColumnRef, ComparisonOperator
+from repro.workload.query import AggregateFunction, SelectQuery, UpdateQuery
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        query = parse_statement(
+            "SELECT orders.o_total FROM orders WHERE orders.o_customer = 42")
+        assert isinstance(query, SelectQuery)
+        assert query.tables == ("orders",)
+        assert query.projections == (ColumnRef("orders", "o_total"),)
+        predicate = query.predicates[0]
+        assert predicate.operator is ComparisonOperator.EQ
+        assert predicate.value == 42
+
+    def test_join_and_group_order(self):
+        query = parse_statement(
+            "SELECT orders.o_date, sum(items.i_price) "
+            "FROM orders, items "
+            "WHERE orders.o_id = items.i_order AND items.i_quantity > 10 "
+            "GROUP BY orders.o_date ORDER BY orders.o_date")
+        assert set(query.tables) == {"orders", "items"}
+        assert len(query.joins) == 1
+        assert query.joins[0].left.table != query.joins[0].right.table
+        assert query.group_by == (ColumnRef("orders", "o_date"),)
+        assert query.order_by == (ColumnRef("orders", "o_date"),)
+        assert query.aggregates[0].function is AggregateFunction.SUM
+        assert query.predicates[0].operator is ComparisonOperator.GT
+
+    def test_between_in_like_isnull(self):
+        query = parse_statement(
+            "SELECT t.a FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b IN (1, 2, 3) "
+            "AND t.c LIKE 'x%' AND t.d IS NULL")
+        operators = [p.operator for p in query.predicates]
+        assert operators == [ComparisonOperator.BETWEEN, ComparisonOperator.IN,
+                             ComparisonOperator.LIKE, ComparisonOperator.IS_NULL]
+        assert query.predicates[0].value == (1, 5)
+        assert query.predicates[1].value == (1, 2, 3)
+
+    def test_count_star_and_float_literals(self):
+        query = parse_statement(
+            "SELECT count(*) FROM t WHERE t.x <= 3.5")
+        assert query.aggregates[0].function is AggregateFunction.COUNT
+        assert query.aggregates[0].column is None
+        assert query.predicates[0].value == pytest.approx(3.5)
+
+    def test_string_literal_with_escaped_quote(self):
+        query = parse_statement("SELECT t.a FROM t WHERE t.b = 'O''Brien'")
+        assert query.predicates[0].value == "O'Brien"
+
+    def test_unqualified_columns_resolved_against_schema(self, simple_schema):
+        query = parse_statement(
+            "SELECT o_total FROM orders WHERE o_customer = 7", schema=simple_schema)
+        assert query.projections == (ColumnRef("orders", "o_total"),)
+        assert query.predicates[0].column == ColumnRef("orders", "o_customer")
+
+    def test_unqualified_columns_without_schema_fail(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT o_total FROM orders")
+
+    def test_unknown_column_with_schema_fails(self, simple_schema):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT nope FROM orders", schema=simple_schema)
+
+    def test_join_detection_with_schema_resolution(self, simple_schema):
+        query = parse_statement(
+            "SELECT o_date FROM orders, items WHERE o_id = i_order",
+            schema=simple_schema)
+        assert len(query.joins) == 1
+        assert query.joins[0].left == ColumnRef("orders", "o_id")
+        assert query.joins[0].right == ColumnRef("items", "i_order")
+
+    def test_statement_name_is_carried(self):
+        query = parse_statement("SELECT t.a FROM t", name="Q1#7")
+        assert query.name == "Q1#7"
+
+
+class TestUpdateParsing:
+    def test_simple_update(self):
+        query = parse_statement(
+            "UPDATE orders SET orders.o_status = 3 WHERE orders.o_date < 100")
+        assert isinstance(query, UpdateQuery)
+        assert query.table == "orders"
+        assert query.set_columns == (ColumnRef("orders", "o_status"),)
+        assert query.predicates[0].operator is ComparisonOperator.LT
+
+    def test_update_with_schema_resolution(self, simple_schema):
+        query = parse_statement(
+            "UPDATE orders SET o_status = 1 WHERE o_total >= 500",
+            schema=simple_schema)
+        assert isinstance(query, UpdateQuery)
+        assert query.set_columns == (ColumnRef("orders", "o_status"),)
+
+    def test_update_with_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "UPDATE orders SET orders.o_status = 1 "
+                "WHERE orders.o_id = items.i_order")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("sql", [
+        "DELETE FROM t",
+        "SELECT FROM t",
+        "SELECT t.a FROM",
+        "SELECT t.a FROM t WHERE",
+        "SELECT t.a FROM t WHERE t.a ><= 3",
+        "SELECT t.a FROM t WHERE t.a BETWEEN 1",
+        "SELECT t.a FROM t WHERE t.a IN ()",
+        "UPDATE t SET WHERE t.a = 1",
+    ])
+    def test_rejects_malformed_statements(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)
+
+    def test_rejects_garbage_tokens(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT t.a FROM t WHERE t.a = @@@")
+
+
+class TestParseWorkload:
+    def test_builds_weighted_workload(self, simple_schema):
+        workload = parse_workload(
+            ["SELECT o_total FROM orders WHERE o_customer = 1",
+             "UPDATE orders SET o_status = 2 WHERE o_id = 5"],
+            schema=simple_schema, weights=[3.0, 1.0])
+        assert len(workload) == 2
+        assert workload.statements[0].weight == 3.0
+        assert len(workload.update_statements()) == 1
+
+    def test_weight_mismatch_rejected(self, simple_schema):
+        with pytest.raises(ParseError):
+            parse_workload(["SELECT o_total FROM orders"], schema=simple_schema,
+                           weights=[1.0, 2.0])
