@@ -18,6 +18,8 @@ asserts the qualitative claims (who wins, how the trend moves).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.catalog.tpch import tpch_schema
@@ -44,6 +46,19 @@ def storage_budget(schema, fraction: float = 1.0) -> StorageBudgetConstraint:
 def print_report(title: str, text: str) -> None:
     """Print a benchmark report block (visible with ``pytest -s``)."""
     print(f"\n==== {title} ====\n{text}\n")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every per-figure benchmark is heavyweight: mark it ``slow``.
+
+    The fast lane (``pytest -m "not slow"``) then runs only the unit suite;
+    the full default invocation is unchanged.  (The hook sees the whole
+    session's items, so restrict the marker to this directory.)
+    """
+    bench_dir = Path(__file__).parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

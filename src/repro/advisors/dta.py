@@ -30,6 +30,7 @@ from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index, index_size_bytes
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
 from repro.workload.workload import Workload, WorkloadStatement
@@ -48,6 +49,13 @@ class DtaAdvisor(Advisor):
         max_candidates: Cap on the candidate set examined (Tool-B used ~45).
         candidates_per_query: How many of a query's best indexes are kept.
         seed: Sampling seed.
+        inum: Optional INUM cache; when given, per-query benefits and the
+            knapsack re-evaluations are answered from its vectorized gamma
+            matrices instead of full what-if optimizations, which makes the
+            greedy loop's many cost probes cheap.  The cache should wrap
+            this advisor's own ``optimizer`` — the reported ``whatif_calls``
+            metric only counts that optimizer's work plus the cache's
+            template builds.
     """
 
     name = "tool-b"
@@ -57,7 +65,8 @@ class DtaAdvisor(Advisor):
                  compression_size: int = 25,
                  max_candidates: int = 45,
                  candidates_per_query: int = 3,
-                 seed: int = 29):
+                 seed: int = 29,
+                 inum: "InumCache | None" = None):
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
         self.candidate_generator = candidate_generator or CandidateGenerator(
@@ -66,25 +75,42 @@ class DtaAdvisor(Advisor):
         self.max_candidates = max(1, max_candidates)
         self.candidates_per_query = max(1, candidates_per_query)
         self.seed = seed
+        self.inum = inum
         # Benefits are measured on top of the deployed design (clustered PKs).
         self._baseline = baseline_configuration(schema)
+
+    # ------------------------------------------------------------------ costing
+    def _query_cost(self, shell, configuration: Configuration) -> float:
+        """Cost of one query shell, via INUM when available."""
+        if self.inum is not None:
+            return self.inum.cost(shell, configuration)
+        return self.optimizer.cost(shell, configuration)
+
+    def _full_statement_cost(self, query, configuration: Configuration) -> float:
+        """Full statement cost (maintenance included), via INUM when available."""
+        if self.inum is not None:
+            return self.inum.statement_cost(query, configuration)
+        return self.optimizer.statement_cost(query, configuration)
 
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
              candidates: CandidateSet | None = None) -> Recommendation:
         timings: dict[str, float] = {}
         started = time.perf_counter()
-        whatif_before = self.optimizer.whatif_calls
+        # Count template builds like CoPhy/ILP do, so cross-advisor optimizer
+        # call comparisons stay apples to apples when INUM costing is used.
+        whatif_before = self.optimizer.whatif_calls + (
+            self.inum.template_build_calls if self.inum is not None else 0)
 
         compressed = self._compress(workload)
         per_query_best = self._per_query_candidates(compressed, candidates)
         budget = self._storage_budget(constraints)
         configuration = self._knapsack(compressed, per_query_best, budget)
 
+        deployed = self._baseline.union(configuration)
         objective = sum(
             statement.weight
-            * self.optimizer.statement_cost(statement.query,
-                                            self._baseline.union(configuration))
+            * self._full_statement_cost(statement.query, deployed)
             for statement in compressed)
         timings["total"] = time.perf_counter() - started
         return Recommendation(
@@ -93,7 +119,9 @@ class DtaAdvisor(Advisor):
             objective_estimate=objective,
             timings=timings,
             candidate_count=len(per_query_best),
-            whatif_calls=self.optimizer.whatif_calls - whatif_before,
+            whatif_calls=(self.optimizer.whatif_calls
+                          + (self.inum.template_build_calls
+                             if self.inum is not None else 0) - whatif_before),
             extras={"compressed_statements": len(compressed),
                     "original_statements": len(workload)},
         )
@@ -121,10 +149,15 @@ class DtaAdvisor(Advisor):
                     for index in candidates.for_table(table))
             if not per_query:
                 continue
-            baseline = self.optimizer.cost(shell, self._baseline)
+            if self.inum is not None and self.inum.uses_gamma_matrix:
+                # One batched column registration instead of growing the
+                # query's gamma matrix by one column per scored candidate.
+                self.inum.gamma_matrix(shell).ensure_columns(
+                    (*self._baseline, *per_query))
+            baseline = self._query_cost(shell, self._baseline)
             scored: list[tuple[float, Index]] = []
             for index in per_query:
-                with_index = self.optimizer.cost(shell, self._baseline.with_index(index))
+                with_index = self._query_cost(shell, self._baseline.with_index(index))
                 benefit = baseline - with_index
                 if benefit > 0:
                     scored.append((benefit, index))
@@ -147,8 +180,8 @@ class DtaAdvisor(Advisor):
     def _statement_cost(self, statement: WorkloadStatement,
                         configuration: Configuration) -> float:
         effective = self._baseline.union(configuration)
-        return statement.weight * self.optimizer.statement_cost(statement.query,
-                                                                effective)
+        return statement.weight * self._full_statement_cost(statement.query,
+                                                            effective)
 
     def _knapsack(self, statements: Sequence[WorkloadStatement],
                   candidates: list[Index], budget: float | None) -> Configuration:

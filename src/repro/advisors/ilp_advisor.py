@@ -87,7 +87,9 @@ class IlpAdvisor(Advisor):
 
         whatif_before = self.optimizer.whatif_calls + self.inum.template_build_calls
         inum_started = time.perf_counter()
-        self.inum.build_workload(workload)
+        # Pre-register every candidate in the per-query gamma matrices so the
+        # atomic-configuration enumeration below runs on precomputed arrays.
+        self.inum.prepare(workload, candidates)
         timings["inum"] = time.perf_counter() - inum_started
 
         build_started = time.perf_counter()

@@ -10,6 +10,7 @@ from repro.advisors.base import Advisor, Recommendation
 from repro.bench.metrics import baseline_configuration, perf_improvement
 from repro.core.constraints import SoftConstraint, TuningConstraint
 from repro.indexes.candidate_generation import CandidateSet
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
 
@@ -78,19 +79,30 @@ class ExperimentResult:
 def run_advisor(advisor: Advisor, evaluation_optimizer: WhatIfOptimizer,
                 workload: Workload,
                 constraints: Sequence[TuningConstraint | SoftConstraint] = (),
-                candidates: CandidateSet | None = None) -> AdvisorRun:
+                candidates: CandidateSet | None = None,
+                evaluation_inum: InumCache | None = None) -> AdvisorRun:
     """Run one advisor and evaluate its recommendation against ground truth.
 
     The evaluation optimizer is deliberately a *separate* what-if optimizer so
     that the advisor's own call counters and caches are not polluted by the
     evaluation, mirroring the paper's use of the DBMS optimizer as the ground
     truth regardless of the advisor's internal approximations.
+
+    ``evaluation_inum`` optionally replaces the per-statement what-if calls of
+    the perf evaluation with the INUM cache's vectorized gamma-matrix costing
+    (both expose ``statement_cost``), which makes evaluating large workloads
+    against many recommendations cheap.  Caveat: INUM is the approximation
+    CoPhy-style advisors optimize against, so INUM-based evaluation can
+    slightly favour them over black-box advisors; paper-faithful comparisons
+    (the per-figure benchmarks) must keep the default what-if ground truth.
     """
     started = time.perf_counter()
     recommendation = advisor.tune(workload, constraints, candidates=candidates)
     wall_seconds = time.perf_counter() - started
     baseline = baseline_configuration(evaluation_optimizer.schema)
-    perf = perf_improvement(evaluation_optimizer, workload,
+    evaluator = (evaluation_optimizer if evaluation_inum is None
+                 else evaluation_inum)
+    perf = perf_improvement(evaluator, workload,
                             recommendation.configuration, baseline)
     return AdvisorRun(advisor_name=advisor.name, recommendation=recommendation,
                       perf=perf, wall_seconds=wall_seconds)
@@ -101,12 +113,14 @@ def compare_advisors(advisors: Sequence[Advisor],
                      workload: Workload,
                      constraints: Sequence[TuningConstraint | SoftConstraint] = (),
                      candidates: CandidateSet | None = None,
-                     name: str = "experiment") -> ExperimentResult:
+                     name: str = "experiment",
+                     evaluation_inum: InumCache | None = None) -> ExperimentResult:
     """Run several advisors on the same tuning-problem instance."""
     result = ExperimentResult(name=name,
                               metadata={"workload": workload.name,
                                         "statements": len(workload)})
     for advisor in advisors:
         result.runs.append(run_advisor(advisor, evaluation_optimizer, workload,
-                                       constraints, candidates))
+                                       constraints, candidates,
+                                       evaluation_inum=evaluation_inum))
     return result

@@ -81,7 +81,7 @@ class CoPhyAdvisor(Advisor):
         """Pre-process a workload into its Theorem-1 BIP (INUM + BIPGen)."""
         if candidates is None:
             candidates = self.generate_candidates(workload, dba_indexes)
-        self.inum.build_workload(workload)
+        self.inum.prepare(workload, candidates)
         return self.bip_builder.build(workload, candidates)
 
     def tune(self, workload: Workload,
@@ -105,7 +105,9 @@ class CoPhyAdvisor(Advisor):
 
         whatif_before = self.optimizer.whatif_calls + self.inum.template_build_calls
         inum_started = time.perf_counter()
-        self.inum.build_workload(workload)
+        # Template enumeration plus gamma-matrix materialization for the full
+        # candidate set: BIP coefficient assembly then only reads arrays.
+        self.inum.prepare(workload, candidates)
         timings["inum"] = time.perf_counter() - inum_started
 
         build_started = time.perf_counter()

@@ -37,6 +37,7 @@ from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
+from repro.inum.gamma_matrix import QueryGammaMatrix
 from repro.inum.template_plan import TemplatePlan
 from repro.lp.constraint import Constraint
 from repro.lp.expression import LinearExpression
@@ -294,11 +295,25 @@ class BipBuilder:
                           slot_constraints: dict[SlotKey, Constraint]) -> None:
         shell = query.query_shell() if isinstance(query, UpdateQuery) else query
         templates = self._inum.build(shell)
+        matrix = (self._inum.gamma_matrix(shell)
+                  if self._inum.uses_gamma_matrix else None)
+        # Relevance filtering and column registration are position-independent:
+        # do them once per table, not once per (template, table).
+        per_table_accesses: dict[str, list[Index | None]] = {}
+        for table in shell.tables:
+            referenced = {c.column for c in shell.referenced_columns_on(table)}
+            accesses: list[Index | None] = [NO_INDEX]
+            accesses.extend(index for index in candidates.for_table(table)
+                            if self._relevant(index, referenced))
+            per_table_accesses[table] = accesses
+            if matrix is not None:
+                matrix.ensure_columns(accesses)
 
         usable_positions: list[int] = []
         per_position_slots: dict[int, dict[str, dict[Index | None, float]]] = {}
         for position, template in enumerate(templates):
-            slots = self._slot_access_costs(shell, template, candidates)
+            slots = self._slot_access_costs(shell, position, template,
+                                            per_table_accesses, matrix)
             if slots is None:
                 continue
             usable_positions.append(position)
@@ -366,24 +381,28 @@ class BipBuilder:
             objective_terms[variable] = (objective_terms.get(variable, 0.0)
                                          + weight * ucost)
 
-    def _slot_access_costs(self, query: Query, template: TemplatePlan,
-                           candidates: CandidateSet
+    def _slot_access_costs(self, query: Query, position: int,
+                           template: TemplatePlan,
+                           per_table_accesses: Mapping[str, list[Index | None]],
+                           matrix: QueryGammaMatrix | None
                            ) -> dict[str, dict[Index | None, float]] | None:
-        """Finite-gamma access methods per slot, or ``None`` if a slot has none."""
+        """Finite-gamma access methods per slot, or ``None`` if a slot has none.
+
+        With the gamma matrix given (columns already registered by the
+        caller), each slot's coefficients are read as one row slice of the
+        precomputed array instead of per-variable ``gamma()`` calls.
+        """
         slots: dict[str, dict[Index | None, float]] = {}
-        for table in query.tables:
-            access_costs: dict[Index | None, float] = {}
-            heap_gamma = self._inum.gamma(query, template, table, NO_INDEX)
-            if heap_gamma != float("inf"):
-                access_costs[NO_INDEX] = heap_gamma
-            referenced = {c.column for c in query.referenced_columns_on(table)}
-            for index in candidates.for_table(table):
-                if not self._relevant(index, referenced):
-                    continue
-                gamma = self._inum.gamma(query, template, table, index)
-                if gamma == float("inf"):
-                    continue
-                access_costs[index] = gamma
+        for table, accesses in per_table_accesses.items():
+            if matrix is not None:
+                gammas = matrix.slot_costs(position, table, accesses,
+                                           registered=True)
+            else:
+                gammas = [self._inum.gamma(query, template, table, access)
+                          for access in accesses]
+            access_costs = {access: gamma
+                            for access, gamma in zip(accesses, gammas)
+                            if gamma != float("inf")}
             if not access_costs:
                 return None
             slots[table] = access_costs
@@ -403,6 +422,10 @@ class BipBuilder:
                           objective_terms: dict[Variable, float]) -> None:
         shell = query.query_shell() if isinstance(query, UpdateQuery) else query
         templates = self._inum.build(shell)
+        matrix = (self._inum.gamma_matrix(shell)
+                  if self._inum.uses_gamma_matrix else None)
+        if matrix is not None:
+            matrix.ensure_columns(added)  # one batched registration
         model = bip.model
         for position, template in enumerate(templates):
             for table in shell.tables:
@@ -415,7 +438,10 @@ class BipBuilder:
                 for index in added:
                     if index.table != table or not self._relevant(index, referenced):
                         continue
-                    gamma = self._inum.gamma(shell, template, table, index)
+                    if matrix is not None:
+                        gamma = matrix.value(position, table, index)
+                    else:
+                        gamma = self._inum.gamma(shell, template, table, index)
                     if gamma == float("inf"):
                         continue
                     x_variable = model.add_binary(

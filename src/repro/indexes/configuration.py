@@ -24,6 +24,11 @@ class Configuration:
     def __init__(self, indexes: Iterable[Index] = (), name: str = ""):
         unique: dict[Index, None] = dict.fromkeys(indexes)
         self._indexes = tuple(unique)
+        self._index_set = frozenset(self._indexes)
+        # Lazily built table -> indexes partition; configurations are
+        # immutable, and the costing hot paths call ``indexes_on`` for every
+        # (statement, table) pair, so a linear scan per call adds up.
+        self._by_table: dict[str, tuple[Index, ...]] | None = None
         self.name = name
 
     # ---------------------------------------------------------------- accessors
@@ -38,18 +43,24 @@ class Configuration:
         return len(self._indexes)
 
     def __contains__(self, index: Index) -> bool:
-        return index in set(self._indexes)
+        return index in self._index_set
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Configuration):
             return NotImplemented
-        return set(self._indexes) == set(other._indexes)
+        return self._index_set == other._index_set
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._indexes))
+        return hash(self._index_set)
 
     def indexes_on(self, table: str) -> tuple[Index, ...]:
-        return tuple(index for index in self._indexes if index.table == table)
+        if self._by_table is None:
+            by_table: dict[str, list[Index]] = {}
+            for index in self._indexes:
+                by_table.setdefault(index.table, []).append(index)
+            self._by_table = {name: tuple(indexes)
+                              for name, indexes in by_table.items()}
+        return self._by_table.get(table, ())
 
     def tables(self) -> tuple[str, ...]:
         return tuple(dict.fromkeys(index.table for index in self._indexes))

@@ -64,6 +64,14 @@ class Index:
         object.__setattr__(self, "include_columns", include_columns)
         object.__setattr__(self, "clustered", bool(clustered))
         object.__setattr__(self, "name", name or self._canonical_name())
+        # Indexes are used as dict keys throughout the costing hot paths;
+        # precompute the hash of the compare fields instead of re-hashing
+        # them on every lookup.
+        object.__setattr__(self, "_hash", hash(
+            (table, key_columns, include_columns, bool(clustered))))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def _canonical_name(self) -> str:
         parts = [self.table, "_".join(self.key_columns)]

@@ -9,5 +9,6 @@ templates of ``beta + sum_i gamma_i`` — the linear-composability property
 
 from repro.inum.template_plan import TemplatePlan
 from repro.inum.cache import InumCache
+from repro.inum.gamma_matrix import QueryGammaMatrix
 
-__all__ = ["TemplatePlan", "InumCache"]
+__all__ = ["TemplatePlan", "InumCache", "QueryGammaMatrix"]

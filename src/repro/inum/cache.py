@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterable, Mapping, Sequence
 
 from repro.catalog.schema import Schema
 from repro.exceptions import OptimizerError
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
+from repro.inum.gamma_matrix import QueryGammaMatrix, slot_gamma
 from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
 from repro.optimizer.plan import Plan, ScanNode
 from repro.optimizer.whatif import WhatIfOptimizer
@@ -37,10 +39,16 @@ class InumCache:
             the cap, a representative subset is enumerated instead (the
             all-unordered template, all single-order templates and the
             all-ordered template).
+        use_gamma_matrix: Answer ``cost(q, X)`` through a dense per-query
+            :class:`QueryGammaMatrix` (vectorized reductions) instead of
+            Python-level loops over the optimizer's scan cache.  The two
+            paths return bit-identical costs; the loop path is kept for the
+            speedup microbenchmark and as a debugging reference.
     """
 
     def __init__(self, optimizer: WhatIfOptimizer, max_orders_per_table: int = 2,
-                 max_templates_per_query: int = 64):
+                 max_templates_per_query: int = 64,
+                 use_gamma_matrix: bool = True):
         if max_orders_per_table < 0:
             raise ValueError("max_orders_per_table must be non-negative")
         if max_templates_per_query < 1:
@@ -49,8 +57,10 @@ class InumCache:
         self._schema: Schema = optimizer.schema
         self._max_orders = max_orders_per_table
         self._max_templates = max_templates_per_query
+        self._use_matrix = use_gamma_matrix
         self._templates: dict[str, tuple[TemplatePlan, ...]] = {}
         self._queries: dict[str, Query] = {}
+        self._matrices: dict[str, QueryGammaMatrix] = {}
         self._build_calls = 0
 
     # ------------------------------------------------------------------ metrics
@@ -58,6 +68,16 @@ class InumCache:
     def template_build_calls(self) -> int:
         """Number of optimizer invocations spent building template plans."""
         return self._build_calls
+
+    @property
+    def schema(self) -> Schema:
+        """The catalog this cache costs queries against."""
+        return self._schema
+
+    @property
+    def uses_gamma_matrix(self) -> bool:
+        """Whether costing runs on the vectorized gamma-matrix path."""
+        return self._use_matrix
 
     @property
     def cached_query_count(self) -> int:
@@ -87,6 +107,31 @@ class InumCache:
         """``TPlans(q)``, building them on first use."""
         return self.build(query)
 
+    def gamma_matrix(self, query: Query) -> QueryGammaMatrix:
+        """The dense gamma matrix of a statement, building it on first use."""
+        shell = self._shell(query)
+        matrix = self._matrices.get(shell.name)
+        if matrix is None:
+            templates = self.build(shell)
+            matrix = QueryGammaMatrix(self._queries[shell.name], templates,
+                                      self._optimizer)
+            self._matrices[shell.name] = matrix
+        return matrix
+
+    def prepare(self, workload: Workload,
+                candidates: Iterable[Index] = ()) -> None:
+        """Pre-process a workload and register candidate columns up front.
+
+        After this, ``cost`` / ``workload_cost`` / BIP coefficient assembly
+        for the given candidate universe run entirely on precomputed arrays
+        without touching the optimizer.
+        """
+        indexes = tuple(candidates)
+        for statement in workload:
+            self.build(statement.query)
+            if self._use_matrix:
+                self.gamma_matrix(statement.query).ensure_columns(indexes)
+
     # ------------------------------------------------------------------ costing
     def access_cost(self, query: Query, table: str, index: Index | None) -> float:
         """The order-independent access cost of ``table`` via ``index`` (``gamma``)."""
@@ -95,14 +140,18 @@ class InumCache:
 
     def gamma(self, query: Query, template: TemplatePlan, table: str,
               index: Index | None) -> float:
-        """``gamma_qkia``: slot access cost, or infinity when incompatible."""
+        """``gamma_qkia``: slot access cost, or infinity when incompatible.
+
+        Reads the dense gamma matrix when enabled, so the value is the exact
+        float every other consumer (``cost``, BIP assembly) sees.
+        """
         shell = self._shell(query)
-        if table not in template.order_requirements:
-            return 0.0
-        scan = self._optimizer.access_scan(shell, table, index)
-        if not template.accepts(table, scan):
-            return INFEASIBLE_COST
-        return scan.cost
+        if self._use_matrix:
+            matrix = self.gamma_matrix(shell)
+            position = matrix.position_of(template)
+            if position is not None:
+                return matrix.value(position, table, index)
+        return slot_gamma(self._optimizer, shell, template, table, index)
 
     def cost(self, query: Query, configuration: Configuration | Iterable[Index]
              ) -> float:
@@ -110,6 +159,17 @@ class InumCache:
         shell = self._shell(query)
         if not isinstance(configuration, Configuration):
             configuration = Configuration(configuration)
+        if self._use_matrix:
+            best = self.gamma_matrix(shell).cost(configuration)
+        else:
+            best = self._cost_loop(shell, configuration)
+        if math.isinf(best):
+            raise OptimizerError(
+                f"INUM produced no feasible template for query {shell.name!r}")
+        return best
+
+    def _cost_loop(self, shell: Query, configuration: Configuration) -> float:
+        """The per-call loop path (microbenchmark baseline / debugging aid)."""
         templates = self.build(shell)
         best = INFEASIBLE_COST
         for template in templates:
@@ -120,9 +180,6 @@ class InumCache:
                 if total >= best:
                     break
             best = min(best, total)
-        if best is INFEASIBLE_COST or best == float("inf"):
-            raise OptimizerError(
-                f"INUM produced no feasible template for query {shell.name!r}")
         return best
 
     def statement_cost(self, query: Query,

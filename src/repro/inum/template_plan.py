@@ -42,6 +42,11 @@ class TemplatePlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "order_requirements", dict(self.order_requirements))
+        # Template plans key the gamma-matrix position lookups on costing hot
+        # paths; precompute the hash instead of rebuilding the signature
+        # tuple on every dict access.
+        object.__setattr__(self, "_hash",
+                           hash((self.query_name, self.signature())))
 
     @property
     def tables(self) -> tuple[str, ...]:
@@ -88,4 +93,4 @@ class TemplatePlan:
                 and abs(self.internal_cost - other.internal_cost) < 1e-9)
 
     def __hash__(self) -> int:
-        return hash((self.query_name, self.signature()))
+        return self._hash

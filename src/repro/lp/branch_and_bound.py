@@ -22,7 +22,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -101,9 +101,8 @@ class BranchAndBoundSolver:
                            else time_limit_seconds)
         matrices = model.to_matrices()
         root_bounds = matrices["bounds"].copy()
-        binary_indices = np.array(
-            [v.index for v in model.variables if v.kind is VariableKind.BINARY],
-            dtype=np.int64)
+        binary_variables = tuple(v for v in model.variables
+                                 if v.kind is VariableKind.BINARY)
         # The search works in minimisation space; maximisation models are
         # handled by flipping the sign of every objective value.
         sign = -1.0 if model.sense is ObjectiveSense.MAXIMIZE else 1.0
@@ -120,7 +119,7 @@ class BranchAndBoundSolver:
         best_bound = -math.inf
         counter = itertools.count()
 
-        root = self._relaxation.solve(model, root_bounds)
+        root = self._relaxation.solve(model, root_bounds, matrices=matrices)
         if root.status is SolutionStatus.INFEASIBLE:
             return Solution(status=SolutionStatus.INFEASIBLE,
                             solve_seconds=time.perf_counter() - started,
@@ -160,23 +159,37 @@ class BranchAndBoundSolver:
             if nodes_explored >= self.node_limit:
                 break
             node = heapq.heappop(heap)
-            # Prune by bound against the incumbent.
+            # Prune by bound against the incumbent.  The heap is bound-ordered
+            # (best-first), so the popped node carries the minimum bound of
+            # all open nodes: if even it cannot beat the incumbent, no open
+            # node can, and the bound closes to the pruned node's bound.
             if node.bound >= incumbent_objective - 1e-12:
-                continue
-            best_bound = node.bound if not heap else min(node.bound,
-                                                         min(n.bound for n in heap))
-            relaxed = self._relaxation.solve(model, node.bounds)
+                # Every other open node is fathomed within tolerance too (the
+                # heap is bound-ordered), so this matches the old behaviour of
+                # draining the heap and closing the bound to the incumbent.
+                best_bound = max(best_bound, incumbent_objective)
+                record()
+                break
+            best_bound = max(best_bound, node.bound)
+            relaxed = self._relaxation.solve(model, node.bounds, matrices=matrices)
             nodes_explored += 1
             if not relaxed.status.has_solution:
                 continue
             relaxed_objective = sign * relaxed.objective
             if relaxed_objective >= incumbent_objective - 1e-12:
+                if heap:
+                    # Open nodes with bounds above the incumbent are still
+                    # queued (they fathom on pop), so clamp at the incumbent.
+                    best_bound = max(best_bound,
+                                     min(heap[0].bound, incumbent_objective))
+                else:
+                    best_bound = incumbent_objective
                 record()
                 if self._should_stop(incumbent_objective, best_bound, effective_gap):
                     break
                 continue
 
-            fractional_index = self._most_fractional(relaxed, model, binary_indices)
+            fractional_index = self._most_fractional(relaxed, binary_variables)
             if fractional_index is None:
                 # Integral solution: new incumbent.
                 incumbent_values = dict(relaxed.values)
@@ -198,8 +211,12 @@ class BranchAndBoundSolver:
                                                sequence=next(counter),
                                                depth=node.depth + 1,
                                                bounds=child_bounds))
+            # The heap root carries the minimum bound over all open nodes, so
+            # no O(n) scan is needed to refresh the best bound (clamped at
+            # the incumbent, which a valid lower bound cannot exceed).
             if heap:
-                best_bound = min(n.bound for n in heap)
+                best_bound = max(best_bound,
+                                 min(heap[0].bound, incumbent_objective))
             else:
                 best_bound = incumbent_objective
             record()
@@ -240,15 +257,19 @@ class BranchAndBoundSolver:
         return self._relative_gap(incumbent, bound) <= gap_tolerance
 
     @staticmethod
-    def _most_fractional(solution: Solution, model: Model,
-                         binary_indices: np.ndarray) -> int | None:
-        """Index of the binary variable farthest from integrality, if any."""
+    def _most_fractional(solution: Solution,
+                         binary_variables: Sequence[Variable]) -> int | None:
+        """Index of the binary variable farthest from integrality, if any.
+
+        Only the precomputed binary variables are examined; continuous
+        variables can never be branching candidates, so continuous-heavy
+        models must not pay a full-variable scan on every node.
+        """
         worst_index: int | None = None
         worst_distance = _INTEGRALITY_TOLERANCE
-        for variable in model.variables:
-            if variable.kind is not VariableKind.BINARY:
-                continue
-            value = solution.values.get(variable, 0.0)
+        values = solution.values
+        for variable in binary_variables:
+            value = values.get(variable, 0.0)
             distance = abs(value - round(value))
             if distance > worst_distance:
                 worst_distance = distance

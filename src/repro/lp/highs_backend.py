@@ -34,10 +34,16 @@ class LinearRelaxationBackend:
     def __init__(self, method: str = "highs"):
         self._method = method
 
-    def solve(self, model: Model, bounds_override: np.ndarray | None = None
-              ) -> Solution:
-        """Solve the relaxation; ``bounds_override`` replaces variable bounds."""
-        matrices = model.to_matrices()
+    def solve(self, model: Model, bounds_override: np.ndarray | None = None,
+              matrices: dict | None = None) -> Solution:
+        """Solve the relaxation; ``bounds_override`` replaces variable bounds.
+
+        ``matrices`` lets callers that solve the same model many times with
+        different bounds (branch and bound) pass the matrix export once
+        instead of re-fetching it on every node.
+        """
+        if matrices is None:
+            matrices = model.to_matrices()
         bounds = matrices["bounds"] if bounds_override is None else bounds_override
         started = time.perf_counter()
         result = optimize.linprog(

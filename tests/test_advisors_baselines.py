@@ -13,6 +13,7 @@ from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import StorageBudgetConstraint
 from repro.indexes.candidate_generation import CandidateGenerator
 from repro.indexes.index import index_size_bytes
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 
 
@@ -138,6 +139,41 @@ class TestDtaAdvisor:
         assert used <= budget.budget_bytes * (1 + 1e-9)
         assert perf_improvement(evaluation_optimizer, simple_workload,
                                 recommendation.configuration) > 0.0
+
+    def test_inum_backed_costing_produces_useful_recommendation(
+            self, simple_schema, simple_workload, evaluation_optimizer):
+        """With an INUM cache the advisor answers every cost probe from the
+        gamma matrices — no what-if optimizations at all — and must still
+        produce a beneficial, budget-respecting recommendation."""
+        budget = _budget(simple_schema)
+        optimizer = WhatIfOptimizer(simple_schema)
+        advisor = DtaAdvisor(simple_schema, optimizer=optimizer,
+                             inum=InumCache(optimizer))
+        recommendation = advisor.tune(simple_workload, [budget])
+        # Every counted optimizer invocation is a template build — the cost
+        # probes themselves never reach the optimizer.
+        assert (recommendation.whatif_calls
+                == advisor.inum.template_build_calls)
+        assert len(recommendation.configuration) > 0
+        used = sum(index_size_bytes(index, simple_schema.table(index.table))
+                   for index in recommendation.configuration)
+        assert used <= budget.budget_bytes * (1 + 1e-9)
+        assert perf_improvement(evaluation_optimizer, simple_workload,
+                                recommendation.configuration) > 0.0
+
+    def test_inum_backed_costing_matches_loop_path_recommendation(
+            self, simple_schema, simple_workload):
+        """The vectorized and loop INUM paths must drive DTA identically."""
+        budget = _budget(simple_schema)
+        fast_opt = WhatIfOptimizer(simple_schema)
+        slow_opt = WhatIfOptimizer(simple_schema)
+        fast = DtaAdvisor(simple_schema, optimizer=fast_opt,
+                          inum=InumCache(fast_opt)).tune(simple_workload, [budget])
+        slow = DtaAdvisor(simple_schema, optimizer=slow_opt,
+                          inum=InumCache(slow_opt, use_gamma_matrix=False)
+                          ).tune(simple_workload, [budget])
+        assert fast.configuration == slow.configuration
+        assert fast.objective_estimate == slow.objective_estimate
 
     def test_workload_compression_kicks_in(self, simple_schema, simple_workload):
         advisor = DtaAdvisor(simple_schema, compression_size=2)

@@ -17,6 +17,7 @@ from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import StorageBudgetConstraint
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 
 
@@ -57,6 +58,22 @@ class TestHarness:
         assert 0 <= row["perf"] <= 1
         assert row["seconds"] > 0
         assert run.speedup_percent == pytest.approx(100 * run.perf)
+
+    def test_run_advisor_with_inum_evaluator(self, simple_schema,
+                                             simple_workload):
+        """An INUM evaluator must yield a perf close to the what-if ground
+        truth (INUM approximates the optimizer by construction)."""
+        evaluation = WhatIfOptimizer(simple_schema)
+        constraints = [StorageBudgetConstraint.from_fraction_of_data(
+            simple_schema, 1.0)]
+        exact = run_advisor(CoPhyAdvisor(simple_schema), evaluation,
+                            simple_workload, constraints)
+        inum_eval = InumCache(WhatIfOptimizer(simple_schema))
+        approx = run_advisor(CoPhyAdvisor(simple_schema), evaluation,
+                             simple_workload, constraints,
+                             evaluation_inum=inum_eval)
+        assert 0 <= approx.perf <= 1
+        assert approx.perf == pytest.approx(exact.perf, abs=0.1)
 
     def test_compare_advisors_collects_all_runs(self, simple_schema,
                                                 simple_workload):

@@ -181,6 +181,59 @@ class TestInumCost:
         with_index = inum.statement_cost(update, Configuration([affected]))
         assert with_index > base
 
+    def test_matrix_and_loop_paths_are_bit_identical(self, optimizer, simple_schema,
+                                                     simple_workload):
+        """The vectorized gamma-matrix path must reproduce the loop path exactly."""
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        fast = InumCache(optimizer)
+        slow = InumCache(optimizer, use_gamma_matrix=False)
+        assert fast.uses_gamma_matrix and not slow.uses_gamma_matrix
+        for count in (0, 1, 5, len(candidates)):
+            configuration = Configuration(list(candidates)[:count])
+            for statement in simple_workload:
+                assert (fast.statement_cost(statement.query, configuration)
+                        == slow.statement_cost(statement.query, configuration))
+            assert (fast.workload_cost(simple_workload, configuration)
+                    == slow.workload_cost(simple_workload, configuration))
+
+    def test_matrix_gamma_matches_loop_gamma(self, optimizer, simple_schema,
+                                             simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        fast = InumCache(optimizer)
+        slow = InumCache(optimizer, use_gamma_matrix=False)
+        for statement in simple_workload:
+            shell = fast._shell(statement.query)
+            for f_template, s_template in zip(fast.build(shell), slow.build(shell)):
+                for table in shell.tables:
+                    for index in (None, *candidates.for_table(table)):
+                        assert (fast.gamma(shell, f_template, table, index)
+                                == slow.gamma(shell, s_template, table, index))
+
+    def test_prepare_registers_query_relevant_candidate_columns(
+            self, inum, simple_schema, simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        inum.prepare(simple_workload, candidates)
+        for statement in simple_workload:
+            shell = inum._shell(statement.query)
+            matrix = inum.gamma_matrix(statement.query)
+            relevant = {index for index in candidates
+                        if index.table in shell.tables}
+            # One column per candidate on the query's own tables plus I_0;
+            # indexes on untouched tables must not widen the matrix.
+            assert matrix.column_count == len(relevant) + 1
+            assert set(matrix.registered_indexes) == relevant
+
+    def test_infeasible_matrix_cost_raises(self, inum, simple_workload):
+        """A query with no feasible template must still raise OptimizerError."""
+        query = simple_workload.statements[0].query
+        inum.build(query)
+        matrix = inum.gamma_matrix(query)
+        matrix._matrix[:, :, 0] = INFEASIBLE_COST  # force every template infeasible
+        matrix._slot_min_by_id.clear()
+        matrix._slot_min_by_key.clear()
+        with pytest.raises(OptimizerError):
+            inum.cost(query, Configuration())
+
     def test_linear_composability_identity(self, inum, simple_workload):
         """cost(q, X) must equal min_k (beta_k + sum_i min_a gamma_kia)."""
         query = simple_workload.statements[2].query

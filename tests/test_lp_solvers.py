@@ -10,7 +10,8 @@ from repro.lp.branch_and_bound import BranchAndBoundSolver
 from repro.lp.expression import LinearExpression
 from repro.lp.highs_backend import LinearRelaxationBackend, MilpBackend
 from repro.lp.model import Model, ObjectiveSense
-from repro.lp.solution import SolutionStatus
+from repro.lp.solution import Solution, SolutionStatus
+from repro.lp.variable import VariableKind
 
 
 def build_knapsack(values, weights, capacity, maximize=True) -> tuple[Model, list]:
@@ -196,6 +197,68 @@ class TestBranchAndBound:
         assert observed
         assert all(point.elapsed_seconds >= 0 for point in observed)
 
+    def test_most_fractional_never_reads_continuous_variables(self):
+        """Branching must only examine the precomputed binary variables."""
+        model = Model("mixed")
+        binaries = [model.add_binary(f"b{i}") for i in range(3)]
+        continuous = [model.add_continuous(f"c{i}", 0.0, 10.0) for i in range(50)]
+
+        class RecordingValues(dict):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.read_keys = []
+
+            def get(self, key, default=None):
+                self.read_keys.append(key)
+                return super().get(key, default)
+
+        values = RecordingValues({binaries[0]: 0.4, binaries[1]: 1.0,
+                                  binaries[2]: 0.0})
+        for variable in continuous:
+            values[variable] = 3.7  # would look "fractional" if ever scanned
+        solution = Solution(status=SolutionStatus.OPTIMAL, objective=0.0,
+                            values=values)
+        binary_variables = tuple(v for v in model.variables
+                                 if v.kind is VariableKind.BINARY)
+        chosen = BranchAndBoundSolver._most_fractional(solution, binary_variables)
+        assert chosen == binaries[0].index
+        assert set(values.read_keys) <= set(binaries)
+
+    def test_pruned_root_closes_best_bound(self):
+        """Pruning the heap minimum must close the bound, not leave it stale.
+
+        With an LP-integral model and an optimal warm start, the root node's
+        bound cannot beat the incumbent: the solver must prove optimality by
+        pruning, without exploring a single node.
+        """
+        model = Model("lp-integral")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.set_objective((1.0 * x) + (1.0 * y))
+        model.add_constraint((x + y) >= 1)
+        solution = BranchAndBoundSolver().solve(model, warm_start={x: 1.0, y: 0.0})
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.best_bound == pytest.approx(1.0)
+        assert solution.gap == pytest.approx(0.0)
+        assert solution.nodes_explored == 0
+        gaps = [point.gap for point in solution.gap_trace]
+        assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+
+    def test_gap_trace_non_increasing_with_warm_start(self):
+        values = [4, 7, 1, 9, 6, 3, 8, 5, 2]
+        weights = [2, 5, 1, 6, 4, 2, 5, 3, 1]
+        model, variables = build_knapsack(values, weights, 15)
+        warm = {variable: 0.0 for variable in variables}
+        warm[variables[3]] = 1.0  # weight 6, value 9: feasible but suboptimal
+        solution = BranchAndBoundSolver().solve(model, warm_start=warm)
+        assert solution.status is SolutionStatus.OPTIMAL
+        gaps = [point.gap for point in solution.gap_trace]
+        assert gaps, "expected gap trace points"
+        assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+        assert solution.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 15))
+
     @given(st.data())
     @settings(max_examples=25, deadline=None)
     def test_property_matches_brute_force(self, data):
@@ -209,6 +272,70 @@ class TestBranchAndBound:
         assert solution.status is SolutionStatus.OPTIMAL
         assert solution.objective == pytest.approx(
             brute_force_knapsack(values, weights, capacity))
+
+
+def build_covering(maximize: bool = False) -> tuple[Model, list]:
+    """The small covering model used by the warm-start sense tests."""
+    sense = ObjectiveSense.MAXIMIZE if maximize else ObjectiveSense.MINIMIZE
+    model = Model("cover", sense=sense)
+    x = [model.add_binary(f"x{i}") for i in range(4)]
+    costs = [3.0, 2.0, 4.0, 1.0]
+    model.set_objective(LinearExpression.sum_of(x, costs))
+    model.add_constraint((x[0] + x[1]) >= 1)
+    model.add_constraint((x[1] + x[2]) >= 1)
+    model.add_constraint((x[2] + x[3]) >= 1)
+    if maximize:
+        # Bound the maximisation away from "select everything".
+        model.add_constraint(LinearExpression.sum_of(x) <= 2)
+    return model, x
+
+
+class TestWarmStartSeeding:
+    """A feasible warm start must seed the incumbent; an infeasible one must
+    be silently ignored — in both senses, even under a zero node limit."""
+
+    def test_feasible_warm_start_seeds_incumbent_maximize(self):
+        model, variables = build_knapsack([5, 4, 3, 2], [4, 3, 2, 1], 5)
+        warm = {variables[1]: 1.0, variables[3]: 1.0}  # value 6, weight 4
+        solution = BranchAndBoundSolver(node_limit=0).solve(model, warm_start=warm)
+        assert solution.is_feasible
+        assert solution.nodes_explored == 0
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_feasible_warm_start_seeds_incumbent_minimize(self):
+        model, x = build_covering(maximize=False)
+        warm = {x[0]: 1.0, x[2]: 1.0}  # cost 7, feasible but suboptimal
+        solution = BranchAndBoundSolver(node_limit=0).solve(model, warm_start=warm)
+        assert solution.is_feasible
+        assert solution.nodes_explored == 0
+        assert solution.objective == pytest.approx(7.0)
+
+    def test_infeasible_warm_start_ignored_maximize(self):
+        model, variables = build_knapsack([5, 4], [4, 3], 5)
+        bad_warm = {variables[0]: 1.0, variables[1]: 1.0}  # over capacity
+        limited = BranchAndBoundSolver(node_limit=0).solve(model,
+                                                           warm_start=bad_warm)
+        assert limited.status is SolutionStatus.ERROR  # nothing was seeded
+        full = BranchAndBoundSolver().solve(model, warm_start=bad_warm)
+        assert full.status is SolutionStatus.OPTIMAL
+        assert full.objective == pytest.approx(5.0)
+
+    def test_infeasible_warm_start_ignored_minimize(self):
+        model, x = build_covering(maximize=False)
+        bad_warm = {variable: 0.0 for variable in x}  # violates every cover
+        limited = BranchAndBoundSolver(node_limit=0).solve(model,
+                                                           warm_start=bad_warm)
+        assert limited.status is SolutionStatus.ERROR
+        full = BranchAndBoundSolver().solve(model, warm_start=bad_warm)
+        assert full.status is SolutionStatus.OPTIMAL
+        assert full.objective == pytest.approx(3.0)
+
+    def test_feasible_warm_start_maximize_sense_objective_sign(self):
+        model, x = build_covering(maximize=True)
+        warm = {x[1]: 1.0, x[3]: 1.0}  # value 3, feasible
+        solution = BranchAndBoundSolver(node_limit=0).solve(model, warm_start=warm)
+        assert solution.is_feasible
+        assert solution.objective == pytest.approx(3.0)
 
 
 class TestSolutionObject:
