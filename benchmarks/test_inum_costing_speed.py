@@ -42,7 +42,7 @@ def _best_seconds(fn, repeats: int = REPEATS, rounds: int = ROUNDS) -> float:
     return best
 
 
-def test_workload_cost_gamma_matrix_speedup():
+def test_workload_cost_gamma_matrix_speedup(bench_record):
     schema = tpch_schema(scale_factor=0.01)
     workload = generate_homogeneous_workload(QUERY_COUNT, seed=11)
     optimizer = WhatIfOptimizer(schema)
@@ -79,6 +79,15 @@ def test_workload_cost_gamma_matrix_speedup():
         f"matrix path: {fast_seconds * 1e3:8.3f} ms / workload_cost\n"
         f"speedup:     {speedup:8.1f}x (target >= {TARGET_SPEEDUP:.0f}x)")
 
+    bench_record(
+        "inum_costing_gamma_matrix",
+        queries=QUERY_COUNT,
+        candidates=CANDIDATE_COUNT,
+        loop_ms=round(slow_seconds * 1e3, 4),
+        matrix_ms=round(fast_seconds * 1e3, 4),
+        speedup=round(speedup, 2),
+        target_speedup=TARGET_SPEEDUP,
+    )
     assert speedup >= TARGET_SPEEDUP, (
         f"vectorized workload_cost only {speedup:.1f}x faster "
         f"(expected >= {TARGET_SPEEDUP}x)")

@@ -1,17 +1,37 @@
-"""Common advisor interface and the Recommendation result object."""
+"""Common advisor interface, the Recommendation result object and helpers."""
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.lp.solution import GapTracePoint
-from repro.workload.workload import Workload
+from repro.workload.workload import Workload, WorkloadStatement
 
-__all__ = ["Recommendation", "Advisor"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (advisors <- inum)
+    from repro.inum.cache import InumCache
+
+__all__ = ["Recommendation", "Advisor", "weighted_statement_costs"]
+
+
+def weighted_statement_costs(inum: "InumCache",
+                             statements: Sequence[WorkloadStatement],
+                             eval_workload: Workload,
+                             configuration: Configuration
+                             ) -> dict[WorkloadStatement, float]:
+    """Per-statement ``weight * statement_cost`` from one tensor reduction.
+
+    The shared fast path of the greedy advisors' probe loops: one batched
+    ``InumCache.statement_costs`` call per probed configuration, bit-identical
+    per statement to the per-query loop it replaces.  ``statements`` must be
+    the statements of ``eval_workload``, in order.
+    """
+    costs = inum.statement_costs(eval_workload, configuration)
+    return {statement: statement.weight * float(cost)
+            for statement, cost in zip(statements, costs)}
 
 
 @dataclass

@@ -23,7 +23,7 @@ import random
 import time
 from typing import Sequence
 
-from repro.advisors.base import Advisor, Recommendation
+from repro.advisors.base import Advisor, Recommendation, weighted_statement_costs
 from repro.bench.metrics import baseline_configuration
 from repro.catalog.schema import Schema
 from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
@@ -105,13 +105,25 @@ class DtaAdvisor(Advisor):
         compressed = self._compress(workload)
         per_query_best = self._per_query_candidates(compressed, candidates)
         budget = self._storage_budget(constraints)
-        configuration = self._knapsack(compressed, per_query_best, budget)
+        # With INUM available the greedy's many workload costings run through
+        # the workload gamma tensor: one batched reduction per probed
+        # configuration instead of a Python loop over the statements.
+        eval_workload = None
+        if self.inum is not None and self.inum.uses_gamma_matrix:
+            eval_workload = Workload(compressed,
+                                     name=f"{workload.name}/compressed")
+        configuration = self._knapsack(compressed, per_query_best, budget,
+                                       eval_workload)
 
         deployed = self._baseline.union(configuration)
-        objective = sum(
-            statement.weight
-            * self._full_statement_cost(statement.query, deployed)
-            for statement in compressed)
+        if eval_workload is not None:
+            objective = sum(self._weighted_costs(compressed, eval_workload,
+                                                 configuration).values())
+        else:
+            objective = sum(
+                statement.weight
+                * self._full_statement_cost(statement.query, deployed)
+                for statement in compressed)
         timings["total"] = time.perf_counter() - started
         return Recommendation(
             configuration=configuration,
@@ -183,8 +195,16 @@ class DtaAdvisor(Advisor):
         return statement.weight * self._full_statement_cost(statement.query,
                                                             effective)
 
+    def _weighted_costs(self, statements: Sequence[WorkloadStatement],
+                        eval_workload: Workload, configuration: Configuration
+                        ) -> dict[WorkloadStatement, float]:
+        """Per-statement weighted deployed costs from one tensor reduction."""
+        return weighted_statement_costs(self.inum, statements, eval_workload,
+                                        self._baseline.union(configuration))
+
     def _knapsack(self, statements: Sequence[WorkloadStatement],
-                  candidates: list[Index], budget: float | None) -> Configuration:
+                  candidates: list[Index], budget: float | None,
+                  eval_workload: Workload | None = None) -> Configuration:
         """Marginal-benefit greedy knapsack over the *compressed* workload.
 
         Unlike Tool-A's one-shot ranking, the benefit of every remaining
@@ -192,10 +212,19 @@ class DtaAdvisor(Advisor):
         within the compressed workload are accounted for.  The compression is
         the advisor's Achilles heel instead: whatever the sample misses (the
         heterogeneous-workload case) cannot influence the selection.
+
+        When ``eval_workload`` is given (INUM with gamma matrices), every
+        probed configuration is costed with one batched tensor reduction;
+        the per-statement values are bit-identical to the loop, so the
+        greedy's picks are unchanged.
         """
         configuration = Configuration(name="tool-b")
-        per_statement = {statement: self._statement_cost(statement, configuration)
-                         for statement in statements}
+        if eval_workload is not None:
+            per_statement = self._weighted_costs(statements, eval_workload,
+                                                 configuration)
+        else:
+            per_statement = {statement: self._statement_cost(statement, configuration)
+                             for statement in statements}
         used = 0.0
         remaining = list(candidates)
         while remaining:
@@ -211,8 +240,13 @@ class DtaAdvisor(Advisor):
                 if not relevant:
                     continue
                 candidate_config = configuration.with_index(index)
-                new_costs = {s: self._statement_cost(s, candidate_config)
-                             for s in relevant}
+                if eval_workload is not None:
+                    probed = self._weighted_costs(statements, eval_workload,
+                                                  candidate_config)
+                    new_costs = {s: probed[s] for s in relevant}
+                else:
+                    new_costs = {s: self._statement_cost(s, candidate_config)
+                                 for s in relevant}
                 benefit = sum(per_statement[s] - new_costs[s] for s in relevant)
                 ratio = benefit / max(size, 1.0)
                 if ratio > best_ratio:

@@ -25,13 +25,14 @@ import random
 import time
 from typing import Sequence
 
-from repro.advisors.base import Advisor, Recommendation
+from repro.advisors.base import Advisor, Recommendation, weighted_statement_costs
 from repro.bench.metrics import baseline_configuration
 from repro.catalog.schema import Schema
 from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index, index_size_bytes
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
 from repro.workload.workload import Workload, WorkloadStatement
@@ -50,6 +51,13 @@ class RelaxationAdvisor(Advisor):
             when the workload is too large to evaluate within the budget, the
             advisor falls back to costing a sample of the statements.
         seed: Seed for the sampling fallback.
+        inum: Optional INUM cache.  When given, the greedy/relaxation search
+            costs every probed configuration through the workload gamma
+            tensor (one batched reduction per probe) instead of direct
+            what-if optimizations.  This departs from the paper-faithful
+            Tool-A model (whose cost is *defined* by its black-box optimizer
+            calls), so the per-figure benchmarks leave it off; it exists for
+            sessions that want a fast Tool-A-shaped search.
     """
 
     name = "tool-a"
@@ -58,7 +66,8 @@ class RelaxationAdvisor(Advisor):
                  candidate_generator: CandidateGenerator | None = None,
                  max_candidates: int = 170,
                  whatif_call_budget: int = 4000,
-                 seed: int = 17):
+                 seed: int = 17,
+                 inum: "InumCache | None" = None):
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
         self.candidate_generator = candidate_generator or CandidateGenerator(
@@ -66,6 +75,7 @@ class RelaxationAdvisor(Advisor):
         self.max_candidates = max(1, max_candidates)
         self.whatif_call_budget = max(100, whatif_call_budget)
         self.seed = seed
+        self.inum = inum
         # The existing physical design (clustered primary keys) is always
         # available; benefits are measured on top of it, as a real advisor
         # would measure them on top of the deployed design.
@@ -84,11 +94,19 @@ class RelaxationAdvisor(Advisor):
 
         evaluation_sample = self._evaluation_sample(workload, pruned)
         budget = self._storage_budget(constraints)
+        # Optional fast path: cost probes through the workload gamma tensor.
+        eval_workload = None
+        if self.inum is not None and self.inum.uses_gamma_matrix:
+            eval_workload = Workload(evaluation_sample,
+                                     name=f"{workload.name}/evaluated")
 
-        configuration = self._greedy_build(evaluation_sample, pruned, budget)
-        configuration = self._relax(evaluation_sample, configuration, budget)
+        configuration = self._greedy_build(evaluation_sample, pruned, budget,
+                                           eval_workload)
+        configuration = self._relax(evaluation_sample, configuration, budget,
+                                    eval_workload)
 
-        objective = self._workload_cost(evaluation_sample, configuration)
+        objective = self._workload_cost(evaluation_sample, configuration,
+                                        eval_workload)
         timings["total"] = time.perf_counter() - started
         return Recommendation(
             configuration=configuration,
@@ -147,7 +165,11 @@ class RelaxationAdvisor(Advisor):
         return index_size_bytes(index, self.schema.table(index.table))
 
     def _workload_cost(self, statements: Sequence[WorkloadStatement],
-                       configuration: Configuration) -> float:
+                       configuration: Configuration,
+                       eval_workload: Workload | None = None) -> float:
+        if eval_workload is not None:
+            return sum(self._weighted_costs(statements, eval_workload,
+                                            configuration).values())
         effective = self._baseline.union(configuration)
         return sum(statement.weight
                    * self.optimizer.statement_cost(statement.query, effective)
@@ -159,8 +181,16 @@ class RelaxationAdvisor(Advisor):
         return statement.weight * self.optimizer.statement_cost(statement.query,
                                                                 effective)
 
+    def _weighted_costs(self, statements: Sequence[WorkloadStatement],
+                        eval_workload: Workload, configuration: Configuration
+                        ) -> dict[WorkloadStatement, float]:
+        """Per-statement weighted deployed costs from one tensor reduction."""
+        return weighted_statement_costs(self.inum, statements, eval_workload,
+                                        self._baseline.union(configuration))
+
     def _greedy_build(self, statements: Sequence[WorkloadStatement],
-                      pruned: list[Index], budget: float | None) -> Configuration:
+                      pruned: list[Index], budget: float | None,
+                      eval_workload: Workload | None = None) -> Configuration:
         """Greedily fill the budget with the highest benefit/size candidates.
 
         Each candidate is scored *in isolation* against the deployed design —
@@ -171,16 +201,26 @@ class RelaxationAdvisor(Advisor):
         out, and the reason Tool-A's recommendations trail CoPhy's even when
         it is given plenty of time.
         """
-        baseline_costs = {statement: self._statement_cost(statement, Configuration())
-                          for statement in statements}
+        if eval_workload is not None:
+            baseline_costs = self._weighted_costs(statements, eval_workload,
+                                                  Configuration())
+        else:
+            baseline_costs = {statement: self._statement_cost(statement,
+                                                              Configuration())
+                              for statement in statements}
         scored: list[tuple[float, Index]] = []
         for index in pruned:
             relevant = [s for s in statements if s.query.references(index.table)]
             if not relevant:
                 continue
             candidate_config = Configuration([index])
-            benefit = sum(baseline_costs[s] - self._statement_cost(s, candidate_config)
-                          for s in relevant)
+            if eval_workload is not None:
+                probed = self._weighted_costs(statements, eval_workload,
+                                              candidate_config)
+                benefit = sum(baseline_costs[s] - probed[s] for s in relevant)
+            else:
+                benefit = sum(baseline_costs[s] - self._statement_cost(s, candidate_config)
+                              for s in relevant)
             size = self._index_size(index)
             if benefit > 0:
                 scored.append((benefit / max(size, 1.0), index))
@@ -197,7 +237,8 @@ class RelaxationAdvisor(Advisor):
         return Configuration(selected, name="tool-a")
 
     def _relax(self, statements: Sequence[WorkloadStatement],
-               configuration: Configuration, budget: float | None) -> Configuration:
+               configuration: Configuration, budget: float | None,
+               eval_workload: Workload | None = None) -> Configuration:
         """Remove indexes while the configuration exceeds the storage budget."""
         if budget is None:
             return configuration
@@ -208,7 +249,13 @@ class RelaxationAdvisor(Advisor):
             for index in configuration:
                 reduced = configuration.without_index(index)
                 relevant = [s for s in statements if s.query.references(index.table)]
-                penalty = sum(self._statement_cost(s, reduced) for s in relevant)
+                if eval_workload is not None:
+                    probed = self._weighted_costs(statements, eval_workload,
+                                                  reduced)
+                    penalty = sum(probed[s] for s in relevant)
+                else:
+                    penalty = sum(self._statement_cost(s, reduced)
+                                  for s in relevant)
                 if penalty < best_penalty:
                     best_penalty = penalty
                     best_choice = index

@@ -89,8 +89,9 @@ def run_advisor(advisor: Advisor, evaluation_optimizer: WhatIfOptimizer,
     truth regardless of the advisor's internal approximations.
 
     ``evaluation_inum`` optionally replaces the per-statement what-if calls of
-    the perf evaluation with the INUM cache's vectorized gamma-matrix costing
-    (both expose ``statement_cost``), which makes evaluating large workloads
+    the perf evaluation with the INUM cache's costing — answered from the
+    workload gamma tensor in one batched reduction per configuration — which
+    makes evaluating large workloads
     against many recommendations cheap.  Caveat: INUM is the approximation
     CoPhy-style advisors optimize against, so INUM-based evaluation can
     slightly favour them over black-box advisors; paper-faithful comparisons

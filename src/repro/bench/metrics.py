@@ -7,6 +7,7 @@ from typing import Iterable
 from repro.catalog.schema import Schema
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
+from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
 
@@ -34,10 +35,15 @@ def workload_cost(optimizer: WhatIfOptimizer, workload: Workload,
 
     Every statement is costed by invoking the what-if optimizer directly (not
     INUM), so advisors are judged by the optimizer's own cost model, exactly
-    as in the paper's methodology.
+    as in the paper's methodology.  When the evaluator is an INUM cache
+    (``run_advisor(..., evaluation_inum=...)``), its own ``workload_cost``
+    answers from the workload gamma tensor in one batched reduction —
+    bit-identical to the per-statement sum.
     """
     if not isinstance(configuration, Configuration):
         configuration = Configuration(configuration)
+    if isinstance(optimizer, InumCache):  # one stacked tensor reduction
+        return optimizer.workload_cost(workload, configuration)
     return sum(statement.weight
                * optimizer.statement_cost(statement.query, configuration)
                for statement in workload)

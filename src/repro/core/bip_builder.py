@@ -37,8 +37,8 @@ from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
-from repro.inum.gamma_matrix import QueryGammaMatrix
 from repro.inum.template_plan import TemplatePlan
+from repro.inum.workload_tensor import QueryTensorView, WorkloadGammaTensor
 from repro.lp.constraint import Constraint
 from repro.lp.expression import LinearExpression
 from repro.lp.model import Model
@@ -220,6 +220,14 @@ class BipBuilder:
         objective_terms: dict[Variable, float] = {}
         slot_constraints: dict[SlotKey, Constraint] = {}
 
+        # Coefficients are read through the workload gamma tensor (one batched
+        # column registration for the whole candidate set up front), so the
+        # BIP's gamma values come from the same stacked array every
+        # ``workload_cost`` reduction reads.
+        tensor = self._workload_tensor(workload)
+        if tensor is not None:
+            tensor.ensure_columns(tuple(candidates))
+
         # The per-statement base-update costs (the ``c_q`` terms) do not depend
         # on the chosen configuration; the paper drops them from the BIP, we
         # keep them as the objective's constant so that the objective value
@@ -228,7 +236,8 @@ class BipBuilder:
         for statement in workload:
             self._encode_statement(statement.query, statement.weight, candidates,
                                    model, z_variables, y_variables, x_variables,
-                                   objective_terms, statistics, slot_constraints)
+                                   objective_terms, statistics, slot_constraints,
+                                   tensor)
             if isinstance(statement.query, UpdateQuery):
                 objective_constant += (statement.weight
                                        * self._optimizer.base_update_cost(
@@ -271,11 +280,14 @@ class BipBuilder:
             bip.candidates.add(index)
             bip.z_variables[index] = model.add_binary(f"z[{index.name}]")
 
+        tensor = self._workload_tensor(bip.workload)
+        if tensor is not None:
+            tensor.ensure_columns(added)  # one batched registration
         objective_terms = bip.cost_expression.terms
         objective_constant = bip.cost_expression.constant
         for statement in bip.workload:
             self._extend_statement(statement.query, statement.weight, added, bip,
-                                   objective_terms)
+                                   objective_terms, tensor)
         bip.cost_expression = LinearExpression(objective_terms, objective_constant)
         model.set_objective(bip.cost_expression)
         bip.build_seconds += time.perf_counter() - started
@@ -285,6 +297,12 @@ class BipBuilder:
         return bip
 
     # ----------------------------------------------------------------- internals
+    def _workload_tensor(self, workload: Workload) -> WorkloadGammaTensor | None:
+        """The workload's gamma tensor (``None`` on the loop-based path)."""
+        if not self._inum.uses_gamma_matrix:
+            return None
+        return self._inum.workload_tensor(workload)
+
     def _encode_statement(self, query: Query, weight: float,
                           candidates: CandidateSet, model: Model,
                           z_variables: Mapping[Index, Variable],
@@ -292,11 +310,11 @@ class BipBuilder:
                           x_variables: dict[SlotKey, dict[Index | None, Variable]],
                           objective_terms: dict[Variable, float],
                           statistics: dict[str, float],
-                          slot_constraints: dict[SlotKey, Constraint]) -> None:
+                          slot_constraints: dict[SlotKey, Constraint],
+                          tensor: WorkloadGammaTensor | None) -> None:
         shell = query.query_shell() if isinstance(query, UpdateQuery) else query
         templates = self._inum.build(shell)
-        matrix = (self._inum.gamma_matrix(shell)
-                  if self._inum.uses_gamma_matrix else None)
+        view = tensor.view(shell.name) if tensor is not None else None
         # Relevance filtering and column registration are position-independent:
         # do them once per table, not once per (template, table).
         per_table_accesses: dict[str, list[Index | None]] = {}
@@ -306,14 +324,14 @@ class BipBuilder:
             accesses.extend(index for index in candidates.for_table(table)
                             if self._relevant(index, referenced))
             per_table_accesses[table] = accesses
-            if matrix is not None:
-                matrix.ensure_columns(accesses)
+            if view is not None:
+                view.ensure_columns(accesses)
 
         usable_positions: list[int] = []
         per_position_slots: dict[int, dict[str, dict[Index | None, float]]] = {}
         for position, template in enumerate(templates):
             slots = self._slot_access_costs(shell, position, template,
-                                            per_table_accesses, matrix)
+                                            per_table_accesses, view)
             if slots is None:
                 continue
             usable_positions.append(position)
@@ -384,19 +402,19 @@ class BipBuilder:
     def _slot_access_costs(self, query: Query, position: int,
                            template: TemplatePlan,
                            per_table_accesses: Mapping[str, list[Index | None]],
-                           matrix: QueryGammaMatrix | None
+                           view: QueryTensorView | None
                            ) -> dict[str, dict[Index | None, float]] | None:
         """Finite-gamma access methods per slot, or ``None`` if a slot has none.
 
-        With the gamma matrix given (columns already registered by the
+        With the tensor view given (columns already registered by the
         caller), each slot's coefficients are read as one row slice of the
-        precomputed array instead of per-variable ``gamma()`` calls.
+        stacked array instead of per-variable ``gamma()`` calls.
         """
         slots: dict[str, dict[Index | None, float]] = {}
         for table, accesses in per_table_accesses.items():
-            if matrix is not None:
-                gammas = matrix.slot_costs(position, table, accesses,
-                                           registered=True)
+            if view is not None:
+                gammas = view.slot_costs(position, table, accesses,
+                                         registered=True)
             else:
                 gammas = [self._inum.gamma(query, template, table, access)
                           for access in accesses]
@@ -419,13 +437,11 @@ class BipBuilder:
 
     def _extend_statement(self, query: Query, weight: float, added: list[Index],
                           bip: CophyBip,
-                          objective_terms: dict[Variable, float]) -> None:
+                          objective_terms: dict[Variable, float],
+                          tensor: WorkloadGammaTensor | None) -> None:
         shell = query.query_shell() if isinstance(query, UpdateQuery) else query
         templates = self._inum.build(shell)
-        matrix = (self._inum.gamma_matrix(shell)
-                  if self._inum.uses_gamma_matrix else None)
-        if matrix is not None:
-            matrix.ensure_columns(added)  # one batched registration
+        view = tensor.view(shell.name) if tensor is not None else None
         model = bip.model
         for position, template in enumerate(templates):
             for table in shell.tables:
@@ -438,8 +454,8 @@ class BipBuilder:
                 for index in added:
                     if index.table != table or not self._relevant(index, referenced):
                         continue
-                    if matrix is not None:
-                        gamma = matrix.value(position, table, index)
+                    if view is not None:
+                        gamma = view.value(position, table, index)
                     else:
                         gamma = self._inum.gamma(shell, template, table, index)
                     if gamma == float("inf"):

@@ -10,5 +10,7 @@ templates of ``beta + sum_i gamma_i`` — the linear-composability property
 from repro.inum.template_plan import TemplatePlan
 from repro.inum.cache import InumCache
 from repro.inum.gamma_matrix import QueryGammaMatrix
+from repro.inum.workload_tensor import WorkloadGammaTensor
 
-__all__ = ["TemplatePlan", "InumCache", "QueryGammaMatrix"]
+__all__ = ["TemplatePlan", "InumCache", "QueryGammaMatrix",
+           "WorkloadGammaTensor"]

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.catalog.schema import Schema
 from repro.exceptions import OptimizerError
@@ -12,6 +17,7 @@ from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.gamma_matrix import QueryGammaMatrix, slot_gamma
 from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
+from repro.inum.workload_tensor import WorkloadGammaTensor
 from repro.optimizer.plan import Plan, ScanNode
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.predicates import ColumnRef
@@ -19,6 +25,9 @@ from repro.workload.query import Query, UpdateQuery
 from repro.workload.workload import Workload
 
 __all__ = ["InumCache"]
+
+#: Cap on cached workload tensors (distinct workload objects per session).
+_TENSOR_CACHE_LIMIT = 8
 
 
 class InumCache:
@@ -44,24 +53,40 @@ class InumCache:
             Python-level loops over the optimizer's scan cache.  The two
             paths return bit-identical costs; the loop path is kept for the
             speedup microbenchmark and as a debugging reference.
+        build_workers: Thread count for parallel gamma-matrix construction
+            during :meth:`prepare` / :meth:`build_workload` (matrices are
+            independent per query).  ``None`` uses ``os.cpu_count()``;
+            ``1`` forces serial builds.
     """
 
     def __init__(self, optimizer: WhatIfOptimizer, max_orders_per_table: int = 2,
                  max_templates_per_query: int = 64,
-                 use_gamma_matrix: bool = True):
+                 use_gamma_matrix: bool = True,
+                 build_workers: int | None = None):
         if max_orders_per_table < 0:
             raise ValueError("max_orders_per_table must be non-negative")
         if max_templates_per_query < 1:
             raise ValueError("max_templates_per_query must be at least 1")
+        if build_workers is not None and build_workers < 1:
+            raise ValueError("build_workers must be at least 1")
         self._optimizer = optimizer
         self._schema: Schema = optimizer.schema
         self._max_orders = max_orders_per_table
         self._max_templates = max_templates_per_query
         self._use_matrix = use_gamma_matrix
+        self._build_workers = build_workers
         self._templates: dict[str, tuple[TemplatePlan, ...]] = {}
         self._queries: dict[str, Query] = {}
         self._matrices: dict[str, QueryGammaMatrix] = {}
+        # Workload tensors keyed by workload object identity; the stored
+        # workload reference keeps the id alive, so it cannot be reused.
+        self._tensors: dict[int, tuple[Workload, WorkloadGammaTensor]] = {}
+        # Flat per-update ``index -> ucost`` maps: the batched costing loop
+        # reads maintenance terms with plain dict gets instead of paying a
+        # method call per (update, index) probe.
+        self._ucost_maps: dict[str, dict[Index, float]] = {}
         self._build_calls = 0
+        self._metrics_lock = threading.Lock()
 
     # ------------------------------------------------------------------ metrics
     @property
@@ -87,10 +112,10 @@ class InumCache:
         return sum(len(templates) for templates in self._templates.values())
 
     # ----------------------------------------------------------------- building
-    def build_workload(self, workload: Workload) -> None:
-        """Pre-process every statement of a workload."""
-        for statement in workload:
-            self.build(statement.query)
+    def build_workload(self, workload: Workload,
+                       build_workers: int | None = None) -> None:
+        """Pre-process every statement of a workload (in parallel when asked)."""
+        self._build_statements(workload, (), build_workers)
 
     def build(self, query: Query) -> tuple[TemplatePlan, ...]:
         """Build (or return cached) ``TPlans(q)`` for a statement."""
@@ -119,18 +144,106 @@ class InumCache:
         return matrix
 
     def prepare(self, workload: Workload,
-                candidates: Iterable[Index] = ()) -> None:
+                candidates: Iterable[Index] = (),
+                build_workers: int | None = None) -> None:
         """Pre-process a workload and register candidate columns up front.
 
         After this, ``cost`` / ``workload_cost`` / BIP coefficient assembly
         for the given candidate universe run entirely on precomputed arrays
-        without touching the optimizer.
+        without touching the optimizer.  Gamma matrices are built in parallel
+        (``build_workers`` threads — matrices are independent per query).
+
+        ``prepare`` is idempotent and incremental: calling it again with an
+        enlarged candidate set extends the existing matrices and the workload
+        tensor with the new columns only — templates are never re-enumerated
+        and nothing is rebuilt from scratch.
         """
         indexes = tuple(candidates)
+        self._build_statements(workload, indexes, build_workers)
+        if self._use_matrix:
+            self.workload_tensor(workload).ensure_columns(indexes)
+
+    def _build_statements(self, workload: Workload, indexes: tuple[Index, ...],
+                          build_workers: int | None) -> None:
+        """Build templates/matrices for a workload, one task per distinct shell.
+
+        Workers compute into per-task locals (the only shared mutable state
+        they touch are the optimizer's memo dicts, which are benign to race
+        on: both sides would store the same value); results are committed to
+        the cache dicts on the calling thread, in workload order, so the
+        cache contents are deterministic regardless of scheduling.
+        """
+        shells: list[Query] = []
+        seen: set[str] = set()
         for statement in workload:
-            self.build(statement.query)
-            if self._use_matrix:
-                self.gamma_matrix(statement.query).ensure_columns(indexes)
+            shell = self._shell(statement.query)
+            if shell.name not in seen:
+                seen.add(shell.name)
+                shells.append(shell)
+        # Only shells whose templates/matrix must actually be built justify a
+        # thread pool; for fully cached workloads the tasks are dict hits
+        # plus (at most) idempotent column scans, so they run serially.
+        pending = sum(1 for shell in shells
+                      if shell.name not in self._templates
+                      or (self._use_matrix
+                          and shell.name not in self._matrices))
+        workers = build_workers if build_workers is not None else self._build_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, pending) if pending else 1
+        if workers <= 1:
+            results = [self._build_one(shell, indexes) for shell in shells]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                results = list(executor.map(
+                    lambda shell: self._build_one(shell, indexes), shells))
+        for shell, templates, matrix in results:
+            self._templates[shell.name] = templates
+            self._queries[shell.name] = shell
+            if matrix is not None:
+                self._matrices[shell.name] = matrix
+
+    def _build_one(self, shell: Query, indexes: tuple[Index, ...]
+                   ) -> tuple[Query, tuple[TemplatePlan, ...],
+                              QueryGammaMatrix | None]:
+        """Build (or extend) one shell's templates and gamma matrix."""
+        templates = self._templates.get(shell.name)
+        if templates is None:
+            templates = self._enumerate_templates(shell)
+        matrix = self._matrices.get(shell.name)
+        if self._use_matrix and matrix is None:
+            matrix = QueryGammaMatrix(shell, templates, self._optimizer)
+        if matrix is not None and indexes:
+            matrix.ensure_columns(indexes)
+        return shell, templates, matrix
+
+    def workload_tensor(self, workload: Workload) -> WorkloadGammaTensor:
+        """The stacked gamma tensor of a workload, building it on first use.
+
+        Tensors are cached per workload object; candidate columns registered
+        later (by ``prepare``, BIP assembly or costing itself) extend the
+        cached tensor in place rather than rebuilding it.
+        """
+        if not self._use_matrix:
+            raise OptimizerError(
+                "workload tensors require use_gamma_matrix=True")
+        key = id(workload)
+        entry = self._tensors.get(key)
+        if entry is not None and entry[0] is workload:
+            # Promote on hit (the eviction below pops the least recent).
+            self._tensors[key] = self._tensors.pop(key)
+            return entry[1]
+        self._build_statements(workload, (), None)
+        entries = []
+        for statement in workload:
+            shell = self._shell(statement.query)
+            entries.append((self._queries[shell.name],
+                            self._matrices[shell.name]))
+        tensor = WorkloadGammaTensor(entries)
+        if len(self._tensors) >= _TENSOR_CACHE_LIMIT:
+            self._tensors.pop(next(iter(self._tensors)))
+        self._tensors[id(workload)] = (workload, tensor)
+        return tensor
 
     # ------------------------------------------------------------------ costing
     def access_cost(self, query: Query, table: str, index: Index | None) -> float:
@@ -197,11 +310,78 @@ class InumCache:
 
     def workload_cost(self, workload: Workload,
                       configuration: Configuration | Iterable[Index]) -> float:
-        """Weighted INUM cost of a whole workload under a configuration."""
+        """Weighted INUM cost of a whole workload under a configuration.
+
+        On the gamma-matrix path this is answered from the workload tensor —
+        one stacked reduction (memoized per configuration) instead of a
+        Python loop over per-query costings — and is bit-identical to the
+        per-statement sum.
+        """
         if not isinstance(configuration, Configuration):
             configuration = Configuration(configuration)
+        if self._use_matrix:
+            costs = self._tensor_statement_costs(workload, configuration)
+            total = 0.0
+            for statement, cost in zip(workload, costs):
+                total += statement.weight * cost
+            return total
         return sum(statement.weight * self.statement_cost(statement.query, configuration)
                    for statement in workload)
+
+    def statement_costs(self, workload: Workload,
+                        configuration: Configuration | Iterable[Index]
+                        ) -> np.ndarray:
+        """Unweighted full statement costs, in workload order (batched).
+
+        One tensor reduction answers every SELECT shell; update-maintenance
+        terms are added per statement exactly as :meth:`statement_cost` adds
+        them, so ``statement_costs(w, X)[i] == statement_cost(w[i], X)``
+        bit for bit.
+        """
+        if not isinstance(configuration, Configuration):
+            configuration = Configuration(configuration)
+        if self._use_matrix:
+            return np.array(
+                self._tensor_statement_costs(workload, configuration),
+                dtype=np.float64)
+        return np.array([self.statement_cost(statement.query, configuration)
+                         for statement in workload], dtype=np.float64)
+
+    def _tensor_statement_costs(self, workload: Workload,
+                                configuration: Configuration) -> list[float]:
+        """Full per-statement costs from one (memoized) tensor reduction."""
+        tensor = self.workload_tensor(workload)
+        shell_costs = tensor.shell_costs(configuration)
+        if np.isinf(shell_costs).any():
+            position = int(np.isinf(shell_costs).argmax())
+            shell = self._shell(workload.statements[position].query)
+            raise OptimizerError(
+                f"INUM produced no feasible template for query {shell.name!r}")
+        costs = shell_costs.tolist()
+        for position, statement in enumerate(workload):
+            query = statement.query
+            if isinstance(query, UpdateQuery):
+                costs[position] = (costs[position]
+                                   + self._maintenance(query, configuration)
+                                   + self._optimizer.base_update_cost(query))
+        return costs
+
+    def _maintenance(self, update: UpdateQuery,
+                     configuration: Configuration) -> float:
+        """``sum_a ucost(a, q)`` over the configuration's indexes on the table.
+
+        Accumulated in ``indexes_on`` order (like :meth:`statement_cost`), so
+        the batched path stays bit-identical to the per-statement one.
+        """
+        ucosts = self._ucost_maps.setdefault(update.name, {})
+        total = 0.0
+        for index in configuration.indexes_on(update.table):
+            cost = ucosts.get(index)
+            if cost is None:
+                cost = self._optimizer.update_maintenance_cost(index, update)
+                ucosts[index] = cost
+            total += cost
+        return total
 
     def _best_slot_cost(self, query: Query, template: TemplatePlan, table: str,
                         configuration: Configuration) -> float:
@@ -310,7 +490,8 @@ class InumCache:
     def _build_template(self, query: Query,
                         order_spec: Mapping[str, ColumnRef | None]) -> TemplatePlan:
         """Build one template plan by optimizing with synthetic ordered leaves."""
-        self._build_calls += 1
+        with self._metrics_lock:  # parallel builds share the counter
+            self._build_calls += 1
         scans: dict[str, ScanNode] = {}
         widths: dict[str, float] = {}
         for table in query.tables:

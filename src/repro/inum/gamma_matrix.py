@@ -96,9 +96,27 @@ class QueryGammaMatrix:
         return self._templates
 
     @property
+    def tables(self) -> tuple[str, ...]:
+        """The query's tables, in slot order."""
+        return self._tables
+
+    @property
     def beta(self) -> np.ndarray:
         """``beta_qk`` per template (read-only view)."""
         return self._beta
+
+    @property
+    def array(self) -> np.ndarray:
+        """The dense ``(templates, slots, accesses)`` gamma array.
+
+        Consumers (the workload tensor, BIP assembly) must treat it as
+        read-only; columns are only ever appended, never mutated.
+        """
+        return self._matrix
+
+    def column_of(self, index: Index) -> int | None:
+        """Column of a registered index (``None`` when not registered)."""
+        return self._column_of.get(index)
 
     @property
     def registered_indexes(self) -> tuple[Index, ...]:

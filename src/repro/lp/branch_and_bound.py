@@ -103,6 +103,11 @@ class BranchAndBoundSolver:
         root_bounds = matrices["bounds"].copy()
         binary_variables = tuple(v for v in model.variables
                                  if v.kind is VariableKind.BINARY)
+        # Vectorized branching/rounding work on the LP solution vector; the
+        # binary positions and mask are fixed for the whole search.
+        binary_indices = np.array([v.index for v in binary_variables],
+                                  dtype=np.intp)
+        binary_mask = matrices["integrality"].astype(bool)
         # The search works in minimisation space; maximisation models are
         # handled by flipping the sign of every objective value.
         sign = -1.0 if model.sense is ObjectiveSense.MAXIMIZE else 1.0
@@ -189,18 +194,24 @@ class BranchAndBoundSolver:
                     break
                 continue
 
-            fractional_index = self._most_fractional(relaxed, binary_variables)
+            fractional_index = self._most_fractional(relaxed, binary_variables,
+                                                     binary_indices)
             if fractional_index is None:
                 # Integral solution: new incumbent.
                 incumbent_values = dict(relaxed.values)
                 incumbent_objective = relaxed_objective
                 record(force=True)
             else:
-                rounded = self._rounding_heuristic(model, relaxed)
+                rounded = self._rounding_heuristic(model, relaxed, matrices,
+                                                   binary_mask, sign)
                 if rounded is not None:
-                    rounded_objective = sign * model.objective_value(rounded)
+                    rounded_vector, rounded_objective = rounded
                     if rounded_objective < incumbent_objective - 1e-12:
-                        incumbent_values = rounded
+                        # The per-variable dict is materialized only for an
+                        # accepted incumbent, not on every node.
+                        incumbent_values = {
+                            variable: float(rounded_vector[variable.index])
+                            for variable in model.variables}
                         incumbent_objective = rounded_objective
                         record(force=True)
                 for branch_value in (0.0, 1.0):
@@ -258,13 +269,30 @@ class BranchAndBoundSolver:
 
     @staticmethod
     def _most_fractional(solution: Solution,
-                         binary_variables: Sequence[Variable]) -> int | None:
+                         binary_variables: Sequence[Variable],
+                         binary_indices: np.ndarray | None = None) -> int | None:
         """Index of the binary variable farthest from integrality, if any.
 
         Only the precomputed binary variables are examined; continuous
         variables can never be branching candidates, so continuous-heavy
-        models must not pay a full-variable scan on every node.
+        models must not pay a full-variable scan on every node.  With the
+        backend's solution vector available the scan is a single numpy
+        reduction over the binary positions (ties resolve to the first
+        maximum, like the scalar scan).
         """
+        vector = solution.vector
+        if vector is not None:
+            if binary_indices is None:
+                binary_indices = np.array([v.index for v in binary_variables],
+                                          dtype=np.intp)
+            if binary_indices.size == 0:
+                return None
+            binary_values = vector[binary_indices]
+            distances = np.abs(binary_values - np.round(binary_values))
+            worst = int(np.argmax(distances))
+            if distances[worst] <= _INTEGRALITY_TOLERANCE:
+                return None
+            return int(binary_indices[worst])
         worst_index: int | None = None
         worst_distance = _INTEGRALITY_TOLERANCE
         values = solution.values
@@ -277,16 +305,35 @@ class BranchAndBoundSolver:
         return worst_index
 
     @staticmethod
-    def _rounding_heuristic(model: Model, relaxed: Solution
-                            ) -> dict[Variable, float] | None:
-        """Round the LP solution to the nearest integers; keep it if feasible."""
-        rounded: dict[Variable, float] = {}
-        for variable in model.variables:
-            value = relaxed.values.get(variable, 0.0)
-            if variable.kind is VariableKind.BINARY:
-                rounded[variable] = float(round(value))
-            else:
-                rounded[variable] = value
-        if model.is_feasible_assignment(rounded):
-            return rounded
-        return None
+    def _rounding_heuristic(model: Model, relaxed: Solution, matrices: dict,
+                            binary_mask: np.ndarray, sign: float
+                            ) -> tuple[np.ndarray, float] | None:
+        """Round the LP vector to the nearest integers; keep it if feasible.
+
+        Works entirely on the solution vector: rounding, bound checks,
+        constraint residuals (sparse matrix-vector products) and the
+        objective are numpy operations — no per-node assignment dict is
+        built.  Returns the rounded vector and its minimisation-space
+        objective, or ``None`` when rounding breaks feasibility.
+        """
+        vector = relaxed.vector
+        if vector is None:  # solution from a backend without vector support
+            vector = np.zeros(len(model.variables), dtype=np.float64)
+            for variable, value in relaxed.values.items():
+                vector[variable.index] = value
+        rounded = vector.copy()
+        rounded[binary_mask] = np.round(rounded[binary_mask])
+        tolerance = 1e-6
+        bounds = matrices["bounds"]
+        if ((rounded < bounds[:, 0] - tolerance).any()
+                or (rounded > bounds[:, 1] + tolerance).any()):
+            return None
+        a_ub, b_ub = matrices["A_ub"], matrices["b_ub"]
+        if a_ub is not None and (a_ub @ rounded > b_ub + tolerance).any():
+            return None
+        a_eq, b_eq = matrices["A_eq"], matrices["b_eq"]
+        if a_eq is not None and np.abs(a_eq @ rounded - b_eq).max() > tolerance:
+            return None
+        # ``c`` is already negated for maximisation, the constant is not.
+        objective = float(matrices["c"] @ rounded) + sign * matrices["objective_constant"]
+        return rounded, objective

@@ -63,11 +63,12 @@ class LinearRelaxationBackend:
         objective = float(result.fun) + matrices["objective_constant"]
         if model.sense is ObjectiveSense.MAXIMIZE:
             objective = -float(result.fun) + matrices["objective_constant"]
-        values = self._vector_to_values(model, result.x)
+        vector = np.asarray(result.x, dtype=np.float64)
+        values = self._vector_to_values(model, vector)
         return Solution(status=status, objective=objective, values=values,
                         best_bound=objective, gap=0.0, solve_seconds=elapsed,
                         iterations=int(getattr(result, "nit", 0) or 0),
-                        message=str(result.message))
+                        message=str(result.message), vector=vector)
 
     @staticmethod
     def _vector_to_values(model: Model, vector: np.ndarray) -> dict[Variable, float]:
@@ -125,12 +126,12 @@ class MilpBackend:
         objective = float(result.fun) + matrices["objective_constant"]
         if model.sense is ObjectiveSense.MAXIMIZE:
             objective = -float(result.fun) + matrices["objective_constant"]
-        values = {variable: float(result.x[variable.index])
-                  for variable in model.variables}
+        vector = np.asarray(result.x, dtype=np.float64).copy()
         # Snap binaries to exact integers for downstream consumers.
-        for variable in model.variables:
-            if variable.kind is VariableKind.BINARY:
-                values[variable] = float(round(values[variable]))
+        binary = matrices["integrality"].astype(bool)
+        vector[binary] = np.round(vector[binary])
+        values = {variable: float(vector[variable.index])
+                  for variable in model.variables}
         gap = float(getattr(result, "mip_gap", 0.0) or 0.0)
         bound = float(getattr(result, "mip_dual_bound", objective) or objective)
         status = (SolutionStatus.OPTIMAL if result.status == 0
@@ -138,4 +139,4 @@ class MilpBackend:
         return Solution(status=status, objective=objective, values=values,
                         best_bound=bound, gap=gap, solve_seconds=elapsed,
                         nodes_explored=int(getattr(result, "mip_node_count", 0) or 0),
-                        message=str(result.message))
+                        message=str(result.message), vector=vector)

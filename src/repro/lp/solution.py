@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.lp.variable import Variable
 
 __all__ = ["SolutionStatus", "GapTracePoint", "Solution"]
@@ -54,6 +56,10 @@ class Solution:
     iterations: int = 0
     gap_trace: tuple[GapTracePoint, ...] = ()
     message: str = ""
+    #: Raw solution vector indexed by ``Variable.index`` (set by the LP/MILP
+    #: backends).  Lets vectorized consumers — branch-and-bound's rounding
+    #: heuristic and branching rule — avoid per-variable dict traffic.
+    vector: np.ndarray | None = None
 
     @property
     def is_feasible(self) -> bool:
@@ -79,7 +85,7 @@ class Solution:
                         gap=self.gap, solve_seconds=self.solve_seconds,
                         nodes_explored=self.nodes_explored,
                         iterations=self.iterations, gap_trace=self.gap_trace,
-                        message=self.message)
+                        message=self.message, vector=self.vector)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Solution(status={self.status.value}, objective={self.objective:.4g}, "

@@ -60,6 +60,7 @@ class WhatIfOptimizer:
         self._plan_cache: dict[tuple, Plan] = {}
         self._scan_cache: dict[tuple, ScanNode] = {}
         self._ucost_cache: dict[tuple, float] = {}
+        self._base_update_cache: dict[str, float] = {}
 
     # --------------------------------------------------------------- components
     @property
@@ -211,10 +212,19 @@ class WhatIfOptimizer:
         return cost
 
     def base_update_cost(self, update: UpdateQuery) -> float:
-        """The fixed ``c_q`` term: updating the base tuples themselves."""
+        """The fixed ``c_q`` term: updating the base tuples themselves.
+
+        Configuration-independent, so it is cached per statement — workload
+        costing loops re-read it for every probed configuration.
+        """
+        cached = self._base_update_cache.get(update.name)
+        if cached is not None:
+            return cached
         table = self.schema.table(update.table)
         updated_rows = self._updated_rows(update)
-        return self.cost_model.base_update_cost(updated_rows, table.page_count)
+        cost = self.cost_model.base_update_cost(updated_rows, table.page_count)
+        self._base_update_cache[update.name] = cost
+        return cost
 
     def _updated_rows(self, update: UpdateQuery) -> float:
         table = self.schema.table(update.table)

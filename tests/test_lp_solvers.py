@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -223,6 +224,63 @@ class TestBranchAndBound:
         chosen = BranchAndBoundSolver._most_fractional(solution, binary_variables)
         assert chosen == binaries[0].index
         assert set(values.read_keys) <= set(binaries)
+
+    def test_most_fractional_vectorized_matches_dict_scan(self):
+        """The vector path must agree with the scalar scan, ties included."""
+        model = Model("mixed")
+        binaries = [model.add_binary(f"b{i}") for i in range(4)]
+        model.add_continuous("c0", 0.0, 10.0)
+        binary_variables = tuple(v for v in model.variables
+                                 if v.kind is VariableKind.BINARY)
+        for assignment in ([0.4, 1.0, 0.0, 0.2], [0.3, 0.7, 0.7, 0.0],
+                           [0.0, 1.0, 0.0, 1.0], [0.5, 0.5, 0.5, 0.5]):
+            values = {variable: value
+                      for variable, value in zip(binaries, assignment)}
+            vector = np.zeros(len(model.variables))
+            for variable, value in values.items():
+                vector[variable.index] = value
+            scalar = BranchAndBoundSolver._most_fractional(
+                Solution(status=SolutionStatus.OPTIMAL, values=values),
+                binary_variables)
+            vectorized = BranchAndBoundSolver._most_fractional(
+                Solution(status=SolutionStatus.OPTIMAL, values=values,
+                         vector=vector),
+                binary_variables)
+            assert scalar == vectorized
+
+    def test_rounding_heuristic_works_on_solution_vector(self):
+        """Rounding must accept a feasible rounding and reject an infeasible one."""
+        model, variables = build_knapsack([10, 4], [3, 1], 3.0)
+        matrices = model.to_matrices()
+        binary_mask = matrices["integrality"].astype(bool)
+        relaxed = LinearRelaxationBackend().solve(model)
+        assert relaxed.vector is not None
+        rounded = BranchAndBoundSolver._rounding_heuristic(
+            model, relaxed, matrices, binary_mask, sign=-1.0)
+        if rounded is not None:
+            vector, objective = rounded
+            assignment = {variable: float(vector[variable.index])
+                          for variable in model.variables}
+            assert model.is_feasible_assignment(assignment)
+            assert objective == pytest.approx(
+                -model.objective_value(assignment))
+        # An LP point whose rounding violates the capacity must be rejected.
+        infeasible = Solution(status=SolutionStatus.OPTIMAL,
+                              values={variables[0]: 0.9, variables[1]: 0.9},
+                              vector=np.array([0.9, 0.9]))
+        assert BranchAndBoundSolver._rounding_heuristic(
+            model, infeasible, matrices, binary_mask, sign=-1.0) is None
+
+    def test_backends_expose_solution_vector(self):
+        model, variables = build_knapsack([6, 5, 4], [4, 3, 2], 6)
+        relaxed = LinearRelaxationBackend().solve(model)
+        assert relaxed.vector is not None
+        assert relaxed.vector.shape == (len(model.variables),)
+        integral = MilpBackend().solve(model)
+        assert integral.vector is not None
+        for variable in variables:
+            assert integral.value(variable) == float(
+                integral.vector[variable.index])
 
     def test_pruned_root_closes_best_bound(self):
         """Pruning the heap minimum must close the bound, not leave it stale.
