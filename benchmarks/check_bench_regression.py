@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Diff a fresh ``BENCH_inum.json`` against the committed perf trajectory.
+
+The benchmark suite writes machine-readable per-benchmark metrics
+(``benchmarks/conftest.py``); ``benchmarks/bench_baseline.json`` commits a
+snapshot of them as the perf trajectory.  This script compares the ratio-like
+metrics of a fresh run against that baseline and exits non-zero when any of
+them regressed by more than the tolerance (default 20%), so CI catches perf
+regressions instead of only archiving the artifact.
+
+Only *ratio* metrics are compared — raw millisecond numbers shift with the
+runner's hardware, while speedup ratios measure one machine against itself:
+
+* keys ending in ``speedup`` and ``call_reduction`` are higher-is-better;
+* keys ending in ``cost_ratio`` are lower-is-better.
+
+The committed baseline stores deliberately *conservative* trajectory values
+for high-variance micro-metrics (sub-0.1 ms denominators swing tens of
+percent with timer noise), not raw snapshots of one machine: the gate exists
+to catch real erosion across PRs, not runner jitter.  Raise a baseline value
+only when a PR genuinely moves the trajectory and the new level has been
+observed on more than one run.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --fresh BENCH_inum.json --baseline benchmarks/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metric-key suffixes compared, mapped to their direction.
+HIGHER_IS_BETTER = ("speedup", "call_reduction")
+LOWER_IS_BETTER = ("cost_ratio",)
+#: Ratio metrics that are configuration, not measurement (never compared).
+EXCLUDED = ("target_speedup", "quality_bound")
+
+
+def _comparable(key: str) -> str | None:
+    """``"higher"`` / ``"lower"`` for tracked metric keys, else ``None``."""
+    if key.endswith(EXCLUDED):
+        return None
+    if key.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    if key.endswith(LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty when the fresh run holds the trajectory)."""
+    problems: list[str] = []
+    fresh_results = fresh.get("results", {})
+    for benchmark, metrics in sorted(baseline.get("results", {}).items()):
+        fresh_metrics = fresh_results.get(benchmark)
+        if fresh_metrics is None:
+            problems.append(f"{benchmark}: missing from the fresh run")
+            continue
+        for key, base_value in sorted(metrics.items()):
+            direction = _comparable(key)
+            if direction is None or not isinstance(base_value, (int, float)):
+                continue
+            fresh_value = fresh_metrics.get(key)
+            if not isinstance(fresh_value, (int, float)):
+                problems.append(f"{benchmark}.{key}: missing from the fresh run")
+                continue
+            if direction == "higher":
+                floor = base_value * (1.0 - tolerance)
+                if fresh_value < floor:
+                    problems.append(
+                        f"{benchmark}.{key}: {fresh_value:g} < {floor:g} "
+                        f"(baseline {base_value:g}, tolerance {tolerance:.0%})")
+            else:
+                ceiling = base_value * (1.0 + tolerance)
+                if fresh_value > ceiling:
+                    problems.append(
+                        f"{benchmark}.{key}: {fresh_value:g} > {ceiling:g} "
+                        f"(baseline {base_value:g}, tolerance {tolerance:.0%})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="BENCH_inum.json written by the fresh run")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed trajectory (benchmarks/bench_baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed relative regression (default 0.2 = 20%%)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    problems = compare(fresh, baseline, args.tolerance)
+    if problems:
+        print("Benchmark trajectory regressions:")
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        return 1
+    tracked = sum(
+        1 for metrics in baseline.get("results", {}).values()
+        for key, value in metrics.items()
+        if _comparable(key) is not None and isinstance(value, (int, float)))
+    print(f"Benchmark trajectory holds: {tracked} ratio metric(s) within "
+          f"{args.tolerance:.0%} of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,13 @@ Quick start::
         print(index)
 """
 
-from repro.advisors import DtaAdvisor, IlpAdvisor, Recommendation, RelaxationAdvisor
+from repro.advisors import (
+    DtaAdvisor,
+    IlpAdvisor,
+    Recommendation,
+    RelaxationAdvisor,
+    ScaleOutAdvisor,
+)
 from repro.catalog import Schema, tpch_schema
 from repro.core import (
     ClusteredIndexConstraint,
@@ -103,4 +109,6 @@ __all__ = [
     "RelaxationAdvisor",
     "DtaAdvisor",
     "Recommendation",
+    # scale-out (PR 3)
+    "ScaleOutAdvisor",
 ]

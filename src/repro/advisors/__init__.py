@@ -12,12 +12,17 @@
   spirit of the DB2 Design Advisor [20]: per-query candidate selection, a
   knapsack-style greedy under the storage budget, and workload compression by
   sampling.
+* :class:`~repro.advisors.scaleout.ScaleOutAdvisor` — divide-and-conquer
+  CoPhy (PR 3): workload compression into weighted representatives, BIP
+  partitioning along the query–candidate interaction graph, process-parallel
+  shard solves and a merge BIP over the per-shard winners.
 """
 
 from repro.advisors.base import Advisor, Recommendation
 from repro.advisors.ilp_advisor import IlpAdvisor
 from repro.advisors.relaxation import RelaxationAdvisor
 from repro.advisors.dta import DtaAdvisor
+from repro.advisors.scaleout import ScaleOutAdvisor
 
 __all__ = [
     "Advisor",
@@ -25,4 +30,5 @@ __all__ = [
     "IlpAdvisor",
     "RelaxationAdvisor",
     "DtaAdvisor",
+    "ScaleOutAdvisor",
 ]

@@ -86,7 +86,10 @@ class RelaxationAdvisor(Advisor):
              candidates: CandidateSet | None = None) -> Recommendation:
         timings: dict[str, float] = {}
         started = time.perf_counter()
-        whatif_before = self.optimizer.whatif_calls
+        # Count template builds like CoPhy/ILP/DTA do, so cross-advisor
+        # optimizer-call comparisons stay apples to apples with INUM costing.
+        whatif_before = self.optimizer.whatif_calls + (
+            self.inum.template_build_calls if self.inum is not None else 0)
 
         if candidates is None:
             candidates = self.candidate_generator.generate(workload)
@@ -114,7 +117,9 @@ class RelaxationAdvisor(Advisor):
             objective_estimate=objective,
             timings=timings,
             candidate_count=len(pruned),
-            whatif_calls=self.optimizer.whatif_calls - whatif_before,
+            whatif_calls=(self.optimizer.whatif_calls
+                          + (self.inum.template_build_calls
+                             if self.inum is not None else 0) - whatif_before),
             extras={"evaluated_statements": len(evaluation_sample)},
         )
 

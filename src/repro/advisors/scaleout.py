@@ -1,0 +1,249 @@
+"""The scale-out advisor: compress, partition, solve shards, merge.
+
+Wires the :mod:`repro.scale` subsystem (PR 3) into an end-to-end advisor for
+workloads too large for one monolithic BIP solve:
+
+1. **Compress** the workload into weighted representatives
+   (:func:`repro.scale.compress.compress_workload`) — only representatives
+   ever reach the optimizer, so INUM preprocessing and BIP size scale with
+   the number of *distinct* statement shapes, not the statement count.
+2. **Partition** the BIP along the query–candidate interaction graph into
+   balanced shards with a water-filled storage-budget split
+   (:mod:`repro.scale.partition`).
+3. **Solve** the per-shard BIPs inline or in a process pool
+   (:class:`repro.scale.executor.ShardExecutor`).
+4. **Merge**: a final BIP over the representative workload restricted to the
+   union of per-shard winners, under the *global* constraints — restoring
+   feasibility (the shard budget split is only a search heuristic) and
+   re-deciding overlaps between shards.
+
+The recommendation quality is bounded by the compression error and the
+sharding of connected components; with the exact compression fallback
+(``max_cost_error=0.0``) and one shard per component the pipeline reproduces
+the monolithic recommendation up to solver gap tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.advisors.base import Advisor, Recommendation
+from repro.catalog.schema import Schema
+from repro.core.bip_builder import BipBuilder
+from repro.core.constraints import (
+    StorageBudgetConstraint,
+    TuningConstraint,
+    split_constraints,
+)
+from repro.core.solver import CoPhySolver, SolverBackend
+from repro.exceptions import ConstraintError
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.inum.cache import InumCache
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.scale.compress import compress_workload
+from repro.scale.executor import ShardExecutor
+from repro.scale.partition import partition_workload, split_budget
+from repro.workload.workload import Workload
+
+__all__ = ["ScaleOutAdvisor"]
+
+
+class ScaleOutAdvisor(Advisor):
+    """Divide-and-conquer CoPhy for workloads beyond a single solve.
+
+    Args:
+        schema: Catalog being tuned.
+        optimizer: Optional shared what-if optimizer.
+        inum: Optional shared INUM cache (one is created otherwise).
+        candidate_generator: Optional custom CGen instance (run on the
+            *compressed* workload, so the candidate universe also scales with
+            distinct shapes).
+        signature: Compression signature mode (``"structural"`` needs no
+            optimizer work; ``"gamma"`` clusters on measured INUM cost
+            vectors).
+        max_cost_error: Relative cost-error bound of the compression;
+            ``0.0`` is the exact fallback.
+        compress: Disable compression entirely with ``False`` (partitioning
+            and the process pool still apply).
+        shard_count: Desired number of shards (``None`` = one per connected
+            component of the interaction graph).
+        shard_workers: Process count for shard solves (``None`` uses
+            ``os.cpu_count()``; 1 solves inline sharing this advisor's INUM
+            cache).
+        budget_oversubscription: Pool factor for the water-filled storage
+            budget split (``None`` lets every shard fill up to the global
+            budget; ``1.0`` partitions the budget strictly — see
+            :func:`repro.scale.partition.split_budget`).
+        build_processes: Process count for sharded gamma-matrix builds during
+            gamma-signature compression.
+        backend / gap_tolerance / time_limit_seconds: Solver settings for the
+            shard and merge solves.
+    """
+
+    name = "scaleout"
+
+    def __init__(self, schema: Schema, optimizer: WhatIfOptimizer | None = None,
+                 inum: InumCache | None = None,
+                 candidate_generator: CandidateGenerator | None = None,
+                 signature: str = "structural",
+                 max_cost_error: float = 0.0,
+                 compress: bool = True,
+                 shard_count: int | None = None,
+                 shard_workers: int | None = None,
+                 budget_oversubscription: float | None = None,
+                 build_processes: int | None = None,
+                 backend: SolverBackend = SolverBackend.MILP,
+                 gap_tolerance: float = 0.05,
+                 time_limit_seconds: float | None = None):
+        self.schema = schema
+        self.optimizer = optimizer or WhatIfOptimizer(schema)
+        self.inum = inum or InumCache(self.optimizer)
+        self.candidate_generator = candidate_generator or CandidateGenerator(schema)
+        self.signature = signature
+        self.max_cost_error = max_cost_error
+        self.compress = compress
+        self.shard_count = shard_count
+        self.shard_workers = shard_workers
+        self.budget_oversubscription = budget_oversubscription
+        self.build_processes = build_processes
+        self.backend = backend
+        self.gap_tolerance = gap_tolerance
+        self.time_limit_seconds = time_limit_seconds
+
+    # -------------------------------------------------------------------- public
+    def tune(self, workload: Workload,
+             constraints: Sequence[TuningConstraint] = (),
+             candidates: CandidateSet | None = None) -> Recommendation:
+        hard, soft = split_constraints(constraints)
+        if soft:
+            raise ConstraintError(
+                "ScaleOutAdvisor does not support soft constraints; "
+                "use CoPhyAdvisor for Pareto exploration")
+        timings: dict[str, float] = {}
+        extras: dict = {}
+        started = time.perf_counter()
+        whatif_before = self.optimizer.whatif_calls + self.inum.template_build_calls
+
+        # 1. Compression: everything downstream sees representatives only.
+        compress_started = time.perf_counter()
+        if self.compress:
+            if self.signature == "gamma":
+                # Gamma signatures read every statement's templates and heap
+                # gamma columns: batch-build them up front (across processes
+                # when configured) instead of one statement at a time inside
+                # the signature loop.
+                self.inum.build_workload(workload,
+                                         build_processes=self.build_processes)
+            compressed = compress_workload(
+                workload, signature=self.signature,
+                max_cost_error=self.max_cost_error,
+                inum=self.inum if self.signature == "gamma" else None)
+            tuned = compressed.workload
+            extras["compression"] = compressed.summary()
+        else:
+            compressed = None
+            tuned = workload
+        timings["compress"] = time.perf_counter() - compress_started
+
+        if candidates is None:
+            candidates = self.candidate_generator.generate(tuned)
+
+        # 2. Partitioning along the interaction graph + budget water-filling.
+        partition_started = time.perf_counter()
+        plan = partition_workload(tuned, candidates,
+                                  shard_count=self.shard_count)
+        budget = self._storage_budget(hard)
+        plan = split_budget(plan, candidates, budget,
+                            oversubscription=self.budget_oversubscription)
+        timings["partition"] = time.perf_counter() - partition_started
+        extras["partition"] = plan.summary()
+
+        # 3. Per-shard solves (inline below 2 effective workers, else a
+        #    process pool; INUM preprocessing happens per shard, so it also
+        #    scales with the representatives).
+        solve_started = time.perf_counter()
+        executor = ShardExecutor(workers=self.shard_workers,
+                                 backend=self.backend,
+                                 gap_tolerance=self.gap_tolerance,
+                                 time_limit_seconds=self.time_limit_seconds)
+        results = executor.solve_shards(plan, self.schema, inum=self.inum)
+        timings["solve"] = time.perf_counter() - solve_started
+        extras["shard_workers"] = executor.effective_workers(plan.shard_count)
+        extras["shards"] = [
+            {"position": result.position,
+             "statements": int(result.statistics.get("statements", 0)),
+             "candidates": int(result.statistics.get("candidates", 0)),
+             "selected": len(result.indexes),
+             "objective": result.objective,
+             "gap": result.gap,
+             "seconds": round(result.solve_seconds, 4)}
+            for result in results]
+
+        # 4. Merge BIP over the union of winners under the global constraints.
+        merge_started = time.perf_counter()
+        winners = self._union_of_winners(results)
+        if winners:
+            configuration, objective, gap, gap_trace, merge_stats = \
+                self._merge(tuned, winners, hard)
+        else:
+            configuration = Configuration(name="scaleout-recommendation")
+            objective = self.inum.workload_cost(tuned, configuration)
+            gap, gap_trace, merge_stats = 0.0, (), {}
+        timings["merge"] = time.perf_counter() - merge_started
+        extras["merge"] = merge_stats
+        timings["total"] = time.perf_counter() - started
+
+        # Process-pool shard solves run on worker-side optimizers whose work
+        # the local counters never see; the results report it explicitly.
+        worker_calls = sum(result.worker_optimizer_calls for result in results)
+        return Recommendation(
+            configuration=configuration,
+            advisor_name=self.name,
+            objective_estimate=objective,
+            timings=timings,
+            candidate_count=len(candidates),
+            whatif_calls=(self.optimizer.whatif_calls
+                          + self.inum.template_build_calls
+                          + worker_calls - whatif_before),
+            gap=gap,
+            gap_trace=gap_trace,
+            extras=extras,
+        )
+
+    # ----------------------------------------------------------------- internals
+    def _union_of_winners(self, results) -> list[Index]:
+        """Deduplicated per-shard winners, in shard order (deterministic)."""
+        winners: dict[Index, None] = {}
+        for result in results:
+            for index in result.indexes:
+                winners.setdefault(index)
+        return list(winners)
+
+    def _merge(self, tuned: Workload, winners: list[Index],
+               hard: Sequence[TuningConstraint]):
+        """The final merge BIP: global constraints over the winner union."""
+        merge_candidates = CandidateSet(self.schema, winners)
+        self.inum.prepare(tuned, merge_candidates)
+        bip = BipBuilder(self.inum).build(tuned, merge_candidates,
+                                          model_name="scaleout-merge-bip")
+        solver = CoPhySolver(backend=self.backend,
+                             gap_tolerance=self.gap_tolerance,
+                             time_limit_seconds=self.time_limit_seconds)
+        report = solver.solve(bip, hard_constraints=hard)
+        configuration = Configuration(report.configuration.indexes,
+                                      name="scaleout-recommendation")
+        stats = {"winners": len(winners),
+                 "variables": bip.statistics.get("variables", 0.0),
+                 "constraints": bip.statistics.get("constraints", 0.0),
+                 "seconds": round(report.solve_seconds, 4)}
+        return configuration, report.objective, report.gap, report.gap_trace, stats
+
+    @staticmethod
+    def _storage_budget(constraints: Sequence[TuningConstraint]) -> float | None:
+        for constraint in constraints:
+            if isinstance(constraint, StorageBudgetConstraint):
+                return constraint.budget_bytes
+        return None

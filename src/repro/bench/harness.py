@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -15,6 +16,33 @@ from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
 
 __all__ = ["AdvisorRun", "ExperimentResult", "run_advisor", "compare_advisors"]
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` that never raises on degenerate inputs.
+
+    Instant advisors (``wall_seconds == 0`` on coarse clocks), zero-benefit
+    recommendations (``perf == 0``) and timed-out runs (``inf``) all occur in
+    benchmark sweeps; comparisons against them must degrade into explicit
+    ``inf`` / ``nan`` instead of ``ZeroDivisionError`` so report tables can
+    render every cell.
+
+    * Both operands zero, or both infinite: ``nan`` (the ratio is undefined).
+    * Zero denominator: ``inf`` (``-inf`` for a negative numerator).
+    * Infinite denominator with finite numerator: ``0.0``.
+    * ``nan`` anywhere propagates as ``nan``.
+    """
+    if math.isnan(numerator) or math.isnan(denominator):
+        return float("nan")
+    if denominator == 0.0:
+        if numerator == 0.0:
+            return float("nan")
+        return math.copysign(float("inf"), numerator)
+    if math.isinf(denominator):
+        if math.isinf(numerator):
+            return float("nan")
+        return 0.0
+    return numerator / denominator
 
 
 @dataclass
@@ -61,16 +89,12 @@ class ExperimentResult:
 
     def perf_ratio(self, numerator: str, denominator: str) -> float:
         """Ratio of perf improvements (the Table-1 metric)."""
-        denominator_perf = self.run_for(denominator).perf
-        if denominator_perf <= 0:
-            return float("inf")
-        return self.run_for(numerator).perf / denominator_perf
+        return _safe_ratio(self.run_for(numerator).perf,
+                           self.run_for(denominator).perf)
 
     def time_ratio(self, numerator: str, denominator: str) -> float:
-        denominator_time = self.run_for(denominator).wall_seconds
-        if denominator_time <= 0:
-            return float("inf")
-        return self.run_for(numerator).wall_seconds / denominator_time
+        return _safe_ratio(self.run_for(numerator).wall_seconds,
+                           self.run_for(denominator).wall_seconds)
 
     def rows(self) -> list[dict]:
         return [run.row() for run in self.runs]

@@ -76,6 +76,16 @@ class CophyBip:
     build_seconds: float = 0.0
     statistics: dict[str, float] = field(default_factory=dict)
     slot_constraints: dict[SlotKey, Constraint] = field(default_factory=dict)
+    #: Per-statement weight overrides the BIP was built with (by statement
+    #: name); ``extend`` reads them so delta coefficients stay consistent.
+    statement_weights: dict[str, float] | None = None
+
+    def weight_of(self, statement) -> float:
+        """The effective ``f_q`` of a workload statement in this BIP."""
+        if self.statement_weights is not None:
+            return self.statement_weights.get(statement.query.name,
+                                              statement.weight)
+        return statement.weight
 
     # ---------------------------------------------------------------- accessors
     def index_variable(self, index: Index) -> Variable:
@@ -205,8 +215,21 @@ class BipBuilder:
 
     # -------------------------------------------------------------------- public
     def build(self, workload: Workload, candidates: CandidateSet,
-              model_name: str = "cophy-bip") -> CophyBip:
-        """Generate the BIP for the given tuning-problem instance."""
+              model_name: str = "cophy-bip",
+              statement_weights: Mapping[str, float] | None = None) -> CophyBip:
+        """Generate the BIP for the given tuning-problem instance.
+
+        Args:
+            workload: The workload being tuned.
+            candidates: The candidate index universe.
+            model_name: Name of the generated model.
+            statement_weights: Optional per-statement weight overrides keyed
+                by statement name.  Statements not in the mapping keep their
+                workload weight.  Lets callers re-weight a BIP (e.g. cluster
+                weights, what-if frequency studies) without materialising a
+                re-weighted workload object; :meth:`extend` honours the same
+                overrides for delta coefficients.
+        """
         started = time.perf_counter()
         model = Model(name=model_name)
         statistics: dict[str, float] = {}
@@ -233,13 +256,18 @@ class BipBuilder:
         # keep them as the objective's constant so that the objective value
         # equals the INUM workload cost and stays directly interpretable.
         objective_constant = 0.0
+        overrides = (dict(statement_weights)
+                     if statement_weights is not None else None)
         for statement in workload:
-            self._encode_statement(statement.query, statement.weight, candidates,
+            weight = statement.weight
+            if overrides is not None:
+                weight = overrides.get(statement.query.name, weight)
+            self._encode_statement(statement.query, weight, candidates,
                                    model, z_variables, y_variables, x_variables,
                                    objective_terms, statistics, slot_constraints,
                                    tensor)
             if isinstance(statement.query, UpdateQuery):
-                objective_constant += (statement.weight
+                objective_constant += (weight
                                        * self._optimizer.base_update_cost(
                                            statement.query))
 
@@ -257,6 +285,7 @@ class BipBuilder:
             build_seconds=time.perf_counter() - started,
             statistics=statistics,
             slot_constraints=slot_constraints,
+            statement_weights=overrides,
         )
         bip.statistics["variables"] = float(model.variable_count)
         bip.statistics["constraints"] = float(model.constraint_count)
@@ -286,8 +315,8 @@ class BipBuilder:
         objective_terms = bip.cost_expression.terms
         objective_constant = bip.cost_expression.constant
         for statement in bip.workload:
-            self._extend_statement(statement.query, statement.weight, added, bip,
-                                   objective_terms, tensor)
+            self._extend_statement(statement.query, bip.weight_of(statement),
+                                   added, bip, objective_terms, tensor)
         bip.cost_expression = LinearExpression(objective_terms, objective_constant)
         model.set_objective(bip.cost_expression)
         bip.build_seconds += time.perf_counter() - started

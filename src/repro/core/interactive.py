@@ -19,7 +19,9 @@ from repro.core.bip_builder import CophyBip
 from repro.core.constraints import SoftConstraint, TuningConstraint, split_constraints
 from repro.exceptions import SolverError
 from repro.indexes.candidate_generation import CandidateSet
+from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
+from repro.lp.constraint import Constraint
 from repro.workload.workload import Workload
 
 __all__ = ["InteractiveTuningSession"]
@@ -50,6 +52,11 @@ class InteractiveTuningSession:
         self._bip: CophyBip | None = None
         self._last_recommendation: Recommendation | None = None
         self._history: list[Recommendation] = []
+        # Candidates retracted after the BIP was built: their z variables are
+        # pinned to zero with one row each instead of rebuilding the program
+        # (the delta-BIP analogue of candidate *shrinking*).  Re-adding a
+        # pinned candidate simply removes its row.
+        self._pinned_out: dict[Index, Constraint] = {}
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -87,6 +94,10 @@ class InteractiveTuningSession:
 
         build_started = time.perf_counter()
         self._bip = advisor.bip_builder.build(self._workload, self._candidates)
+        # A fresh BIP has no pin rows; stale entries would otherwise make a
+        # later add_candidates() take the restore path (a no-op on the new
+        # model) and silently skip creating the candidate's variables.
+        self._pinned_out = {}
         timings["build"] = time.perf_counter() - build_started
 
         recommendation = self._solve(timings, warm_start=None)
@@ -103,10 +114,54 @@ class InteractiveTuningSession:
         started = time.perf_counter()
 
         build_started = time.perf_counter()
+        new_indexes = list(new_indexes)
+        # Candidates that were pinned out earlier come back by dropping their
+        # pin rows — their variables and coefficients are still in the BIP.
+        restored = [index for index in new_indexes if index in self._pinned_out]
+        if restored:
+            self._bip.model.remove_constraints(
+                [self._pinned_out.pop(index) for index in restored])
+            self._candidates.add_all(restored)
         advisor.bip_builder.extend(self._bip, new_indexes)
         timings["build"] = time.perf_counter() - build_started
 
         warm_start = self._warm_start_values()
+        recommendation = self._solve(timings, warm_start=warm_start)
+        timings["total"] = time.perf_counter() - started
+        return recommendation
+
+    def remove_candidates(self, removed_indexes: Iterable[Index]) -> Recommendation:
+        """Re-tune after the DBA retracts candidate indexes (pinned delta BIP).
+
+        The shrink analogue of :meth:`add_candidates`: instead of rebuilding
+        the BIP without the retracted candidates, each one's ``z`` variable
+        is pinned to zero with a single constraint row, the warm start is the
+        previous recommendation minus the retracted indexes, and the solver
+        re-runs on the otherwise unchanged program.
+        """
+        removed = [index for index in dict.fromkeys(removed_indexes)
+                   if index in self._candidates]
+        self._candidates.remove_all(removed)
+        if self._bip is None:
+            return self.recommend()
+        timings: dict[str, float] = {"inum": 0.0}
+        started = time.perf_counter()
+
+        build_started = time.perf_counter()
+        for index in removed:
+            variable = self._bip.z_variables.get(index)
+            if variable is None or index in self._pinned_out:
+                continue
+            self._pinned_out[index] = self._bip.model.add_constraint(
+                (1.0 * variable) <= 0.0, name=f"removed[{index.name}]")
+        timings["build"] = time.perf_counter() - build_started
+
+        warm_start = None
+        if self._last_recommendation is not None:
+            survivors = Configuration(
+                [index for index in self._last_recommendation.configuration
+                 if index not in set(removed)])
+            warm_start = self._bip.warm_start_from(survivors)
         recommendation = self._solve(timings, warm_start=warm_start)
         timings["total"] = time.perf_counter() - started
         return recommendation

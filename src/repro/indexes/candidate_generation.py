@@ -62,6 +62,23 @@ class CandidateSet:
         """Add many candidates; returns how many were new."""
         return sum(1 for index in indexes if self.add(index))
 
+    def remove(self, index: Index) -> bool:
+        """Drop a candidate (interactive tuning: the DBA retracts an index).
+
+        Returns ``False`` when the index was not part of the set.  Cached
+        size estimates are kept — they are pure functions of the index.
+        """
+        if index not in self._seen:
+            return False
+        self._seen.discard(index)
+        self._by_table[index.table].remove(index)
+        self._all.remove(index)
+        return True
+
+    def remove_all(self, indexes: Iterable[Index]) -> int:
+        """Drop many candidates; returns how many were actually present."""
+        return sum(1 for index in indexes if self.remove(index))
+
     # ---------------------------------------------------------------- accessors
     @property
     def schema(self) -> Schema:

@@ -73,6 +73,20 @@ class Index:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> dict:
+        # The cached hash is built from string hashes, which vary per process
+        # (hash randomisation): never ship it across a pickle boundary.
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_hash", hash(
+            (self.table, self.key_columns, self.include_columns,
+             self.clustered)))
+
     def _canonical_name(self) -> str:
         parts = [self.table, "_".join(self.key_columns)]
         if self.include_columns:

@@ -24,10 +24,16 @@ from repro.workload.predicates import ColumnRef
 from repro.workload.query import Query, UpdateQuery
 from repro.workload.workload import Workload
 
-__all__ = ["InumCache"]
+__all__ = ["InumCache", "DEFAULT_MAX_ORDERS_PER_TABLE",
+           "DEFAULT_MAX_TEMPLATES_PER_QUERY"]
 
 #: Cap on cached workload tensors (distinct workload objects per session).
 _TENSOR_CACHE_LIMIT = 8
+
+#: Constructor defaults, shared with code that rebuilds caches in worker
+#: processes so both sides always enumerate the same templates.
+DEFAULT_MAX_ORDERS_PER_TABLE = 2
+DEFAULT_MAX_TEMPLATES_PER_QUERY = 64
 
 
 class InumCache:
@@ -57,24 +63,36 @@ class InumCache:
             during :meth:`prepare` / :meth:`build_workload` (matrices are
             independent per query).  ``None`` uses ``os.cpu_count()``;
             ``1`` forces serial builds.
+        build_processes: Process count for sharded gamma-matrix construction.
+            Template enumeration and column costing are GIL-bound Python, so
+            threads cannot scale them on multi-core machines; with
+            ``build_processes > 1`` pending matrices are built in worker
+            processes (``repro.scale.executor``) and adopted back into this
+            cache in workload order.  ``None`` / ``1`` keeps the in-process
+            (thread) path.
     """
 
-    def __init__(self, optimizer: WhatIfOptimizer, max_orders_per_table: int = 2,
-                 max_templates_per_query: int = 64,
+    def __init__(self, optimizer: WhatIfOptimizer,
+                 max_orders_per_table: int = DEFAULT_MAX_ORDERS_PER_TABLE,
+                 max_templates_per_query: int = DEFAULT_MAX_TEMPLATES_PER_QUERY,
                  use_gamma_matrix: bool = True,
-                 build_workers: int | None = None):
+                 build_workers: int | None = None,
+                 build_processes: int | None = None):
         if max_orders_per_table < 0:
             raise ValueError("max_orders_per_table must be non-negative")
         if max_templates_per_query < 1:
             raise ValueError("max_templates_per_query must be at least 1")
         if build_workers is not None and build_workers < 1:
             raise ValueError("build_workers must be at least 1")
+        if build_processes is not None and build_processes < 1:
+            raise ValueError("build_processes must be at least 1")
         self._optimizer = optimizer
         self._schema: Schema = optimizer.schema
         self._max_orders = max_orders_per_table
         self._max_templates = max_templates_per_query
         self._use_matrix = use_gamma_matrix
         self._build_workers = build_workers
+        self._build_processes = build_processes
         self._templates: dict[str, tuple[TemplatePlan, ...]] = {}
         self._queries: dict[str, Query] = {}
         self._matrices: dict[str, QueryGammaMatrix] = {}
@@ -100,6 +118,17 @@ class InumCache:
         return self._schema
 
     @property
+    def optimizer(self) -> WhatIfOptimizer:
+        """The shared what-if optimizer (used at build time)."""
+        return self._optimizer
+
+    @property
+    def enumeration_caps(self) -> tuple[int, int]:
+        """``(max_orders_per_table, max_templates_per_query)`` — the knobs a
+        worker process must copy to reproduce this cache's templates."""
+        return self._max_orders, self._max_templates
+
+    @property
     def uses_gamma_matrix(self) -> bool:
         """Whether costing runs on the vectorized gamma-matrix path."""
         return self._use_matrix
@@ -113,9 +142,10 @@ class InumCache:
 
     # ----------------------------------------------------------------- building
     def build_workload(self, workload: Workload,
-                       build_workers: int | None = None) -> None:
+                       build_workers: int | None = None,
+                       build_processes: int | None = None) -> None:
         """Pre-process every statement of a workload (in parallel when asked)."""
-        self._build_statements(workload, (), build_workers)
+        self._build_statements(workload, (), build_workers, build_processes)
 
     def build(self, query: Query) -> tuple[TemplatePlan, ...]:
         """Build (or return cached) ``TPlans(q)`` for a statement."""
@@ -145,13 +175,15 @@ class InumCache:
 
     def prepare(self, workload: Workload,
                 candidates: Iterable[Index] = (),
-                build_workers: int | None = None) -> None:
+                build_workers: int | None = None,
+                build_processes: int | None = None) -> None:
         """Pre-process a workload and register candidate columns up front.
 
         After this, ``cost`` / ``workload_cost`` / BIP coefficient assembly
         for the given candidate universe run entirely on precomputed arrays
         without touching the optimizer.  Gamma matrices are built in parallel
-        (``build_workers`` threads — matrices are independent per query).
+        (``build_workers`` threads — matrices are independent per query — or
+        ``build_processes`` worker processes for GIL-free sharded builds).
 
         ``prepare`` is idempotent and incremental: calling it again with an
         enlarged candidate set extends the existing matrices and the workload
@@ -159,12 +191,13 @@ class InumCache:
         and nothing is rebuilt from scratch.
         """
         indexes = tuple(candidates)
-        self._build_statements(workload, indexes, build_workers)
+        self._build_statements(workload, indexes, build_workers, build_processes)
         if self._use_matrix:
             self.workload_tensor(workload).ensure_columns(indexes)
 
     def _build_statements(self, workload: Workload, indexes: tuple[Index, ...],
-                          build_workers: int | None) -> None:
+                          build_workers: int | None,
+                          build_processes: int | None = None) -> None:
         """Build templates/matrices for a workload, one task per distinct shell.
 
         Workers compute into per-task locals (the only shared mutable state
@@ -180,13 +213,20 @@ class InumCache:
             if shell.name not in seen:
                 seen.add(shell.name)
                 shells.append(shell)
+        # Process-sharded builds (the GIL-free path): pending shells are built
+        # in worker processes and adopted back in workload order, after which
+        # the serial pass below only performs idempotent column scans.
+        processes = (build_processes if build_processes is not None
+                     else self._build_processes)
+        if processes is not None and processes > 1:
+            from repro.scale.executor import build_matrices_in_processes
+
+            build_matrices_in_processes(self, shells, indexes,
+                                        workers=processes)
         # Only shells whose templates/matrix must actually be built justify a
         # thread pool; for fully cached workloads the tasks are dict hits
         # plus (at most) idempotent column scans, so they run serially.
-        pending = sum(1 for shell in shells
-                      if shell.name not in self._templates
-                      or (self._use_matrix
-                          and shell.name not in self._matrices))
+        pending = len(self.pending_shells(shells))
         workers = build_workers if build_workers is not None else self._build_workers
         if workers is None:
             workers = os.cpu_count() or 1
@@ -203,6 +243,28 @@ class InumCache:
             if matrix is not None:
                 self._matrices[shell.name] = matrix
 
+    def pending_shells(self, shells: Iterable[Query]) -> tuple[Query, ...]:
+        """The shells whose templates/matrix this cache has not built yet.
+
+        The single definition of "needs building" — the parallel build paths
+        (threads above, the process executor in ``repro.scale``) use it to
+        decide what to dispatch.
+        """
+        return tuple(
+            shell for shell in shells
+            if shell.name not in self._templates
+            or (self._use_matrix and shell.name not in self._matrices))
+
+    def build_entry(self, shell: Query, indexes: tuple[Index, ...] = ()
+                    ) -> tuple[Query, tuple[TemplatePlan, ...],
+                               QueryGammaMatrix | None]:
+        """Build one shell's templates/matrix *without* committing them.
+
+        Worker processes call this to compute entries that the originating
+        cache later installs via :meth:`adopt_built`.
+        """
+        return self._build_one(shell, tuple(indexes))
+
     def _build_one(self, shell: Query, indexes: tuple[Index, ...]
                    ) -> tuple[Query, tuple[TemplatePlan, ...],
                               QueryGammaMatrix | None]:
@@ -216,6 +278,29 @@ class InumCache:
         if matrix is not None and indexes:
             matrix.ensure_columns(indexes)
         return shell, templates, matrix
+
+    def adopt_built(self, entries: Iterable[tuple[Query, tuple[TemplatePlan, ...],
+                                                  QueryGammaMatrix | None]],
+                    build_calls: int = 0) -> None:
+        """Install externally built templates/matrices (process-sharded builds).
+
+        Entries for shells this cache already knows are ignored (the local
+        build wins); adopted matrices are rebound to this cache's optimizer.
+        ``build_calls`` adds the worker-side template-build count to the
+        :attr:`template_build_calls` metric so optimizer-call accounting stays
+        comparable across build modes.
+        """
+        for shell, templates, matrix in entries:
+            if shell.name not in self._templates:
+                self._templates[shell.name] = templates
+                self._queries[shell.name] = shell
+            if (self._use_matrix and matrix is not None
+                    and shell.name not in self._matrices):
+                matrix.rebind_optimizer(self._optimizer)
+                self._matrices[shell.name] = matrix
+        if build_calls:
+            with self._metrics_lock:
+                self._build_calls += build_calls
 
     def workload_tensor(self, workload: Workload) -> WorkloadGammaTensor:
         """The stacked gamma tensor of a workload, building it on first use.

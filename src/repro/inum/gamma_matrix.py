@@ -155,6 +155,18 @@ class QueryGammaMatrix:
                 self._gamma_scalar(t, index.table, index) for t in self._templates]
         self._matrix = np.concatenate([self._matrix, block], axis=2)
 
+    def rebind_optimizer(self, optimizer: WhatIfOptimizer) -> None:
+        """Attach a schema-equivalent optimizer after a pickle round trip.
+
+        Matrices built in worker processes arrive with their own optimizer
+        copy; rebinding them to the adopting cache's optimizer keeps one
+        shared scan cache per process.  The slot-min memos are dropped — they
+        are keyed by object identities of the sending process.
+        """
+        self._optimizer = optimizer
+        self._slot_min_by_id.clear()
+        self._slot_min_by_key.clear()
+
     # ------------------------------------------------------------------ reading
     def value(self, position: int, table: str, index: Index | None) -> float:
         """``gamma_qkia`` for template ``position`` / slot ``table`` / ``index``."""

@@ -48,6 +48,19 @@ class TemplatePlan:
         object.__setattr__(self, "_hash",
                            hash((self.query_name, self.signature())))
 
+    def __getstate__(self) -> dict:
+        # The cached hash is built from string hashes, which vary per process
+        # (hash randomisation): never ship it across a pickle boundary.
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_hash",
+                           hash((self.query_name, self.signature())))
+
     @property
     def tables(self) -> tuple[str, ...]:
         return tuple(self.order_requirements.keys())

@@ -1,0 +1,232 @@
+"""Process-parallel execution of shard solves and gamma-matrix builds.
+
+The third stage of the scale-out pipeline (PR 3).  Template enumeration,
+gamma-matrix column costing and BIP solving are GIL-bound Python, so the
+thread pool of ``InumCache(build_workers=...)`` cannot scale them on
+multi-core machines (the PR 2 open item).  This module moves both across
+*process* boundaries:
+
+* :class:`ShardExecutor` solves the per-shard BIPs of a
+  :class:`~repro.scale.partition.PartitionPlan` — inline (sharing the
+  caller's :class:`~repro.inum.cache.InumCache`) when one worker is
+  effective, or in a ``ProcessPoolExecutor`` where each worker rebuilds its
+  own optimizer/INUM/BIP stack from the pickled schema and statements.
+* :func:`build_matrices_in_processes` shards ``QueryGammaMatrix``
+  construction across worker processes; the built matrices are pickled back
+  and adopted into the calling cache (``InumCache.adopt_built``) in workload
+  order, so cache state is deterministic regardless of scheduling.
+
+Determinism and correctness notes: results are merged in shard/workload
+order (``ProcessPoolExecutor.map`` preserves input order); the synthetic
+cost model is a pure function of the schema statistics, so worker-built
+arrays are bit-identical to locally built ones (asserted in the tests); and
+``Index`` / ``TemplatePlan`` recompute their cached hashes on unpickling, so
+objects crossing the process boundary key dictionaries correctly on both
+sides of it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.catalog.schema import Schema
+from repro.core.bip_builder import BipBuilder
+from repro.core.constraints import StorageBudgetConstraint
+from repro.core.solver import CoPhySolver, SolverBackend
+from repro.indexes.candidate_generation import CandidateSet
+from repro.indexes.index import Index
+from repro.inum.cache import (
+    DEFAULT_MAX_ORDERS_PER_TABLE,
+    DEFAULT_MAX_TEMPLATES_PER_QUERY,
+    InumCache,
+)
+from repro.inum.gamma_matrix import QueryGammaMatrix
+from repro.inum.template_plan import TemplatePlan
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.scale.partition import Shard
+from repro.workload.query import Query
+from repro.workload.workload import Workload, WorkloadStatement
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking import only
+    from repro.scale.partition import PartitionPlan
+
+__all__ = ["ShardResult", "ShardExecutor", "build_matrices_in_processes"]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's solved sub-problem.
+
+    ``worker_optimizer_calls`` counts what-if optimizations plus template
+    builds performed by a *worker process* for this shard (0 on the inline
+    path, where the shared cache's own counters already cover the work) —
+    advisors add it to their reported ``whatif_calls`` so optimizer-call
+    accounting stays identical across worker counts.
+    """
+
+    position: int
+    indexes: tuple[Index, ...]
+    objective: float
+    gap: float
+    solve_seconds: float
+    statistics: dict[str, float] = field(default_factory=dict)
+    worker_optimizer_calls: int = 0
+
+
+class ShardExecutor:
+    """Solves the shards of a partition plan, optionally across processes.
+
+    Args:
+        workers: Process count; ``None`` uses ``os.cpu_count()``.  When the
+            effective worker count is 1 (or only one shard exists) the solves
+            run inline and share ``inum`` — no pickling, no process startup.
+        backend: BIP solver backend for the per-shard solves.
+        gap_tolerance / time_limit_seconds: Per-shard solver settings.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 backend: SolverBackend = SolverBackend.MILP,
+                 gap_tolerance: float = 0.05,
+                 time_limit_seconds: float | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.backend = backend
+        self.gap_tolerance = gap_tolerance
+        self.time_limit_seconds = time_limit_seconds
+
+    def effective_workers(self, shard_count: int) -> int:
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, shard_count))
+
+    def solve_shards(self, plan: "PartitionPlan", schema: Schema,
+                     inum: InumCache | None = None) -> tuple[ShardResult, ...]:
+        """Solve every shard and return results in shard order."""
+        shards = plan.shards
+        if not shards:
+            return ()
+        workers = self.effective_workers(len(shards))
+        if workers <= 1:
+            if inum is None:
+                inum = InumCache(WhatIfOptimizer(schema))
+            return tuple(
+                _solve_shard_inline(shard, inum, self.backend,
+                                    self.gap_tolerance,
+                                    self.time_limit_seconds)
+                for shard in shards)
+        caps = (inum.enumeration_caps if inum is not None
+                else (DEFAULT_MAX_ORDERS_PER_TABLE,
+                      DEFAULT_MAX_TEMPLATES_PER_QUERY))
+        use_matrix = inum.uses_gamma_matrix if inum is not None else True
+        jobs = [(schema, shard.position, shard.workload.statements,
+                 shard.candidates, shard.budget_bytes, self.backend.value,
+                 self.gap_tolerance, self.time_limit_seconds, caps,
+                 use_matrix)
+                for shard in shards]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return tuple(pool.map(_solve_shard_job, jobs))
+
+
+def _solve_shard_inline(shard: Shard, inum: InumCache,
+                        backend: SolverBackend, gap_tolerance: float,
+                        time_limit_seconds: float | None) -> ShardResult:
+    """Solve one shard reusing the caller's INUM cache (no process hop)."""
+    started = time.perf_counter()
+    candidates = CandidateSet(inum.schema, shard.candidates)
+    inum.prepare(shard.workload, candidates)
+    bip = BipBuilder(inum).build(shard.workload, candidates,
+                                 model_name=f"shard-{shard.position}-bip")
+    constraints = ()
+    if shard.budget_bytes is not None:
+        constraints = (StorageBudgetConstraint(
+            shard.budget_bytes, name=f"storage_budget[shard{shard.position}]"),)
+    solver = CoPhySolver(backend=backend, gap_tolerance=gap_tolerance,
+                         time_limit_seconds=time_limit_seconds)
+    report = solver.solve(bip, hard_constraints=constraints)
+    return ShardResult(
+        position=shard.position,
+        indexes=report.configuration.indexes,
+        objective=report.objective,
+        gap=report.gap,
+        solve_seconds=time.perf_counter() - started,
+        statistics={
+            "statements": float(len(shard.workload)),
+            "candidates": float(len(shard.candidates)),
+            "variables": bip.statistics.get("variables", 0.0),
+            "constraints": bip.statistics.get("constraints", 0.0),
+        },
+    )
+
+
+def _solve_shard_job(job: tuple) -> ShardResult:
+    """Worker-side shard solve: rebuild the full stack from pickled inputs."""
+    (schema, position, statements, indexes, budget_bytes, backend_value,
+     gap_tolerance, time_limit_seconds, caps, use_matrix) = job
+    optimizer = WhatIfOptimizer(schema)
+    inum = InumCache(optimizer, max_orders_per_table=caps[0],
+                     max_templates_per_query=caps[1],
+                     use_gamma_matrix=use_matrix)
+    workload = Workload(statements, name=f"shard{position}")
+    shard = Shard(position=position, workload=workload, candidates=indexes,
+                  statement_positions=tuple(range(len(statements))),
+                  budget_bytes=budget_bytes)
+    result = _solve_shard_inline(shard, inum, SolverBackend(backend_value),
+                                 gap_tolerance, time_limit_seconds)
+    # The caller's counters never saw this process's optimizer: report its
+    # work so the advisor's whatif_calls metric covers the shard phase.
+    return ShardResult(
+        position=result.position, indexes=result.indexes,
+        objective=result.objective, gap=result.gap,
+        solve_seconds=result.solve_seconds, statistics=result.statistics,
+        worker_optimizer_calls=(optimizer.whatif_calls
+                                + inum.template_build_calls))
+
+
+# --------------------------------------------------------- matrix build shards
+def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
+                                indexes: tuple[Index, ...],
+                                workers: int | None = None) -> int:
+    """Build pending gamma matrices in worker processes and adopt them.
+
+    Only shells the cache has not built yet are dispatched; each worker
+    constructs its own optimizer/cache from the pickled schema, builds its
+    chunk of matrices (candidate columns included) and pickles them back.
+    Adoption happens on the calling side in workload order.  Returns the
+    number of shells built remotely.
+    """
+    pending = list(cache.pending_shells(shells))
+    workers = workers if workers is not None else (os.cpu_count() or 1)
+    workers = min(workers, len(pending))
+    if workers <= 1 or len(pending) < 2:
+        return 0
+    caps = cache.enumeration_caps
+    chunks = [pending[offset::workers] for offset in range(workers)]
+    jobs = [(cache.schema, chunk, indexes, caps, cache.uses_gamma_matrix)
+            for chunk in chunks if chunk]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(_build_matrices_job, jobs))
+    by_name: dict[str, tuple[Query, tuple[TemplatePlan, ...],
+                             QueryGammaMatrix | None]] = {}
+    build_calls = 0
+    for entries, calls in results:
+        build_calls += calls
+        for entry in entries:
+            by_name[entry[0].name] = entry
+    cache.adopt_built((by_name[shell.name] for shell in pending
+                       if shell.name in by_name), build_calls=build_calls)
+    return len(pending)
+
+
+def _build_matrices_job(job: tuple) -> tuple[list, int]:
+    """Worker-side matrix build for one chunk of query shells."""
+    schema, shells, indexes, caps, use_matrix = job
+    optimizer = WhatIfOptimizer(schema)
+    cache = InumCache(optimizer, max_orders_per_table=caps[0],
+                      max_templates_per_query=caps[1],
+                      use_gamma_matrix=use_matrix)
+    entries = [cache.build_entry(shell, indexes) for shell in shells]
+    return entries, cache.template_build_calls

@@ -86,8 +86,8 @@ class HomogeneousWorkloadGenerator:
 
     def __init__(self, seed: int = 0, update_fraction: float = 0.1,
                  templates: Sequence[str] | None = None):
-        if not 0.0 <= update_fraction < 1.0:
-            raise WorkloadError("update_fraction must lie in [0, 1)")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise WorkloadError("update_fraction must lie in [0, 1]")
         self._seed = seed
         self._update_fraction = update_fraction
         self._templates = tuple(templates or SELECT_TEMPLATES.keys())
@@ -132,8 +132,8 @@ class HeterogeneousWorkloadGenerator:
 
     def __init__(self, schema: Schema | None = None, seed: int = 0,
                  update_fraction: float = 0.1, max_tables: int = 4):
-        if not 0.0 <= update_fraction < 1.0:
-            raise WorkloadError("update_fraction must lie in [0, 1)")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise WorkloadError("update_fraction must lie in [0, 1]")
         if max_tables < 1:
             raise WorkloadError("max_tables must be at least 1")
         self._schema = schema or tpch_schema()

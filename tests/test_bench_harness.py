@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.advisors.dta import DtaAdvisor
@@ -96,6 +98,36 @@ class TestHarness:
         result = ExperimentResult("x", runs=[zero_run, good_run])
         assert result.perf_ratio("good", "zero") == float("inf")
         assert result.time_ratio("good", "zero") == float("inf")
+
+    def test_degenerate_ratios_never_raise(self, simple_schema,
+                                           simple_workload):
+        """0/0, inf denominators and nan operands degrade into inf/nan/0."""
+        recommendation = CoPhyAdvisor(simple_schema).tune(simple_workload)
+
+        def run(name, perf, seconds):
+            return AdvisorRun(name, recommendation, perf=perf,
+                              wall_seconds=seconds)
+
+        result = ExperimentResult("degenerate", runs=[
+            run("zero", 0.0, 0.0),
+            run("good", 0.5, 1.0),
+            run("timeout", float("inf"), float("inf")),
+            run("broken", float("nan"), float("nan")),
+        ])
+        # 0 / 0 is undefined, not an error.
+        assert math.isnan(result.perf_ratio("zero", "zero"))
+        assert math.isnan(result.time_ratio("zero", "zero"))
+        # Finite / inf vanishes; inf / inf is undefined.
+        assert result.time_ratio("good", "timeout") == 0.0
+        assert math.isnan(result.time_ratio("timeout", "timeout"))
+        # Inf / finite and inf / zero stay inf.
+        assert result.time_ratio("timeout", "good") == float("inf")
+        assert result.time_ratio("timeout", "zero") == float("inf")
+        # NaN operands propagate instead of raising.
+        assert math.isnan(result.perf_ratio("broken", "good"))
+        assert math.isnan(result.perf_ratio("good", "broken"))
+        # The healthy case still divides normally.
+        assert result.perf_ratio("good", "good") == pytest.approx(1.0)
 
 
 class TestReporting:

@@ -261,3 +261,81 @@ class TestInteractiveTuning:
         recommendation = session.add_candidates([extra])
         assert recommendation is session.last_recommendation
         assert extra in session.candidates
+
+    def test_remove_candidates_retunes_without_rebuilding(self, simple_schema,
+                                                          simple_workload):
+        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        session = advisor.create_session(simple_workload)
+        first = session.recommend()
+        assert len(first.configuration) > 0
+        inum_calls = advisor.inum.template_build_calls
+        removed = list(first.configuration)[:2]
+
+        shrunk = session.remove_candidates(removed)
+        # Delta re-tune: no INUM rebuild, warm-started, retracted indexes
+        # gone from both the candidate set and the recommendation.
+        assert advisor.inum.template_build_calls == inum_calls
+        assert shrunk.extras["warm_started"]
+        for index in removed:
+            assert index not in session.candidates
+            assert index not in shrunk.configuration
+        # Shrinking the candidate set can only hurt the objective.
+        assert shrunk.objective_estimate >= first.objective_estimate - 1e-6
+
+    def test_remove_candidates_matches_from_scratch_quality(
+            self, simple_schema, simple_workload):
+        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        session = advisor.create_session(simple_workload)
+        first = session.recommend()
+        removed = list(first.configuration)[:2]
+        shrunk = session.remove_candidates(removed)
+
+        fresh_advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        survivors = [index for index in advisor.generate_candidates(simple_workload)
+                     if index not in set(removed)]
+        reduced = fresh_advisor.generate_candidates(simple_workload).subset(survivors)
+        fresh = fresh_advisor.tune(simple_workload, candidates=reduced)
+        assert shrunk.objective_estimate == pytest.approx(
+            fresh.objective_estimate, rel=1e-6)
+
+    def test_removed_candidates_can_be_restored(self, simple_schema,
+                                                simple_workload):
+        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        session = advisor.create_session(simple_workload)
+        first = session.recommend()
+        variables_after_build = session.bip.model.variable_count
+        removed = list(first.configuration)[:1]
+        session.remove_candidates(removed)
+        restored = session.add_candidates(removed)
+        # Restoring drops the pin rows instead of growing the model.
+        assert session.bip.model.variable_count == variables_after_build
+        assert removed[0] in session.candidates
+        assert restored.objective_estimate == pytest.approx(
+            first.objective_estimate, rel=1e-6)
+
+    def test_restore_after_full_rebuild_recreates_variables(self, simple_schema,
+                                                            simple_workload):
+        """A rebuild clears the pin registry: re-adding a candidate that was
+        removed before the rebuild must create fresh variables, not no-op on
+        the discarded model."""
+        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        session = advisor.create_session(simple_workload)
+        first = session.recommend()
+        removed = list(first.configuration)[:1]
+        session.remove_candidates(removed)
+        session.recommend()  # full rebuild without the removed candidate
+        assert removed[0] not in session.bip.z_variables
+        restored = session.add_candidates(removed)
+        assert removed[0] in session.bip.z_variables
+        assert restored.objective_estimate == pytest.approx(
+            first.objective_estimate, rel=1e-6)
+
+    def test_remove_candidates_before_recommend_falls_back(self, simple_schema,
+                                                           simple_workload):
+        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        session = advisor.create_session(simple_workload)
+        victim = next(iter(session.candidates))
+        recommendation = session.remove_candidates([victim])
+        assert victim not in session.candidates
+        assert victim not in recommendation.configuration
+        assert recommendation is session.last_recommendation

@@ -1,0 +1,321 @@
+"""Tests for the scale-out subsystem (repro.scale + ScaleOutAdvisor).
+
+Covers the three pipeline stages in isolation (compression, partitioning,
+shard execution) and end to end, including the shard-vs-monolithic
+equivalence check that runs in the fast CI lane and the process-pool paths
+(pickled shard solves, process-sharded gamma-matrix builds).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.advisors.scaleout import ScaleOutAdvisor
+from repro.core.advisor import CoPhyAdvisor
+from repro.core.bip_builder import BipBuilder
+from repro.core.constraints import StorageBudgetConstraint
+from repro.exceptions import ConstraintError, WorkloadError
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.inum.cache import InumCache
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.scale.compress import compress_workload
+from repro.scale.executor import ShardExecutor, build_matrices_in_processes
+from repro.scale.partition import partition_workload, split_budget
+from repro.workload.generators import generate_homogeneous_workload
+from repro.workload.workload import Workload, WorkloadStatement
+
+
+@pytest.fixture(scope="module")
+def tuning_workload():
+    return generate_homogeneous_workload(24, seed=7)
+
+
+class TestCompression:
+    def test_exact_fallback_merges_only_identical_statements(self, simple_workload):
+        compressed = compress_workload(simple_workload, max_cost_error=0.0)
+        assert compressed.compressed_size == len(simple_workload)
+        assert compressed.ratio == 1.0
+
+    def test_duplicate_shapes_merge_and_weights_sum(self, simple_workload):
+        doubled = Workload([*simple_workload.statements,
+                            *simple_workload.statements], name="doubled")
+        compressed = compress_workload(doubled)
+        assert compressed.compressed_size == len(simple_workload)
+        assert compressed.workload.total_weight() == doubled.total_weight()
+        assert compressed.clusters[0] == (0, len(simple_workload))
+        # Every original statement maps to the representative of its clone.
+        for position, statement in enumerate(doubled):
+            representative = compressed.workload.statements[
+                compressed.representative_of[position]]
+            assert representative.query.name == statement.query.name
+
+    def test_templated_workload_compresses(self, tuning_workload):
+        compressed = compress_workload(tuning_workload, signature="structural",
+                                       max_cost_error=0.5)
+        assert compressed.compressed_size < len(tuning_workload)
+        assert compressed.workload.total_weight() == pytest.approx(
+            tuning_workload.total_weight())
+
+    def test_gamma_signature_requires_inum_and_tightens_with_error(
+            self, tpch, tuning_workload):
+        with pytest.raises(WorkloadError):
+            compress_workload(tuning_workload, signature="gamma")
+        inum = InumCache(WhatIfOptimizer(tpch))
+        loose = compress_workload(tuning_workload, signature="gamma",
+                                  max_cost_error=1.0, inum=inum)
+        exact = compress_workload(tuning_workload, signature="gamma",
+                                  max_cost_error=0.0, inum=inum)
+        assert loose.compressed_size <= exact.compressed_size
+        # Exact gamma merging still recognises repeated statements.
+        doubled = Workload([*tuning_workload.statements,
+                            *tuning_workload.statements], name="doubled")
+        compressed = compress_workload(doubled, signature="gamma",
+                                       max_cost_error=0.0, inum=inum)
+        assert compressed.compressed_size <= len(tuning_workload)
+
+    def test_rejects_bad_parameters(self, simple_workload):
+        with pytest.raises(WorkloadError):
+            compress_workload(simple_workload, signature="nonsense")
+        with pytest.raises(WorkloadError):
+            compress_workload(simple_workload, max_cost_error=-0.5)
+
+
+class TestPartitioning:
+    def test_disjoint_tables_fall_into_separate_components(self, simple_schema,
+                                                           simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        plan = partition_workload(simple_workload, candidates)
+        # orders-only and items-only statements interact through the join
+        # statement, so the component structure is deterministic.
+        assert plan.component_count >= 1
+        assert sorted(p for shard in plan.shards
+                      for p in shard.statement_positions) == list(
+            range(len(simple_workload)))
+
+    def test_requested_shard_count_is_reached_by_splitting(self, tpch,
+                                                           tuning_workload):
+        candidates = CandidateGenerator(tpch).generate(tuning_workload)
+        plan = partition_workload(tuning_workload, candidates, shard_count=4)
+        assert plan.shard_count == 4
+        # Statement positions are partitioned exactly.
+        assert sorted(p for shard in plan.shards
+                      for p in shard.statement_positions) == list(
+            range(len(tuning_workload)))
+        # shard_of is consistent with the shard membership lists.
+        for shard in plan.shards:
+            for position in shard.statement_positions:
+                assert plan.shard_of[position] == shard.position
+
+    def test_shard_candidates_are_relevant_subsets(self, tpch, tuning_workload):
+        candidates = CandidateGenerator(tpch).generate(tuning_workload)
+        plan = partition_workload(tuning_workload, candidates, shard_count=3)
+        for shard in plan.shards:
+            tables = set()
+            for statement in shard.workload:
+                tables.update(_shell(statement.query).tables)
+                if hasattr(statement.query, "table"):
+                    tables.add(statement.query.table)
+            assert all(index.table in tables for index in shard.candidates)
+
+    def test_budget_water_filling(self, tpch, tuning_workload):
+        candidates = CandidateGenerator(tpch).generate(tuning_workload)
+        plan = partition_workload(tuning_workload, candidates, shard_count=3)
+        budget = 0.25 * candidates.total_size()
+        # Strict split: shard budgets sum to (at most) the global budget.
+        strict = split_budget(plan, candidates, budget, oversubscription=1.0)
+        assert sum(shard.budget_bytes for shard in strict.shards) <= budget + 1e-6
+        # Default (oversubscribed): every shard may fill up to the budget.
+        loose = split_budget(plan, candidates, budget)
+        for shard in loose.shards:
+            assert shard.budget_bytes <= budget + 1e-6
+        assert (sum(shard.budget_bytes for shard in loose.shards)
+                >= sum(shard.budget_bytes for shard in strict.shards))
+        # Sub-1.0 values deliberately under-allocate instead of clamping.
+        half = split_budget(plan, candidates, budget, oversubscription=0.5)
+        assert sum(shard.budget_bytes for shard in half.shards) <= 0.5 * budget + 1e-6
+        with pytest.raises(ValueError):
+            split_budget(plan, candidates, budget, oversubscription=0.0)
+        # No budget: untouched.
+        assert split_budget(plan, candidates, None) is plan
+
+
+class TestProcessPaths:
+    def test_index_and_matrix_pickle_roundtrip_rehashes(self, tpch,
+                                                        tuning_workload):
+        index = Index("lineitem", ("l_shipdate",), include_columns=("l_tax",))
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone == index and hash(clone) == hash(index)
+        assert clone in {index}
+        inum = InumCache(WhatIfOptimizer(tpch))
+        shell = _shell(tuning_workload.statements[0].query)
+        templates = inum.templates(shell)
+        restored = pickle.loads(pickle.dumps(templates))
+        assert restored == templates
+        assert {t: p for p, t in enumerate(restored)}[templates[0]] == 0
+
+    def test_process_built_matrices_match_serial(self, tpch, tuning_workload):
+        candidates = list(CandidateGenerator(tpch).generate(tuning_workload))[:40]
+        serial = InumCache(WhatIfOptimizer(tpch), build_workers=1)
+        serial.prepare(tuning_workload, candidates)
+        sharded = InumCache(WhatIfOptimizer(tpch), build_processes=2)
+        sharded.prepare(tuning_workload, candidates)
+        assert serial.template_build_calls == sharded.template_build_calls
+        for statement in tuning_workload:
+            shell = _shell(statement.query)
+            assert np.array_equal(serial.gamma_matrix(shell).array,
+                                  sharded.gamma_matrix(shell).array)
+        probe = Configuration(candidates[:15])
+        assert (serial.workload_cost(tuning_workload, probe)
+                == sharded.workload_cost(tuning_workload, probe))
+
+    def test_build_matrices_in_processes_is_idempotent(self, tpch,
+                                                       tuning_workload):
+        cache = InumCache(WhatIfOptimizer(tpch))
+        shells = [_shell(s.query) for s in tuning_workload]
+        built = build_matrices_in_processes(cache, shells, (), workers=2)
+        assert built > 0
+        assert build_matrices_in_processes(cache, shells, (), workers=2) == 0
+
+    def test_pooled_shard_solves_match_inline(self, tpch, tuning_workload):
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        inline = ScaleOutAdvisor(tpch, shard_count=3, shard_workers=1,
+                                 gap_tolerance=0.0)
+        pooled = ScaleOutAdvisor(tpch, shard_count=3, shard_workers=2,
+                                 gap_tolerance=0.0)
+        first = inline.tune(tuning_workload, constraints=[budget])
+        second = pooled.tune(tuning_workload, constraints=[budget])
+        assert second.extras["shard_workers"] == 2
+        assert (sorted(i.name for i in first.configuration)
+                == sorted(i.name for i in second.configuration))
+        assert second.objective_estimate == pytest.approx(
+            first.objective_estimate, rel=1e-9)
+        # Worker-side optimizer work is reported, not silently dropped: the
+        # pooled run must account at least the inline run's shard-phase work.
+        assert second.whatif_calls >= first.whatif_calls > 0
+
+
+class TestScaleOutAdvisor:
+    def test_single_shard_reproduces_monolithic(self, tpch, tuning_workload):
+        """The fast-lane shard-vs-monolithic equivalence check (CI)."""
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        monolithic = CoPhyAdvisor(tpch, gap_tolerance=0.0).tune(
+            tuning_workload, constraints=[budget])
+        scaled = ScaleOutAdvisor(tpch, compress=False, shard_count=1,
+                                 gap_tolerance=0.0).tune(
+            tuning_workload, constraints=[budget])
+        evaluator = InumCache(WhatIfOptimizer(tpch))
+        evaluator.prepare(tuning_workload, (*monolithic.configuration,
+                                            *scaled.configuration))
+        assert evaluator.workload_cost(tuning_workload, scaled.configuration) \
+            == pytest.approx(evaluator.workload_cost(
+                tuning_workload, monolithic.configuration), rel=1e-9)
+
+    def test_sharded_compressed_quality_within_bound(self, tpch,
+                                                     tuning_workload):
+        """Compression (exact) + 4 shards stays within 5% of monolithic."""
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        monolithic = CoPhyAdvisor(tpch, gap_tolerance=0.0).tune(
+            tuning_workload, constraints=[budget])
+        scaled = ScaleOutAdvisor(tpch, signature="structural",
+                                 max_cost_error=0.0, shard_count=4,
+                                 gap_tolerance=0.0).tune(
+            tuning_workload, constraints=[budget])
+        assert scaled.extras["partition"]["shards"] == 4
+        evaluator = InumCache(WhatIfOptimizer(tpch))
+        evaluator.prepare(tuning_workload, (*monolithic.configuration,
+                                            *scaled.configuration))
+        monolithic_cost = evaluator.workload_cost(tuning_workload,
+                                                  monolithic.configuration)
+        scaled_cost = evaluator.workload_cost(tuning_workload,
+                                              scaled.configuration)
+        assert scaled_cost <= 1.05 * monolithic_cost
+        # The recommendation respects the global budget even though shards
+        # were solved under an oversubscribed split.
+        total = sum(_index_size(tpch, index) for index in scaled.configuration)
+        assert total <= budget.budget_bytes + 1e-6
+
+    def test_deterministic_across_runs(self, tpch, tuning_workload):
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        make = lambda: ScaleOutAdvisor(tpch, max_cost_error=0.5, shard_count=4,
+                                       gap_tolerance=0.0).tune(
+            tuning_workload, constraints=[budget])
+        first, second = make(), make()
+        assert ([i.name for i in first.configuration]
+                == [i.name for i in second.configuration])
+
+    def test_soft_constraints_are_rejected(self, tpch, tuning_workload):
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        with pytest.raises(ConstraintError):
+            ScaleOutAdvisor(tpch).tune(tuning_workload,
+                                       constraints=[budget.soft()])
+
+    def test_recommendation_reports_pipeline_extras(self, tpch,
+                                                    tuning_workload):
+        budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
+        recommendation = ScaleOutAdvisor(tpch, max_cost_error=0.5,
+                                         shard_count=2).tune(
+            tuning_workload, constraints=[budget])
+        assert recommendation.extras["compression"]["representatives"] <= len(
+            tuning_workload)
+        assert recommendation.extras["partition"]["shards"] == 2
+        assert len(recommendation.extras["shards"]) == 2
+        assert recommendation.extras["merge"]["winners"] >= len(
+            recommendation.configuration)
+        for key in ("compress", "partition", "solve", "merge", "total"):
+            assert key in recommendation.timings
+
+
+class TestWeightedBipBuild:
+    def test_statement_weights_override_matches_reweighted_workload(
+            self, simple_schema, simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        weights = {statement.query.name: float(2 + position)
+                   for position, statement in enumerate(simple_workload)}
+        inum = InumCache(WhatIfOptimizer(simple_schema))
+        overridden = BipBuilder(inum).build(simple_workload, candidates,
+                                            statement_weights=weights)
+        reweighted = Workload(
+            [WorkloadStatement(s.query, weights[s.query.name])
+             for s in simple_workload], name="reweighted")
+        rebuilt = BipBuilder(inum).build(
+            reweighted, CandidateGenerator(simple_schema).generate(reweighted))
+        by_name = {v.name: c for v, c in rebuilt.cost_expression.terms.items()}
+        for variable, coefficient in overridden.cost_expression.terms.items():
+            assert coefficient == pytest.approx(by_name[variable.name])
+        assert overridden.cost_expression.constant == pytest.approx(
+            rebuilt.cost_expression.constant)
+
+    def test_extend_honours_statement_weight_overrides(self, simple_schema,
+                                                       simple_workload):
+        all_candidates = list(
+            CandidateGenerator(simple_schema).generate(simple_workload))
+        weights = {statement.query.name: float(2 + position)
+                   for position, statement in enumerate(simple_workload)}
+        inum = InumCache(WhatIfOptimizer(simple_schema))
+        builder = BipBuilder(inum)
+        half = CandidateSet(simple_schema, all_candidates[: len(all_candidates) // 2])
+        extended = builder.build(simple_workload, half,
+                                 statement_weights=weights)
+        builder.extend(extended, all_candidates[len(all_candidates) // 2:])
+        full = builder.build(
+            simple_workload, CandidateSet(simple_schema, all_candidates),
+            statement_weights=weights)
+        extended_terms = {v.name: c
+                          for v, c in extended.cost_expression.terms.items()}
+        for variable, coefficient in full.cost_expression.terms.items():
+            assert coefficient == pytest.approx(extended_terms[variable.name])
+
+
+def _shell(query):
+    return query.query_shell() if hasattr(query, "query_shell") else query
+
+
+def _index_size(schema, index: Index) -> float:
+    from repro.indexes.index import index_size_bytes
+
+    return index_size_bytes(index, schema.table(index.table))

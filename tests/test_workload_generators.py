@@ -88,7 +88,9 @@ class TestHomogeneousGenerator:
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(WorkloadError):
-            HomogeneousWorkloadGenerator(update_fraction=1.0)
+            HomogeneousWorkloadGenerator(update_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            HomogeneousWorkloadGenerator(update_fraction=-0.1)
         with pytest.raises(WorkloadError):
             HomogeneousWorkloadGenerator(templates=("Q999",))
         with pytest.raises(WorkloadError):
@@ -134,3 +136,30 @@ class TestHeterogeneousGenerator:
             HeterogeneousWorkloadGenerator(max_tables=0)
         with pytest.raises(WorkloadError):
             generate_heterogeneous_workload(0)
+
+
+class TestAllUpdateWorkloads:
+    """``update_fraction=1.0``: write-only workloads (e.g. maintenance-cost
+    studies) must generate, validate and stay seed-deterministic."""
+
+    @pytest.mark.parametrize("generate", [generate_homogeneous_workload,
+                                          generate_heterogeneous_workload])
+    def test_every_statement_is_an_update(self, tpch, generate):
+        workload = generate(30, seed=13, update_fraction=1.0)
+        assert len(workload) == 30
+        assert all(s.query.kind is StatementKind.UPDATE for s in workload)
+        assert not workload.select_statements()
+        workload.validate_against(tpch)
+
+    @pytest.mark.parametrize("generate", [generate_homogeneous_workload,
+                                          generate_heterogeneous_workload])
+    def test_seed_determinism(self, generate):
+        first = generate(25, seed=21, update_fraction=1.0)
+        second = generate(25, seed=21, update_fraction=1.0)
+        assert [s.query.name for s in first] == [s.query.name for s in second]
+        assert [s.weight for s in first] == [s.weight for s in second]
+        assert ([s.query.table for s in first]
+                == [s.query.table for s in second])
+        other_seed = generate(25, seed=22, update_fraction=1.0)
+        assert ([s.query.name for s in first]
+                != [s.query.name for s in other_seed])
