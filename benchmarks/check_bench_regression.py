@@ -25,6 +25,25 @@ Usage::
 
     python benchmarks/check_bench_regression.py \
         --fresh BENCH_inum.json --baseline benchmarks/bench_baseline.json
+
+Updating the baseline
+---------------------
+
+When a PR genuinely moves the perf trajectory (a new benchmark lands, or a
+real optimisation shifts a ratio), refresh the committed snapshot with::
+
+    python benchmarks/check_bench_regression.py \
+        --fresh BENCH_inum.json --baseline benchmarks/bench_baseline.json \
+        --update-baseline [--margin 0.15]
+
+``--update-baseline`` rewrites the baseline's *tracked ratio metrics* (and
+adds metrics/benchmarks the baseline has never seen) from the fresh run;
+non-ratio keys and the rest of the file are left untouched.  ``--margin``
+writes conservative values — a higher-is-better metric is recorded at
+``fresh * (1 - margin)``, a lower-is-better one at ``fresh * (1 + margin)``
+(default 0.15) — because the gate exists to catch real erosion across PRs,
+not runner jitter.  Only update deliberately: run the benchmarks more than
+once, confirm the new level is stable, and mention the update in the PR.
 """
 
 from __future__ import annotations
@@ -84,6 +103,32 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def update_baseline(fresh: dict, baseline: dict, margin: float) -> int:
+    """Rewrite the baseline's tracked ratio metrics from a fresh run.
+
+    Returns the number of metric values written.  Conservative by
+    construction: higher-is-better values are recorded ``margin`` below the
+    fresh measurement, lower-is-better values ``margin`` above it, so normal
+    runner jitter on the next run cannot trip the gate.
+    """
+    if margin < 0 or margin >= 1:
+        raise ValueError("--margin must be in [0, 1)")
+    written = 0
+    results = baseline.setdefault("results", {})
+    for benchmark, metrics in sorted(fresh.get("results", {}).items()):
+        target = results.setdefault(benchmark, {})
+        for key, value in sorted(metrics.items()):
+            direction = _comparable(key)
+            if direction is None or not isinstance(value, (int, float)):
+                continue
+            if direction == "higher":
+                target[key] = round(value * (1.0 - margin), 4)
+            else:
+                target[key] = round(value * (1.0 + margin), 4)
+            written += 1
+    return written
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, type=Path,
@@ -92,10 +137,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed trajectory (benchmarks/bench_baseline.json)")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed relative regression (default 0.2 = 20%%)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline's tracked ratio metrics "
+                             "from the fresh run instead of gating (see the "
+                             "module docstring for when this is appropriate)")
+    parser.add_argument("--margin", type=float, default=0.15,
+                        help="conservative margin applied by --update-baseline "
+                             "(default 0.15 = record 15%% inside the fresh "
+                             "measurement)")
     args = parser.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+
+    if args.update_baseline:
+        written = update_baseline(fresh, baseline, args.margin)
+        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                                 + "\n", encoding="utf-8")
+        print(f"Baseline updated: {written} ratio metric(s) written to "
+              f"{args.baseline} with a {args.margin:.0%} conservative margin. "
+              f"Commit the file only if the new level is stable across runs.")
+        return 0
+
     problems = compare(fresh, baseline, args.tolerance)
     if problems:
         print("Benchmark trajectory regressions:")

@@ -16,11 +16,10 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import run_advisor
 from repro.bench.metrics import baseline_configuration
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.solver import SolverBackend
 from repro.indexes.candidate_generation import CandidateGenerator
 from repro.inum.cache import InumCache
@@ -35,7 +34,7 @@ def _run_relaxation_ablation():
     rows = []
     results = {}
     for label, apply_relaxation in (("raw BIP", False), ("relaxed BIP", True)):
-        advisor = CoPhyAdvisor(schema, apply_relaxation=apply_relaxation,
+        advisor = make_advisor("cophy", schema, apply_relaxation=apply_relaxation,
                                gap_tolerance=0.0)
         recommendation = advisor.tune(workload, constraints=[budget])
         results[label] = recommendation
@@ -66,7 +65,7 @@ def _run_backend_ablation():
     results = {}
     for label, backend in (("milp (HiGHS)", SolverBackend.MILP),
                            ("branch-and-bound", SolverBackend.BRANCH_AND_BOUND)):
-        advisor = CoPhyAdvisor(schema, backend=backend, gap_tolerance=0.05,
+        advisor = make_advisor("cophy", schema, backend=backend, gap_tolerance=0.05,
                                time_limit_seconds=120.0)
         recommendation = advisor.tune(workload, constraints=[budget])
         results[label] = recommendation
@@ -136,7 +135,7 @@ def _run_inum_ablation():
 def _run_tool_a_inum_ablation():
     """Tool-A's greedy/relaxation search: black-box what-if vs INUM costing.
 
-    The ROADMAP open item: ``RelaxationAdvisor(inum=...)`` exists but the
+    The ROADMAP open item: ``make_advisor("relaxation", inum=...)`` exists but the
     per-figure benchmarks keep the paper-faithful black-box path.  This
     ablation runs both variants on the same workload/seed and quantifies the
     trade: the INUM-backed search answers its thousands of cost probes from
@@ -150,18 +149,18 @@ def _run_tool_a_inum_ablation():
     evaluation = WhatIfOptimizer(schema)
 
     def black_box():
-        return RelaxationAdvisor(schema, seed=SEED)
+        return make_advisor("relaxation", schema, seed=SEED)
 
     def inum_backed():
         optimizer = WhatIfOptimizer(schema)
-        return RelaxationAdvisor(schema, optimizer=optimizer, seed=SEED,
+        return make_advisor("relaxation", schema, optimizer=optimizer, seed=SEED,
                                  inum=InumCache(optimizer))
 
     rows = []
     runs = {}
-    for label, make_advisor in (("black-box what-if", black_box),
-                                ("INUM tensor", inum_backed)):
-        run = run_advisor(make_advisor(), evaluation, workload, [budget])
+    for label, factory in (("black-box what-if", black_box),
+                           ("INUM tensor", inum_backed)):
+        run = run_advisor(factory(), evaluation, workload, [budget])
         runs[label] = run
         rows.append({
             "variant": label,

@@ -12,11 +12,9 @@ commercial-style advisor while still being the fastest technique.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import run_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -34,9 +32,9 @@ def _run_candidate_counts():
     # The tools' candidate caps are scaled in proportion to the reduced
     # candidate universe (the paper's 170 and 45 are fractions of CoPhy's
     # 1933), otherwise the caps simply never bind at this scale.
-    for advisor in (CoPhyAdvisor(schema),
-                    RelaxationAdvisor(schema, max_candidates=40),
-                    DtaAdvisor(schema, max_candidates=12)):
+    for advisor in (make_advisor("cophy", schema),
+                    make_advisor("relaxation", schema, max_candidates=40),
+                    make_advisor("dta", schema, max_candidates=12)):
         run = run_advisor(advisor, evaluation, workload, [budget])
         counts[advisor.name] = run.recommendation.candidate_count
         calls[advisor.name] = run.recommendation.whatif_calls

@@ -14,9 +14,8 @@ atomic-configuration space.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.api import make_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.workload.generators import generate_homogeneous_workload
 
 _PAPER_SECONDS = {"ilp": {250: 710, 500: 1379, 1000: 2399},
@@ -31,8 +30,8 @@ def _run_fig10():
     ex_inum: dict[str, dict[int, float]] = {"cophy": {}, "ilp": {}}
     for paper_size, size in WORKLOAD_SIZES.items():
         workload = generate_homogeneous_workload(size, seed=SEED)
-        cophy = CoPhyAdvisor(schema).tune(workload, [budget])
-        ilp = IlpAdvisor(schema).tune(workload, [budget])
+        cophy = make_advisor("cophy", schema).tune(workload, [budget])
+        ilp = make_advisor("ilp", schema).tune(workload, [budget])
         for name, recommendation in (("cophy", cophy), ("ilp", ilp)):
             totals[name][paper_size] = recommendation.total_seconds
             ex_inum[name][paper_size] = (recommendation.total_seconds

@@ -16,11 +16,9 @@ Tool-B-like advisor sits in between thanks to workload compression.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import run_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -39,8 +37,8 @@ def _run_fig4():
     for paper_size, size in WORKLOAD_SIZES.items():
         workload = generate_homogeneous_workload(size, seed=SEED)
         evaluation = WhatIfOptimizer(schema)
-        for advisor in (CoPhyAdvisor(schema), RelaxationAdvisor(schema),
-                        DtaAdvisor(schema)):
+        for advisor in (make_advisor("cophy", schema), make_advisor("relaxation", schema),
+                        make_advisor("dta", schema)):
             run = run_advisor(advisor, evaluation, workload, [budget])
             times[advisor.name][paper_size] = run.recommendation.total_seconds
             rows.append({

@@ -19,9 +19,8 @@ from __future__ import annotations
 import random
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.api import make_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.index import Index
 from repro.workload.generators import generate_homogeneous_workload
@@ -50,7 +49,7 @@ def _run_fig5():
     budget = storage_budget(schema, 1.0)
     workload = generate_homogeneous_workload(WORKLOAD_SIZES[1000], seed=SEED)
 
-    probe = CoPhyAdvisor(schema)
+    probe = make_advisor("cophy", schema)
     full = probe.generate_candidates(workload)
     all_indexes = list(full)
     candidate_sets = {
@@ -65,9 +64,9 @@ def _run_fig5():
     totals: dict[str, dict[str, float]] = {"cophy": {}, "ilp": {}}
     builds: dict[str, dict[str, float]] = {"cophy": {}, "ilp": {}}
     for label, candidates in candidate_sets.items():
-        cophy = CoPhyAdvisor(schema).tune(workload, [budget],
+        cophy = make_advisor("cophy", schema).tune(workload, [budget],
                                           candidates=candidates)
-        ilp = IlpAdvisor(schema).tune(workload, [budget], candidates=candidates)
+        ilp = make_advisor("ilp", schema).tune(workload, [budget], candidates=candidates)
         for name, recommendation in (("cophy", cophy), ("ilp", ilp)):
             totals[name][label] = recommendation.total_seconds
             builds[name][label] = recommendation.timings.get("build", 0.0)

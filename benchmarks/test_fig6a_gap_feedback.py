@@ -13,8 +13,8 @@ time to reach a 5% gap grows with the workload size.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.api import make_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.solver import SolverBackend
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -26,7 +26,7 @@ def _run_fig6a():
     traces = {}
     for paper_size, size in WORKLOAD_SIZES.items():
         workload = generate_homogeneous_workload(size, seed=SEED)
-        advisor = CoPhyAdvisor(schema, backend=SolverBackend.BRANCH_AND_BOUND,
+        advisor = make_advisor("cophy", schema, backend=SolverBackend.BRANCH_AND_BOUND,
                                gap_tolerance=0.0, time_limit_seconds=60.0)
         recommendation = advisor.tune(workload, constraints=[budget])
         trace = recommendation.gap_trace

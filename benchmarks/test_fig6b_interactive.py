@@ -16,8 +16,8 @@ from __future__ import annotations
 import random
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.api import make_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.workload.generators import generate_homogeneous_workload
 
 _PAPER_SECONDS = {"initial": 416, 10: 42, 25: 47, 50: 55, 100: 136}
@@ -29,7 +29,7 @@ def _run_fig6b():
     schema = make_schema(0.0)
     budget = storage_budget(schema, 1.0)
     workload = generate_homogeneous_workload(WORKLOAD_SIZES[1000], seed=SEED)
-    advisor = CoPhyAdvisor(schema)
+    advisor = make_advisor("cophy", schema)
 
     full = list(advisor.generate_candidates(workload))
     rng = random.Random(SEED)

@@ -15,8 +15,8 @@ storage-vs-cost trade-off.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
+from repro.api import make_advisor
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import StorageBudgetConstraint
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -27,7 +27,7 @@ _LAMBDAS = (0.0, 0.25, 0.5, 0.75, 1.0)
 def _run_fig6c():
     schema = make_schema(0.0)
     workload = generate_homogeneous_workload(WORKLOAD_SIZES[1000], seed=SEED)
-    advisor = CoPhyAdvisor(schema)
+    advisor = make_advisor("cophy", schema)
     soft = StorageBudgetConstraint(0.0).soft(target=0.0)
 
     import time

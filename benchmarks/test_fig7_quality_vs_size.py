@@ -14,11 +14,9 @@ Tool-B-like advisor stays closer to CoPhy.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -38,7 +36,7 @@ def _run_fig7():
     for paper_size, size in WORKLOAD_SIZES.items():
         workload = generate_homogeneous_workload(size, seed=SEED)
         result = compare_advisors(
-            [CoPhyAdvisor(schema), RelaxationAdvisor(schema), DtaAdvisor(schema)],
+            [make_advisor("cophy", schema), make_advisor("relaxation", schema), make_advisor("dta", schema)],
             evaluation, workload, [budget], name=f"fig7-{paper_size}")
         for run in result.runs:
             speedups[run.advisor_name][paper_size] = run.speedup_percent

@@ -13,11 +13,9 @@ looser budget even a weak search finds enough good indexes).
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -37,7 +35,7 @@ def _run_fig8():
     for fraction in (0.5, 1.0, 2.0):
         budget = storage_budget(schema, fraction)
         result = compare_advisors(
-            [CoPhyAdvisor(schema), RelaxationAdvisor(schema), DtaAdvisor(schema)],
+            [make_advisor("cophy", schema), make_advisor("relaxation", schema), make_advisor("dta", schema)],
             evaluation, workload, [budget], name=f"fig8-M{fraction}")
         ratios[fraction] = {
             "tool-a": result.perf_ratio("cophy", "tool-a"),

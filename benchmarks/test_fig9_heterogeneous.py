@@ -15,10 +15,9 @@ ahead at every size.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import (
     generate_heterogeneous_workload,
@@ -41,13 +40,13 @@ def _run_fig9():
     for paper_size, size in WORKLOAD_SIZES.items():
         het = generate_heterogeneous_workload(size, seed=SEED)
         het_result = compare_advisors(
-            [CoPhyAdvisor(schema), DtaAdvisor(schema)], evaluation, het,
+            [make_advisor("cophy", schema), make_advisor("dta", schema)], evaluation, het,
             [budget], name=f"fig9-het-{paper_size}")
         het_ratio[paper_size] = het_result.perf_ratio("cophy", "tool-b")
 
         hom = generate_homogeneous_workload(size, seed=SEED)
         hom_result = compare_advisors(
-            [CoPhyAdvisor(schema), DtaAdvisor(schema)], evaluation, hom,
+            [make_advisor("cophy", schema), make_advisor("dta", schema)], evaluation, hom,
             [budget], name=f"fig9-hom-{paper_size}")
         hom_ratio[paper_size] = hom_result.perf_ratio("cophy", "tool-b")
 

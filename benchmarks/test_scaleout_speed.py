@@ -29,8 +29,7 @@ import gc
 import os
 import time
 
-from repro.advisors.scaleout import ScaleOutAdvisor
-from repro.core.advisor import CoPhyAdvisor
+from repro.api import make_advisor
 from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import (
@@ -86,10 +85,10 @@ def test_scaleout_quality_and_speed(bench_record):
     budget = storage_budget(schema, 0.5)
 
     monolithic_seconds, monolithic = _best_of(
-        2, lambda: CoPhyAdvisor(schema).tune(workload, constraints=[budget]))
+        2, lambda: make_advisor("cophy", schema).tune(workload, constraints=[budget]))
 
     scaled_seconds, scaled = _best_of(
-        2, lambda: ScaleOutAdvisor(schema, signature="structural",
+        2, lambda: make_advisor("scaleout", schema, signature="structural",
                                    max_cost_error=MAX_COST_ERROR,
                                    shard_count=SHARD_COUNT,
                                    shard_workers=os.cpu_count()).tune(

@@ -13,11 +13,9 @@ good as both tools at every skew level.
 from __future__ import annotations
 
 from benchmarks.conftest import SEED, WORKLOAD_SIZES, make_schema, print_report, storage_budget
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import generate_homogeneous_workload
 
@@ -33,7 +31,7 @@ def _run_skew():
         evaluation = WhatIfOptimizer(schema)
         budget = storage_budget(schema, 1.0)
         result = compare_advisors(
-            [CoPhyAdvisor(schema), RelaxationAdvisor(schema), DtaAdvisor(schema)],
+            [make_advisor("cophy", schema), make_advisor("relaxation", schema), make_advisor("dta", schema)],
             evaluation, workload, [budget], name=f"skew-{skew}")
         speedups[skew] = {run.advisor_name: run.speedup_percent
                           for run in result.runs}

@@ -23,11 +23,9 @@ from benchmarks.conftest import (
     print_report,
     storage_budget,
 )
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.relaxation import RelaxationAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.reporting import format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.generators import (
     generate_heterogeneous_workload,
@@ -54,8 +52,8 @@ def _run_table1():
                                 ("het", generate_heterogeneous_workload)):
             workload = generator(size, seed=SEED)
             result = compare_advisors(
-                [CoPhyAdvisor(schema), RelaxationAdvisor(schema),
-                 DtaAdvisor(schema)],
+                [make_advisor("cophy", schema), make_advisor("relaxation", schema),
+                 make_advisor("dta", schema)],
                 evaluation, workload, [budget], name=f"table1-z{skew}-{kind}")
             ratio_a = result.perf_ratio("cophy", "tool-a")
             ratio_b = result.perf_ratio("cophy", "tool-b")

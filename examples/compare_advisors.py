@@ -6,25 +6,25 @@ homogeneous and a heterogeneous workload, and prints quality (speedup over the
 clustered-PK baseline), candidate counts, what-if calls and running times —
 the quantities behind Table 1 and Figures 4/7/9 of the paper.
 
+Every advisor is resolved from the registry and served through one ``Tuner``
+as a declarative ``TuningRequest`` batch (``compare_requests``), so the whole
+sweep shares one INUM cache per schema instead of rebuilding templates per
+advisor.
+
 Run with:  python examples/compare_advisors.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    CoPhyAdvisor,
-    DtaAdvisor,
-    IlpAdvisor,
-    RelaxationAdvisor,
-    StorageBudgetConstraint,
-    WhatIfOptimizer,
-)
-from repro.bench import compare_advisors, format_table
+from repro import StorageBudgetConstraint, Tuner, TuningRequest, WhatIfOptimizer
+from repro.bench import compare_requests, format_table
 from repro.catalog import tpch_schema
 from repro.workload import (
     generate_heterogeneous_workload,
     generate_homogeneous_workload,
 )
+
+ADVISORS = ("cophy", "ilp", "relaxation", "dta")
 
 
 def main() -> None:
@@ -37,15 +37,15 @@ def main() -> None:
         "heterogeneous (W_het)": generate_heterogeneous_workload(30, seed=23),
     }
 
+    tuner = Tuner()
     for label, workload in workloads.items():
-        advisors = [
-            CoPhyAdvisor(schema),
-            IlpAdvisor(schema),
-            RelaxationAdvisor(schema),
-            DtaAdvisor(schema),
+        requests = [
+            TuningRequest(workload=workload, schema=schema,
+                          constraints=[budget], advisor=name,
+                          request_id=f"{label}/{name}")
+            for name in ADVISORS
         ]
-        result = compare_advisors(advisors, evaluation, workload, [budget],
-                                  name=label)
+        result = compare_requests(tuner, requests, evaluation, name=label)
         print(format_table(result.rows(), title=f"\n=== {label} ==="))
         print(f"CoPhy / Tool-A quality ratio: "
               f"{result.perf_ratio('cophy', 'tool-a'):.2f}")

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from repro import (
     ClusteredIndexConstraint,
-    CoPhyAdvisor,
     IndexCountConstraint,
     IndexWidthConstraint,
     QuerySpeedupGenerator,
     StorageBudgetConstraint,
+    Tuner,
+    TuningRequest,
     WhatIfOptimizer,
 )
 from repro.bench import baseline_configuration, speedup_percent
@@ -31,7 +32,7 @@ from repro.workload import generate_homogeneous_workload
 def main() -> None:
     schema = tpch_schema(scale_factor=0.01)
     workload = generate_homogeneous_workload(30, seed=11)
-    advisor = CoPhyAdvisor(schema)
+    tuner = Tuner()
     evaluation = WhatIfOptimizer(schema)
     baseline = baseline_configuration(schema)
 
@@ -57,22 +58,24 @@ def main() -> None:
     ]
 
     try:
-        recommendation = advisor.tune(workload, constraints=constraints)
+        result = tuner.tune(TuningRequest(workload=workload, schema=schema,
+                                          constraints=constraints))
     except InfeasibleProblemError as failure:
         # CoPhy reports the offending constraints so the DBA can relax them.
         print(f"The constraint set is infeasible: {failure.violated_constraints}")
         print("Retrying without the per-query speedup generator...")
-        recommendation = advisor.tune(workload, constraints=constraints[:-1])
+        result = tuner.tune(TuningRequest(workload=workload, schema=schema,
+                                          constraints=constraints[:-1]))
 
-    print(f"Recommended {recommendation.index_count} indexes "
-          f"(out of {recommendation.candidate_count} candidates):")
-    for index in sorted(recommendation.configuration, key=lambda i: i.name):
+    print(f"Recommended {result.index_count} indexes "
+          f"(out of {result.diagnostics.candidate_count} candidates):")
+    for index in sorted(result.configuration, key=lambda i: i.name):
         print(f"  {index}")
 
-    lineitem_indexes = recommendation.configuration.indexes_on("lineitem")
+    lineitem_indexes = result.configuration.indexes_on("lineitem")
     print(f"\nIndexes on lineitem: {len(lineitem_indexes)} (limit was 2)")
     print(f"Overall speedup vs baseline: "
-          f"{speedup_percent(evaluation, workload, recommendation.configuration):.1f}%")
+          f"{speedup_percent(evaluation, workload, result.configuration):.1f}%")
 
 
 if __name__ == "__main__":

@@ -1,25 +1,33 @@
 """Interactive tuning (section 4.2 / Figure 6(b) of the paper).
 
-A DBA explores the design space incrementally: get an initial recommendation,
-add hand-picked candidate indexes and re-tune, then tighten the constraints
-and re-tune again.  Re-tuning reuses INUM's cache, extends the existing BIP
-with a delta and warm-starts the solver, so it is much cheaper than the
-initial run.
+A DBA explores the design space incrementally: open a session on the tuning
+service, get an initial recommendation, add hand-picked candidate indexes and
+re-tune, then tighten the constraints and re-tune again.  Re-tuning reuses
+INUM's cache, extends the existing BIP with a delta and warm-starts the
+solver, so it is much cheaper than the initial run — and because the session
+lives on the service, it shares the schema's cache with every other request
+the service is fielding.
 
 Run with:  python examples/interactive_session.py
 """
 
 from __future__ import annotations
 
-from repro import CoPhyAdvisor, Index, IndexCountConstraint, StorageBudgetConstraint
+from repro import (
+    Index,
+    IndexCountConstraint,
+    StorageBudgetConstraint,
+    TuningRequest,
+    TuningService,
+)
 from repro.catalog import tpch_schema
 from repro.workload import generate_homogeneous_workload
 
 
-def describe(step: str, recommendation) -> None:
-    timings = recommendation.timings
-    print(f"{step:<28} indexes={recommendation.index_count:<3} "
-          f"objective={recommendation.objective_estimate:12.1f}  "
+def describe(step: str, result) -> None:
+    timings = result.diagnostics.timings
+    print(f"{step:<28} indexes={result.index_count:<3} "
+          f"objective={result.objective_estimate:12.1f}  "
           f"total={timings['total']:6.3f}s "
           f"(inum={timings.get('inum', 0.0):.3f}s, "
           f"build={timings.get('build', 0.0):.3f}s, "
@@ -29,10 +37,12 @@ def describe(step: str, recommendation) -> None:
 def main() -> None:
     schema = tpch_schema(scale_factor=0.01)
     workload = generate_homogeneous_workload(40, seed=3)
-    advisor = CoPhyAdvisor(schema)
     budget = StorageBudgetConstraint.from_fraction_of_data(schema, 1.0)
 
-    session = advisor.create_session(workload, constraints=[budget])
+    service = TuningService()
+    session = service.open_session(TuningRequest(
+        workload=workload, schema=schema, constraints=[budget],
+        request_id="interactive-demo"))
 
     # Step 1: the initial recommendation (full INUM + BIP build + solve).
     initial = session.recommend()
@@ -58,9 +68,10 @@ def main() -> None:
 
     print("\nSession history:")
     for position, entry in enumerate(session.history, start=1):
-        print(f"  run {position}: {entry.index_count} indexes, "
+        operation = entry.provenance["session"]["operation"]
+        print(f"  run {position} ({operation}): {entry.index_count} indexes, "
               f"objective {entry.objective_estimate:.1f}, "
-              f"{entry.timings['total']:.3f}s")
+              f"{entry.diagnostics.timings['total']:.3f}s")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,11 @@
-"""Quickstart: tune a TPC-H workload with CoPhy.
+"""Quickstart: tune a TPC-H workload through the unified tuning API.
 
 Builds the synthetic TPC-H catalog, generates a homogeneous workload (the
-paper's ``W_hom``), runs the CoPhy advisor under a storage budget of 1x the
-data size, and evaluates the recommendation against the clustered-primary-key
+paper's ``W_hom``), describes the tuning problem as one declarative
+``TuningRequest``, serves it through ``Tuner.tune()`` and inspects the
+uniform ``TuningResult`` — recommendation, per-statement costs, solver
+diagnostics and the machine-readable provenance of the resolved pipeline —
+before evaluating the recommendation against the clustered-primary-key
 baseline with the ground-truth what-if optimizer.
 
 Run with:  python examples/quickstart.py
@@ -10,7 +13,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import CoPhyAdvisor, StorageBudgetConstraint, WhatIfOptimizer
+from repro import StorageBudgetConstraint, Tuner, TuningRequest, WhatIfOptimizer
 from repro.bench import perf_improvement, speedup_percent
 from repro.catalog import tpch_schema
 from repro.workload import generate_homogeneous_workload
@@ -27,28 +30,51 @@ def main() -> None:
     workload = generate_homogeneous_workload(40, seed=7)
     print(f"Workload: {workload.summary()}")
 
-    # 3. The advisor: CGen -> INUM -> BIPGen -> BIP solver (Figure 2 of the paper).
-    advisor = CoPhyAdvisor(schema)
-    budget = StorageBudgetConstraint.from_fraction_of_data(schema, fraction=1.0)
-    recommendation = advisor.tune(workload, constraints=[budget])
+    # 3. The request: everything the tune needs, declaratively.  The advisor
+    #    defaults to CoPhy (CGen -> INUM -> BIPGen -> BIP solver, Figure 2 of
+    #    the paper); swap in advisor="dta" / "tool-a" / "ilp" / "scaleout" to
+    #    run any other registered strategy through the same call.
+    request = TuningRequest(
+        workload=workload,
+        schema=schema,
+        constraints=[StorageBudgetConstraint.from_fraction_of_data(
+            schema, fraction=1.0)],
+        request_id="quickstart",
+    )
+    result = Tuner().tune(request)
 
-    print(f"\nCoPhy examined {recommendation.candidate_count} candidate indexes "
-          f"using {recommendation.whatif_calls} optimizer calls and recommended "
-          f"{recommendation.index_count} of them:")
-    for index in sorted(recommendation.configuration, key=lambda i: i.name):
+    diagnostics = result.diagnostics
+    print(f"\nCoPhy examined {diagnostics.candidate_count} candidate indexes "
+          f"using {diagnostics.whatif_calls} optimizer calls and recommended "
+          f"{result.index_count} of them:")
+    for index in sorted(result.configuration, key=lambda i: i.name):
         print(f"  {index}")
 
-    timings = recommendation.timings
+    timings = diagnostics.timings
     print(f"\nTime breakdown: INUM {timings['inum']:.2f}s, "
           f"BIP build {timings['build']:.2f}s, solve {timings['solve']:.2f}s "
-          f"(total {timings['total']:.2f}s)")
+          f"(total {timings['total']:.2f}s; facade overhead "
+          f"{timings['facade.total'] - timings['total']:.3f}s)")
 
-    # 4. Evaluation: how much cheaper is the workload under the recommendation,
+    # 4. The uniform result: per-statement INUM costs under the chosen
+    #    configuration, and a provenance record of the resolved pipeline.
+    costly = sorted(result.statement_costs, key=lambda s: -s.weight * s.cost)
+    print("\nMost expensive statements under the recommendation:")
+    for entry in costly[:3]:
+        print(f"  {entry.statement:<14} weight={entry.weight:g} "
+              f"cost={entry.cost:.1f}")
+    advisor = result.provenance["advisor"]
+    print(f"\nProvenance: advisor={advisor['name']} ({advisor['class']}), "
+          f"gap={diagnostics.gap:.3f}, "
+          f"serialized payload={len(result.to_json())} JSON bytes, "
+          f"fingerprint={result.fingerprint()[:16]}…")
+
+    # 5. Evaluation: how much cheaper is the workload under the recommendation,
     #    measured with a fresh what-if optimizer (the ground truth)?
     evaluation = WhatIfOptimizer(schema)
-    perf = perf_improvement(evaluation, workload, recommendation.configuration)
+    perf = perf_improvement(evaluation, workload, result.configuration)
     print(f"\nWorkload cost reduction vs the clustered-PK baseline: "
-          f"{speedup_percent(evaluation, workload, recommendation.configuration):.1f}% "
+          f"{speedup_percent(evaluation, workload, result.configuration):.1f}% "
           f"(perf = {perf:.3f})")
 
 

@@ -15,7 +15,12 @@ from __future__ import annotations
 import os
 import time
 
-from repro import CoPhyAdvisor, ScaleOutAdvisor, StorageBudgetConstraint
+from repro import (
+    ScaleSpec,
+    StorageBudgetConstraint,
+    Tuner,
+    TuningRequest,
+)
 from repro.catalog import tpch_schema
 from repro.inum import InumCache
 from repro.optimizer import WhatIfOptimizer
@@ -37,24 +42,32 @@ def main() -> None:
     print(f"Workload: {workload.summary()}")
     budget = StorageBudgetConstraint.from_fraction_of_data(schema, fraction=0.5)
 
+    # Monolithic and scale-out runs use separate tuners on purpose: sharing
+    # one context would let the second run free-ride on the first run's
+    # template builds and distort the timing comparison.
     # 2. The monolithic reference: one BIP over all 200 statements.
     started = time.perf_counter()
-    monolithic = CoPhyAdvisor(schema).tune(workload, constraints=[budget])
+    monolithic = Tuner().tune(TuningRequest(
+        workload=workload, schema=schema, constraints=[budget],
+        per_statement_costs=False, request_id="monolithic"))
     monolithic_seconds = time.perf_counter() - started
+    timings = monolithic.diagnostics.timings
     print(f"\nMonolithic BIP: {monolithic.index_count} indexes in "
           f"{monolithic_seconds:.2f}s "
-          f"(inum {monolithic.timings['inum']:.2f}s, "
-          f"build {monolithic.timings['build']:.2f}s, "
-          f"solve {monolithic.timings['solve']:.2f}s)")
+          f"(inum {timings['inum']:.2f}s, "
+          f"build {timings['build']:.2f}s, "
+          f"solve {timings['solve']:.2f}s)")
 
     # 3. The scale-out pipeline: compress (relative cost-error bound 1.0,
     #    i.e. log2 buckets), split into 4 shards, solve them on all cores,
-    #    merge the winners under the global budget.
-    advisor = ScaleOutAdvisor(schema, signature="structural",
-                              max_cost_error=1.0, shard_count=4,
-                              shard_workers=os.cpu_count())
+    #    merge the winners under the global budget.  A ScaleSpec on the
+    #    request is all it takes — the scale-out advisor is implied.
     started = time.perf_counter()
-    scaled = advisor.tune(workload, constraints=[budget])
+    scaled = Tuner().tune(TuningRequest(
+        workload=workload, schema=schema, constraints=[budget],
+        scale=ScaleSpec(signature="structural", max_cost_error=1.0,
+                        shard_count=4, shard_workers=os.cpu_count()),
+        request_id="scale-out"))
     scaled_seconds = time.perf_counter() - started
     compression = scaled.extras["compression"]
     print(f"\nScale-out: {scaled.index_count} indexes in {scaled_seconds:.2f}s "

@@ -3,14 +3,17 @@
 Instead of a hard storage budget the DBA declares storage a *soft* constraint:
 the advisor then produces a set of Pareto-optimal recommendations trading
 total index storage against workload cost, computed with the Chord algorithm
-so that only a handful of BIP solves are needed.
+so that only a handful of BIP solves are needed.  Through the unified API the
+soft constraint simply rides in ``TuningRequest.constraints``; the primary
+recommendation comes back as the ``TuningResult`` and the full curve under
+``result.extras["pareto_points"]``.
 
 Run with:  python examples/soft_constraints_pareto.py
 """
 
 from __future__ import annotations
 
-from repro import CoPhyAdvisor, StorageBudgetConstraint, WhatIfOptimizer
+from repro import StorageBudgetConstraint, Tuner, TuningRequest, WhatIfOptimizer
 from repro.bench import speedup_percent
 from repro.catalog import tpch_schema
 from repro.workload import generate_homogeneous_workload
@@ -19,15 +22,17 @@ from repro.workload import generate_homogeneous_workload
 def main() -> None:
     schema = tpch_schema(scale_factor=0.01)
     workload = generate_homogeneous_workload(30, seed=19)
-    advisor = CoPhyAdvisor(schema)
     evaluation = WhatIfOptimizer(schema)
 
     # "Total index storage should ideally be zero" — i.e. every byte of index
     # storage has to pay for itself in workload-cost reduction.
     soft_storage = StorageBudgetConstraint(0.0).soft(target=0.0)
 
-    # Let the Chord algorithm pick the lambda values adaptively.
-    points = advisor.explore_tradeoffs(workload, [soft_storage])
+    # One declarative request; the Chord algorithm picks the lambda values.
+    result = Tuner().tune(TuningRequest(
+        workload=workload, schema=schema, constraints=[soft_storage],
+        request_id="pareto"))
+    points = result.extras["pareto_points"]
 
     print("Pareto-optimal trade-off between index storage and workload cost:")
     print(f"{'lambda':>8} {'storage MB':>12} {'workload cost':>15} "
@@ -38,7 +43,10 @@ def main() -> None:
               f"{point.workload_cost:15.1f} {speedup:10.1f} "
               f"{len(point.configuration):8d} {point.solve_seconds:8.3f}")
 
-    print("\nReading the curve: small lambda favours a tiny design (few or no "
+    print(f"\nPrimary recommendation (cost-optimal end of the curve): "
+          f"{result.index_count} indexes, objective "
+          f"{result.objective_estimate:.1f}")
+    print("Reading the curve: small lambda favours a tiny design (few or no "
           "indexes), large lambda favours raw workload cost; the DBA picks the "
           "knee that matches the storage they are willing to spend.")
 

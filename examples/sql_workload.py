@@ -10,7 +10,13 @@ Run with:  python examples/sql_workload.py
 
 from __future__ import annotations
 
-from repro import CoPhyAdvisor, StorageBudgetConstraint, WhatIfOptimizer
+from repro import (
+    AdvisorSpec,
+    StorageBudgetConstraint,
+    Tuner,
+    TuningRequest,
+    WhatIfOptimizer,
+)
 from repro.bench import speedup_percent
 from repro.catalog import tpch_schema
 from repro.workload import parse_workload
@@ -52,17 +58,20 @@ def main() -> None:
                               name="captured-sql-log")
     print(f"Parsed workload: {workload.summary()}")
 
-    advisor = CoPhyAdvisor(schema, gap_tolerance=0.05)  # stop within 5% of optimal
     budget = StorageBudgetConstraint.from_fraction_of_data(schema, 0.5)
-    recommendation = advisor.tune(workload, constraints=[budget])
+    result = Tuner().tune(TuningRequest(
+        workload=workload, schema=schema, constraints=[budget],
+        # Stop within 5% of the optimum (early termination).
+        advisor=AdvisorSpec("cophy", {"gap_tolerance": 0.05})))
 
-    print(f"\nRecommended indexes (gap at termination: {recommendation.gap:.2%}):")
-    for index in sorted(recommendation.configuration, key=lambda i: i.name):
+    print(f"\nRecommended indexes (gap at termination: "
+          f"{result.diagnostics.gap:.2%}):")
+    for index in sorted(result.configuration, key=lambda i: i.name):
         print(f"  {index}")
 
     evaluation = WhatIfOptimizer(schema)
     print(f"\nWeighted workload speedup vs the clustered-PK baseline: "
-          f"{speedup_percent(evaluation, workload, recommendation.configuration):.1f}%")
+          f"{speedup_percent(evaluation, workload, result.configuration):.1f}%")
 
 
 if __name__ == "__main__":

@@ -20,18 +20,22 @@ every substrate it depends on:
   Tool-B-like advisor with workload compression (``repro.advisors``),
 * the evaluation harness reproducing the paper's metrics (``repro.bench``).
 
+* the unified tuning API: declarative ``TuningRequest -> TuningResult``
+  through ``Tuner``/``TuningService`` with a pluggable advisor registry
+  (``repro.api``).
+
 Quick start::
 
-    from repro import CoPhyAdvisor, StorageBudgetConstraint
+    from repro import StorageBudgetConstraint, Tuner, TuningRequest
     from repro.catalog import tpch_schema
     from repro.workload import generate_homogeneous_workload
 
     schema = tpch_schema(scale_factor=0.01)
     workload = generate_homogeneous_workload(50, seed=1)
-    advisor = CoPhyAdvisor(schema)
     budget = StorageBudgetConstraint.from_fraction_of_data(schema, 1.0)
-    recommendation = advisor.tune(workload, constraints=[budget])
-    for index in recommendation.configuration:
+    result = Tuner().tune(TuningRequest(workload=workload, schema=schema,
+                                        constraints=[budget]))
+    for index in result.configuration:
         print(index)
 """
 
@@ -41,6 +45,16 @@ from repro.advisors import (
     Recommendation,
     RelaxationAdvisor,
     ScaleOutAdvisor,
+)
+from repro.api import (
+    AdvisorSpec,
+    CostingSpec,
+    ScaleSpec,
+    Tuner,
+    TuningRequest,
+    TuningResult,
+    TuningService,
+    make_advisor,
 )
 from repro.catalog import Schema, tpch_schema
 from repro.core import (
@@ -111,4 +125,13 @@ __all__ = [
     "Recommendation",
     # scale-out (PR 3)
     "ScaleOutAdvisor",
+    # unified tuning API (PR 4)
+    "AdvisorSpec",
+    "CostingSpec",
+    "ScaleSpec",
+    "Tuner",
+    "TuningRequest",
+    "TuningResult",
+    "TuningService",
+    "make_advisor",
 ]

@@ -23,7 +23,12 @@ import random
 import time
 from typing import Sequence
 
-from repro.advisors.base import Advisor, Recommendation, weighted_statement_costs
+from repro.advisors.base import (
+    Advisor,
+    Recommendation,
+    warn_legacy_construction,
+    weighted_statement_costs,
+)
 from repro.bench.metrics import baseline_configuration
 from repro.catalog.schema import Schema
 from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
@@ -67,6 +72,7 @@ class DtaAdvisor(Advisor):
                  candidates_per_query: int = 3,
                  seed: int = 29,
                  inum: "InumCache | None" = None):
+        warn_legacy_construction(type(self))
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
         self.candidate_generator = candidate_generator or CandidateGenerator(

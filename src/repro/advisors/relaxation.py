@@ -25,7 +25,12 @@ import random
 import time
 from typing import Sequence
 
-from repro.advisors.base import Advisor, Recommendation, weighted_statement_costs
+from repro.advisors.base import (
+    Advisor,
+    Recommendation,
+    warn_legacy_construction,
+    weighted_statement_costs,
+)
 from repro.bench.metrics import baseline_configuration
 from repro.catalog.schema import Schema
 from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
@@ -68,6 +73,7 @@ class RelaxationAdvisor(Advisor):
                  whatif_call_budget: int = 4000,
                  seed: int = 17,
                  inum: "InumCache | None" = None):
+        warn_legacy_construction(type(self))
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
         self.candidate_generator = candidate_generator or CandidateGenerator(

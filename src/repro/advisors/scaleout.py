@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.advisors.base import Advisor, Recommendation
+from repro.advisors.base import Advisor, Recommendation, warn_legacy_construction
 from repro.catalog.schema import Schema
 from repro.core.bip_builder import BipBuilder
 from repro.core.constraints import (
@@ -98,6 +98,7 @@ class ScaleOutAdvisor(Advisor):
                  backend: SolverBackend = SolverBackend.MILP,
                  gap_tolerance: float = 0.05,
                  time_limit_seconds: float | None = None):
+        warn_legacy_construction(type(self))
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
         self.inum = inum or InumCache(self.optimizer)

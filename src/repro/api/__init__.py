@@ -1,0 +1,68 @@
+"""The unified tuning API: declarative requests, one facade, uniform results.
+
+The paper's advisor is *scalable, portable and interactive*; this package is
+the one stable surface those properties are served through:
+
+* :class:`~repro.api.specs.TuningRequest` — a declarative tuning problem
+  (workload + schema + constraints + :class:`AdvisorSpec` /
+  :class:`CostingSpec` / :class:`ScaleSpec`), no hand-threaded wiring;
+* :class:`~repro.api.tuner.Tuner` — ``tune(request) -> TuningResult`` with
+  automatic per-schema sharing of the optimizer, the INUM cache and workload
+  tensors;
+* :class:`~repro.api.result.TuningResult` — configuration, per-statement
+  costs, solver diagnostics and a machine-readable provenance, JSON
+  round-trippable;
+* the advisor **registry** (:mod:`repro.api.registry`) — every strategy
+  (CoPhy, ILP, Tool-A, Tool-B, scale-out) is a pluggable
+  :class:`AdvisorProtocol` implementation registered by name;
+* :class:`~repro.api.service.TuningService` — concurrent serving with
+  per-schema cache sharing and interactive sessions
+  (:meth:`~repro.api.service.TuningService.open_session`).
+
+Quick start::
+
+    from repro.api import Tuner, TuningRequest
+    from repro import StorageBudgetConstraint
+    from repro.catalog import tpch_schema
+    from repro.workload import generate_homogeneous_workload
+
+    schema = tpch_schema(scale_factor=0.01)
+    request = TuningRequest(
+        workload=generate_homogeneous_workload(40, seed=7),
+        schema=schema,
+        constraints=[StorageBudgetConstraint.from_fraction_of_data(schema, 1.0)],
+    )
+    result = Tuner().tune(request)
+    print(result.summary(), result.to_json(indent=2))
+"""
+
+from repro.api.registry import (
+    AdvisorProtocol,
+    advisor_factory,
+    available_advisors,
+    make_advisor,
+    register_advisor,
+)
+from repro.api.result import StatementCost, TuningDiagnostics, TuningResult
+from repro.api.service import TuningService, TuningSession
+from repro.api.specs import AdvisorSpec, CostingSpec, ScaleSpec, TuningRequest
+from repro.api.tuner import SchemaContext, Tuner
+
+__all__ = [
+    "AdvisorProtocol",
+    "AdvisorSpec",
+    "CostingSpec",
+    "ScaleSpec",
+    "SchemaContext",
+    "StatementCost",
+    "TuningDiagnostics",
+    "TuningRequest",
+    "TuningResult",
+    "TuningService",
+    "TuningSession",
+    "Tuner",
+    "advisor_factory",
+    "available_advisors",
+    "make_advisor",
+    "register_advisor",
+]

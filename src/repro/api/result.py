@@ -1,0 +1,250 @@
+"""The uniform result side of the unified tuning API.
+
+Every advisor's outcome is normalised into one :class:`TuningResult`: the
+chosen :class:`Configuration`, per-statement costs, solver diagnostics
+(bound gap, node counts, optimizer/template-build calls, stage timings) and
+a machine-readable ``provenance`` of the resolved pipeline.  The payload is
+JSON round-trippable (:meth:`TuningResult.to_json` /
+:meth:`TuningResult.from_json`) so results can be shipped over a wire,
+archived next to benchmark reports, and diffed across sessions; and
+:meth:`TuningResult.fingerprint` hashes the payload with every wall-clock
+field stripped, giving a determinism check that is stable across machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.advisors.base import Recommendation
+from repro.indexes.configuration import Configuration
+from repro.indexes.index import Index
+from repro.lp.solution import GapTracePoint
+
+__all__ = ["StatementCost", "TuningDiagnostics", "TuningResult"]
+
+#: Payload keys holding wall-clock measurements; stripped by the fingerprint.
+_TIMING_KEYS = frozenset({
+    "timings", "elapsed_seconds", "solve_seconds", "total_seconds", "seconds"})
+
+
+def index_to_payload(index: Index) -> dict[str, Any]:
+    """An :class:`Index` as a JSON-representable dict."""
+    return {
+        "table": index.table,
+        "key_columns": list(index.key_columns),
+        "include_columns": list(index.include_columns),
+        "clustered": index.clustered,
+        "name": index.name,
+    }
+
+
+def index_from_payload(payload: Mapping[str, Any]) -> Index:
+    return Index(payload["table"], tuple(payload["key_columns"]),
+                 include_columns=tuple(payload["include_columns"]),
+                 clustered=bool(payload["clustered"]),
+                 name=payload["name"] or None)
+
+
+@dataclass(frozen=True)
+class StatementCost:
+    """One statement's cost under the chosen configuration.
+
+    ``cost`` is the full unweighted INUM statement cost (maintenance terms
+    included for updates); the weighted contribution to the workload
+    objective is ``weight * cost``.
+    """
+
+    statement: str
+    weight: float
+    cost: float
+
+
+@dataclass
+class TuningDiagnostics:
+    """Solver and pipeline diagnostics, uniform across advisors.
+
+    Fields an advisor cannot provide are zero/empty (e.g. greedy advisors
+    have no bound gap and no node counts).
+    """
+
+    gap: float = 0.0
+    whatif_calls: int = 0
+    candidate_count: int = 0
+    nodes_explored: int = 0
+    iterations: int = 0
+    #: Advisor-reported per-stage seconds plus the facade's own stages
+    #: (``facade.prepare`` / ``facade.evaluate`` / ``facade.total``).
+    timings: dict[str, float] = field(default_factory=dict)
+    gap_trace: tuple[GapTracePoint, ...] = ()
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "gap": self.gap,
+            "whatif_calls": self.whatif_calls,
+            "candidate_count": self.candidate_count,
+            "nodes_explored": self.nodes_explored,
+            "iterations": self.iterations,
+            "timings": dict(self.timings),
+            "gap_trace": [asdict(point) for point in self.gap_trace],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TuningDiagnostics":
+        return cls(
+            gap=float(payload.get("gap", 0.0)),
+            whatif_calls=int(payload.get("whatif_calls", 0)),
+            candidate_count=int(payload.get("candidate_count", 0)),
+            nodes_explored=int(payload.get("nodes_explored", 0)),
+            iterations=int(payload.get("iterations", 0)),
+            timings=dict(payload.get("timings", {})),
+            gap_trace=tuple(GapTracePoint(**point)
+                            for point in payload.get("gap_trace", ())),
+        )
+
+
+@dataclass
+class TuningResult:
+    """What one ``Tuner.tune(request)`` call returns, for every advisor."""
+
+    configuration: Configuration
+    advisor_name: str
+    objective_estimate: float
+    statement_costs: tuple[StatementCost, ...]
+    diagnostics: TuningDiagnostics
+    provenance: dict[str, Any]
+    #: Advisor-specific live extras (Pareto points, the BIP, solve reports…).
+    #: Programmatic-access only: never serialized, empty after ``from_json``.
+    extras: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def index_count(self) -> int:
+        return len(self.configuration)
+
+    @property
+    def total_seconds(self) -> float:
+        timings = self.diagnostics.timings
+        return timings.get("facade.total", timings.get("total", 0.0))
+
+    def statement_cost(self, statement_name: str) -> float:
+        for entry in self.statement_costs:
+            if entry.statement == statement_name:
+                return entry.cost
+        raise KeyError(f"No per-statement cost recorded for {statement_name!r}")
+
+    def summary(self) -> dict[str, Any]:
+        """Flat summary row (mirrors ``Recommendation.summary``)."""
+        return {
+            "advisor": self.advisor_name,
+            "indexes": self.index_count,
+            "candidates": self.diagnostics.candidate_count,
+            "whatif_calls": self.diagnostics.whatif_calls,
+            "objective": self.objective_estimate,
+            "gap": self.diagnostics.gap,
+            "total_seconds": round(self.total_seconds, 4),
+        }
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_recommendation(cls, recommendation: Recommendation,
+                            provenance: Mapping[str, Any],
+                            statement_costs: Sequence[StatementCost] = (),
+                            facade_timings: Mapping[str, float] | None = None,
+                            ) -> "TuningResult":
+        """Normalise a legacy :class:`Recommendation` into a result.
+
+        Node/iteration counts are lifted from the solve report when the
+        advisor recorded one in its extras.
+        """
+        nodes = iterations = 0
+        report = recommendation.extras.get("solve_report")
+        solution = getattr(report, "solution", None)
+        if solution is not None:
+            nodes = int(getattr(solution, "nodes_explored", 0))
+            iterations = int(getattr(solution, "iterations", 0))
+        timings = dict(recommendation.timings)
+        for stage, seconds in (facade_timings or {}).items():
+            timings[f"facade.{stage}"] = seconds
+        diagnostics = TuningDiagnostics(
+            gap=recommendation.gap,
+            whatif_calls=recommendation.whatif_calls,
+            candidate_count=recommendation.candidate_count,
+            nodes_explored=nodes,
+            iterations=iterations,
+            timings=timings,
+            gap_trace=recommendation.gap_trace,
+        )
+        return cls(
+            configuration=recommendation.configuration,
+            advisor_name=recommendation.advisor_name,
+            objective_estimate=recommendation.objective_estimate,
+            statement_costs=tuple(statement_costs),
+            diagnostics=diagnostics,
+            provenance=dict(provenance),
+            extras=dict(recommendation.extras),
+        )
+
+    # ------------------------------------------------------------ serialization
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-representable payload (everything except live extras)."""
+        return {
+            "advisor": self.advisor_name,
+            "objective_estimate": self.objective_estimate,
+            "configuration": {
+                "name": self.configuration.name,
+                "indexes": [index_to_payload(index)
+                            for index in self.configuration],
+            },
+            "statement_costs": [asdict(entry)
+                                for entry in self.statement_costs],
+            "diagnostics": self.diagnostics.to_payload(),
+            "provenance": self.provenance,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the payload (Python's JSON ``NaN``/``Infinity`` allowed)."""
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TuningResult":
+        configuration = Configuration(
+            (index_from_payload(entry)
+             for entry in payload["configuration"]["indexes"]),
+            name=payload["configuration"].get("name", ""))
+        return cls(
+            configuration=configuration,
+            advisor_name=payload["advisor"],
+            objective_estimate=float(payload["objective_estimate"]),
+            statement_costs=tuple(StatementCost(**entry)
+                                  for entry in payload["statement_costs"]),
+            diagnostics=TuningDiagnostics.from_payload(payload["diagnostics"]),
+            provenance=dict(payload["provenance"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningResult":
+        return cls.from_payload(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the payload with every wall-clock field stripped.
+
+        Two runs of the same seeded request must produce equal fingerprints
+        regardless of machine speed; anything that breaks this is a
+        determinism bug, not jitter.
+        """
+        canonical = json.dumps(_strip_timings(self.to_payload()),
+                               sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _strip_timings(value: Any) -> Any:
+    """Recursively drop wall-clock keys from a JSON-shaped payload."""
+    if isinstance(value, dict):
+        return {key: _strip_timings(item) for key, item in value.items()
+                if key not in _TIMING_KEYS}
+    if isinstance(value, list):
+        return [_strip_timings(item) for item in value]
+    return value

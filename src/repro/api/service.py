@@ -1,0 +1,197 @@
+"""``TuningService`` — serving many concurrent ``tune()`` calls per process.
+
+Concurrency model (see the ROADMAP design notes): every
+``(schema, CostingSpec)`` resolves to one :class:`SchemaContext` whose lock
+serializes *cache-mutating* pipelines — template builds, gamma-matrix column
+registration, tensor extension and the costing memos are all shared state,
+and per-request determinism is guaranteed by running each request's pipeline
+atomically against it.  Requests for different schemas (or different costing
+specs) hold different locks and genuinely run in parallel; requests for the
+same schema queue on the lock but still share every template, matrix and
+tensor the earlier requests built, which is where the service wins over a
+process-per-request design.  Results are deterministic per request: the
+recommendation, objective and per-statement costs do not depend on how
+concurrent requests interleave (call-count diagnostics may — a warm cache
+legitimately reports fewer template builds).
+
+Interactive sessions go through :meth:`TuningService.open_session`: the
+returned :class:`TuningSession` wraps the delta-BIP
+:class:`~repro.core.interactive.InteractiveTuningSession` machinery, takes
+the context lock around every call, and normalises every outcome into a
+:class:`TuningResult`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from repro.api.registry import canonical_name, make_advisor
+from repro.api.result import TuningResult
+from repro.api.specs import TuningRequest
+from repro.api.tuner import (
+    SchemaContext,
+    Tuner,
+    _resolve_candidates,
+    build_session_result,
+    tune_in_context,
+)
+from repro.core.interactive import InteractiveTuningSession
+
+__all__ = ["TuningService", "TuningSession"]
+
+
+class TuningService:
+    """A process-wide facade serving concurrent declarative tuning requests.
+
+    Args:
+        tuner: The underlying :class:`Tuner` (owns the per-schema contexts);
+            a fresh one is created when omitted, and sharing one between a
+            service and direct ``tuner.tune`` callers is safe as long as the
+            direct callers do not run concurrently with the service.
+        max_workers: Thread count for :meth:`tune_many` / :meth:`submit`
+            (``None`` lets :class:`ThreadPoolExecutor` pick its default).
+    """
+
+    def __init__(self, tuner: Tuner | None = None,
+                 max_workers: int | None = None):
+        self._tuner = tuner or Tuner()
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def tuner(self) -> Tuner:
+        return self._tuner
+
+    def context_for(self, schema, costing=None) -> SchemaContext:
+        """The shared per-schema context (exposed for inspection/tests)."""
+        return self._tuner.context_for(schema, costing)
+
+    # ------------------------------------------------------------------ tuning
+    def tune(self, request: TuningRequest) -> TuningResult:
+        """Serve one request, atomically against its schema context."""
+        context = self._tuner.context_for(request.schema, request.costing)
+        with context.lock:
+            return tune_in_context(request, context)
+
+    def submit(self, request: TuningRequest) -> "Future[TuningResult]":
+        """Queue a request on the service's thread pool."""
+        return self._ensure_executor().submit(self.tune, request)
+
+    def tune_many(self, requests: Iterable[TuningRequest]
+                  ) -> list[TuningResult]:
+        """Serve many requests concurrently; results in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ---------------------------------------------------------------- sessions
+    def open_session(self, request: TuningRequest) -> "TuningSession":
+        """Start an interactive (incremental re-tuning) session.
+
+        Only the CoPhy strategy supports delta-BIP re-tuning, so the request
+        must name it (or leave the advisor unset).
+        """
+        spec = request.resolved_advisor()
+        if canonical_name(spec.name) != "cophy":
+            raise ValueError(
+                f"Interactive sessions require the 'cophy' advisor; the "
+                f"request asks for {spec.name!r}")
+        context = self._tuner.context_for(request.schema, request.costing)
+        with context.lock:
+            advisor = make_advisor(spec.name, request.schema,
+                                   shared_optimizer=context.optimizer,
+                                   shared_inum=context.inum,
+                                   **request.resolved_options())
+            workload = context.canonical_workload(request.workload)
+            candidates = _resolve_candidates(request, context, workload)
+            inner = InteractiveTuningSession(
+                advisor, workload, constraints=request.constraints,
+                candidates=candidates, dba_indexes=())
+        return TuningSession(self, context, request, inner)
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="tuning-service")
+        return self._executor
+
+
+class TuningSession:
+    """A service-held interactive session returning :class:`TuningResult`.
+
+    Thin concurrency-and-normalisation shell over
+    :class:`InteractiveTuningSession`: every call holds the schema context's
+    lock (sessions share the context cache with regular ``tune()`` traffic)
+    and converts the recommendation uniformly.  The underlying session stays
+    reachable as :attr:`inner` for BIP-level inspection.
+    """
+
+    def __init__(self, service: TuningService, context: SchemaContext,
+                 request: TuningRequest, inner: InteractiveTuningSession):
+        self._service = service
+        self._context = context
+        self._request = request
+        self._inner = inner
+        self._history: list[TuningResult] = []
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def inner(self) -> InteractiveTuningSession:
+        return self._inner
+
+    @property
+    def history(self) -> tuple[TuningResult, ...]:
+        return tuple(self._history)
+
+    @property
+    def last_result(self) -> TuningResult | None:
+        return self._history[-1] if self._history else None
+
+    # ------------------------------------------------------------------ tuning
+    def recommend(self) -> TuningResult:
+        """Initial recommendation (full INUM + build + solve)."""
+        return self._run("recommend")
+
+    def add_candidates(self, new_indexes) -> TuningResult:
+        """Re-tune after adding candidates (delta BIP + warm start)."""
+        return self._run("add_candidates", new_indexes)
+
+    def remove_candidates(self, removed_indexes) -> TuningResult:
+        """Re-tune after retracting candidates (pinned delta BIP)."""
+        return self._run("remove_candidates", removed_indexes)
+
+    def update_constraints(self, constraints) -> TuningResult:
+        """Re-tune under a different constraint set (warm-started)."""
+        return self._run("update_constraints", constraints)
+
+    # ---------------------------------------------------------------- internals
+    def _run(self, method: str, *args: Any) -> TuningResult:
+        with self._context.lock:
+            recommendation = getattr(self._inner, method)(*args)
+        provenance = {
+            "api_version": 1,
+            "request_id": self._request.request_id,
+            "advisor": {"name": "cophy", "class": "InteractiveTuningSession"},
+            "session": {"step": len(self._history) + 1, "operation": method},
+            "schema": {"name": self._request.schema.name,
+                       "tables": len(self._request.schema)},
+            "workload": {"name": self._inner.workload.name},
+        }
+        result = build_session_result(recommendation, provenance)
+        self._history.append(result)
+        return result

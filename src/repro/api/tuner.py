@@ -1,0 +1,319 @@
+"""``Tuner.tune(request) -> TuningResult`` — the single tuning entry point.
+
+The Tuner owns one :class:`SchemaContext` per ``(schema, CostingSpec)``: a
+shared what-if optimizer, a shared :class:`InumCache` (templates, gamma
+matrices, workload tensors) and an LRU of canonical workload objects.  Every
+request against the same schema reuses that state — candidate registration
+rides on ``InumCache.prepare``'s idempotent/incremental columns, so a second
+request with an enlarged candidate set appends columns instead of rebuilding
+anything, and equal workloads resolve to one canonical object so the
+id-keyed tensor cache keeps hitting.
+
+The Tuner itself is single-threaded; :class:`repro.api.service.TuningService`
+adds per-context locking and a thread pool on top for concurrent serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+from repro.advisors.base import Advisor, Recommendation
+from repro.api.registry import canonical_name, make_advisor
+from repro.api.result import StatementCost, TuningResult
+from repro.api.specs import CostingSpec, TuningRequest
+from repro.catalog.schema import Schema
+from repro.exceptions import WorkloadError
+from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.inum.cache import InumCache
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.query import UpdateQuery
+from repro.workload.workload import Workload
+
+__all__ = ["SchemaContext", "Tuner"]
+
+#: Cap on canonical workload objects kept per schema context (aligned with
+#: the tensor LRU inside ``InumCache`` — keeping more would be pointless).
+WORKLOAD_LRU_LIMIT = 8
+
+
+def statement_digest(query) -> Hashable:
+    """The exact structural identity of one statement.
+
+    The scale-out structural signature (tables, joins, predicate
+    columns/operators/selectivity hints, grouping/ordering/aggregation/
+    projection shape, update targets) plus the predicate *constants*, which
+    the signature deliberately buckets — two statements with equal digests
+    are costed identically by the optimizer.
+    """
+    from repro.scale.compress import structural_statement_key
+
+    shell = query.query_shell() if isinstance(query, UpdateQuery) else query
+    constants = tuple(sorted(
+        (p.column.table, p.column.column, p.operator.name, repr(p.value))
+        for p in shell.predicates))
+    return (query.kind.value, structural_statement_key(query), constants)
+
+
+def workload_fingerprint(workload: Workload) -> Hashable:
+    """A hashable identity for "the same workload arriving again".
+
+    Keyed on names, weights *and* every statement's structural digest.  Two
+    workloads with equal fingerprints contain statements the optimizer costs
+    identically, so substituting one for the other cannot change any
+    recommendation — default statement names from ``parse_workload``
+    (``stmt1``, ``stmt2``, …) never alias structurally different workloads
+    onto each other.
+    """
+    return (workload.name,
+            tuple((statement.query.name, statement.weight,
+                   statement_digest(statement.query))
+                  for statement in workload))
+
+
+class SchemaContext:
+    """Shared per-(schema, costing) state behind the unified API."""
+
+    def __init__(self, schema: Schema, costing: CostingSpec):
+        self.schema = schema
+        self.costing = costing
+        self.optimizer = WhatIfOptimizer(schema)
+        self.inum = InumCache(
+            self.optimizer,
+            max_orders_per_table=costing.max_orders_per_table,
+            max_templates_per_query=costing.max_templates_per_query,
+            use_gamma_matrix=costing.use_gamma_matrix,
+            build_workers=costing.build_workers,
+            build_processes=costing.build_processes,
+        )
+        self.candidate_generator = CandidateGenerator(schema)
+        #: Serializes cache-mutating pipelines; taken by the TuningService
+        #: around every tune/session call on this context.
+        self.lock = threading.RLock()
+        self._workloads: OrderedDict[Hashable, Workload] = OrderedDict()
+        #: Structural digest per statement name ever admitted: the shared
+        #: ``InumCache`` keys templates/matrices by statement name, so one
+        #: name must mean one statement shape for the context's lifetime.
+        self._statement_digests: dict[str, Hashable] = {}
+
+    def canonical_workload(self, workload: Workload) -> Workload:
+        """The first-seen workload object equal to ``workload`` (LRU-kept).
+
+        ``InumCache`` keys workload tensors by object identity; routing equal
+        requests through one canonical object turns repeated service traffic
+        into tensor cache hits instead of rebuilds.
+
+        Raises:
+            WorkloadError: When a statement reuses a name this context has
+                already cached for a *structurally different* statement —
+                serving it against the name-keyed shared cache would mix two
+                statements' templates (wrong costs, or a shape crash deep in
+                the tensor), so the collision is rejected loudly at admission.
+        """
+        key = workload_fingerprint(workload)
+        with self.lock:
+            known = self._workloads.get(key)
+            if known is not None:
+                self._workloads.move_to_end(key)
+                return known
+            self._admit(workload)
+            if len(self._workloads) >= WORKLOAD_LRU_LIMIT:
+                self._workloads.popitem(last=False)
+            self._workloads[key] = workload
+            return workload
+
+    def _admit(self, workload: Workload) -> None:
+        """Check every statement name against the context's digest registry.
+
+        Validate-then-commit: a rejected workload must leave no trace — a
+        partial registration would spuriously reject later workloads with
+        names that never reached the shared cache.
+        """
+        admitted: dict[str, Hashable] = {}
+        for statement in workload:
+            query = statement.query
+            digest = statement_digest(query)
+            shell = (query.query_shell() if isinstance(query, UpdateQuery)
+                     else query)
+            for name in dict.fromkeys((query.name, shell.name)):
+                known = self._statement_digests.get(name, admitted.get(name))
+                if known is None:
+                    admitted[name] = digest
+                elif known != digest:
+                    raise WorkloadError(
+                        f"Statement name {name!r} already denotes a "
+                        f"structurally different statement in this schema "
+                        f"context (the shared INUM cache keys templates by "
+                        f"name). Give statements unique names, or tune the "
+                        f"conflicting workload through its own Tuner or a "
+                        f"distinct CostingSpec.")
+        self._statement_digests.update(admitted)
+
+
+class Tuner:
+    """The declarative tuning facade: resolve, wire, run, normalise."""
+
+    def __init__(self) -> None:
+        self._contexts: dict[tuple[int, CostingSpec], SchemaContext] = {}
+        self._contexts_lock = threading.Lock()
+
+    # ---------------------------------------------------------------- contexts
+    def context_for(self, schema: Schema,
+                    costing: CostingSpec | None = None) -> SchemaContext:
+        """The shared context of a schema (created on first use)."""
+        costing = costing or CostingSpec()
+        key = (id(schema), costing)
+        with self._contexts_lock:
+            context = self._contexts.get(key)
+            if context is None or context.schema is not schema:
+                context = SchemaContext(schema, costing)
+                self._contexts[key] = context
+            return context
+
+    @property
+    def contexts(self) -> tuple[SchemaContext, ...]:
+        with self._contexts_lock:
+            return tuple(self._contexts.values())
+
+    # ------------------------------------------------------------------ tuning
+    def tune(self, request: TuningRequest) -> TuningResult:
+        """Run one declarative tuning request end to end."""
+        context = self.context_for(request.schema, request.costing)
+        return tune_in_context(request, context)
+
+
+# ----------------------------------------------------------------- pipeline
+def tune_in_context(request: TuningRequest, context: SchemaContext
+                    ) -> TuningResult:
+    """The resolved pipeline: advisor from registry, shared wiring, result.
+
+    Factored out of :class:`Tuner` so the service can run it under its own
+    per-context locking without re-resolving contexts.
+    """
+    started = time.perf_counter()
+    facade_timings: dict[str, float] = {}
+    spec = request.resolved_advisor()
+    options = request.resolved_options()
+
+    workload = context.canonical_workload(request.workload)
+    candidates = _resolve_candidates(request, context, workload)
+
+    advisor = make_advisor(spec.name, request.schema,
+                           shared_optimizer=context.optimizer,
+                           shared_inum=context.inum, **options)
+
+    # Request-scoped candidate registration: when the request names its
+    # candidate universe, the shared cache registers the columns before the
+    # advisor runs (idempotent + incremental — repeated requests only append
+    # genuinely new columns).
+    prepared = False
+    shares_cache = getattr(advisor, "inum", None) is context.inum
+    if candidates is not None and shares_cache:
+        prepare_started = time.perf_counter()
+        context.inum.prepare(workload, candidates)
+        facade_timings["prepare"] = time.perf_counter() - prepare_started
+        prepared = True
+
+    recommendation = advisor.tune(workload, request.constraints,
+                                  candidates=candidates)
+
+    evaluate = request.per_statement_costs
+    if evaluate is None:
+        # Default: evaluate only advisors already wired to the context's
+        # gamma-matrix cache — the tensors exist, one reduction is free.
+        # The black-box baselines (dta/relaxation without use_shared_inum)
+        # would pay a full INUM build they deliberately avoided, and
+        # scale-out exists to never cost the full workload monolithically.
+        evaluate = (shares_cache and context.inum.uses_gamma_matrix
+                    and canonical_name(spec.name) != "scaleout")
+    # An explicit True always evaluates: InumCache.statement_costs answers
+    # from the per-statement loop when gamma matrices are disabled.
+    statement_costs: tuple[StatementCost, ...] = ()
+    if evaluate:
+        evaluate_started = time.perf_counter()
+        costs = context.inum.statement_costs(workload,
+                                             recommendation.configuration)
+        statement_costs = tuple(
+            StatementCost(statement=statement.query.name,
+                          weight=statement.weight, cost=float(cost))
+            for statement, cost in zip(workload, costs))
+        facade_timings["evaluate"] = time.perf_counter() - evaluate_started
+
+    facade_timings["total"] = time.perf_counter() - started
+    provenance = _provenance(request, spec, options, advisor, workload,
+                             candidates, prepared=prepared, evaluated=evaluate)
+    return TuningResult.from_recommendation(
+        recommendation, provenance=provenance,
+        statement_costs=statement_costs, facade_timings=facade_timings)
+
+
+def build_session_result(recommendation: Recommendation,
+                         provenance: Mapping[str, Any]) -> TuningResult:
+    """Normalise an interactive-session recommendation (no re-evaluation)."""
+    return TuningResult.from_recommendation(recommendation,
+                                            provenance=provenance)
+
+
+def _resolve_candidates(request: TuningRequest, context: SchemaContext,
+                        workload: Workload) -> CandidateSet | None:
+    """The request's candidate universe as a :class:`CandidateSet`.
+
+    ``None`` (no explicit candidates, no DBA indexes) defers to the advisor's
+    own candidate generation, exactly like the legacy call path.
+    """
+    candidates = request.candidates
+    if candidates is None:
+        if not request.dba_indexes:
+            return None
+        return context.candidate_generator.generate(
+            workload, dba_indexes=request.dba_indexes)
+    if isinstance(candidates, CandidateSet):
+        if not request.dba_indexes:
+            return candidates
+        return CandidateSet(request.schema,
+                            (*candidates, *request.dba_indexes))
+    return CandidateSet(request.schema,
+                        (*tuple(candidates), *request.dba_indexes))
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection of advisor options for the provenance."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _provenance(request: TuningRequest, spec, options: Mapping[str, Any],
+                advisor: Advisor, workload: Workload,
+                candidates: CandidateSet | None, *, prepared: bool,
+                evaluated: bool) -> dict[str, Any]:
+    """The machine-readable record of the resolved pipeline."""
+    return {
+        "api_version": 1,
+        "request_id": request.request_id,
+        "advisor": {
+            "requested": spec.name,
+            "name": canonical_name(spec.name),
+            "class": type(advisor).__name__,
+            "options": _jsonable(dict(options)),
+        },
+        "costing": request.costing.to_provenance(),
+        "scale": (request.scale.to_provenance()
+                  if request.scale is not None else None),
+        "schema": {"name": request.schema.name, "tables": len(request.schema)},
+        "workload": {"name": workload.name, **workload.summary()},
+        "constraints": [getattr(constraint, "name", type(constraint).__name__)
+                        for constraint in request.constraints],
+        "candidates": {
+            "provided": request.candidates is not None,
+            "dba_indexes": len(request.dba_indexes),
+            "count": None if candidates is None else len(candidates),
+        },
+        "pipeline": {"prepared": prepared, "evaluated": evaluated},
+    }

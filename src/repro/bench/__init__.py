@@ -14,7 +14,14 @@ from repro.bench.metrics import (
     speedup_percent,
     workload_cost,
 )
-from repro.bench.harness import AdvisorRun, ExperimentResult, run_advisor, compare_advisors
+from repro.bench.harness import (
+    AdvisorRun,
+    ExperimentResult,
+    compare_advisors,
+    compare_requests,
+    run_advisor,
+    run_request,
+)
 from repro.bench.reporting import format_table
 
 __all__ = [
@@ -26,5 +33,7 @@ __all__ = [
     "ExperimentResult",
     "run_advisor",
     "compare_advisors",
+    "run_request",
+    "compare_requests",
     "format_table",
 ]

@@ -1,11 +1,22 @@
-"""Experiment runner used by the per-figure benchmark scripts."""
+"""Experiment runner used by the per-figure benchmark scripts.
+
+Two entry points:
+
+* :func:`run_advisor` / :func:`compare_advisors` — the legacy surface taking
+  pre-built advisor instances (kept because the figure benchmarks wire
+  deliberately unusual instrumented advisors);
+* :func:`run_request` / :func:`compare_requests` — the unified-API surface:
+  declarative :class:`~repro.api.specs.TuningRequest` objects served through
+  one shared :class:`~repro.api.tuner.Tuner`, so a comparison sweep reuses
+  templates/tensors across advisors exactly like production traffic would.
+"""
 
 from __future__ import annotations
 
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.advisors.base import Advisor, Recommendation
 from repro.bench.metrics import baseline_configuration, perf_improvement
@@ -15,7 +26,13 @@ from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
 
-__all__ = ["AdvisorRun", "ExperimentResult", "run_advisor", "compare_advisors"]
+if TYPE_CHECKING:  # pragma: no cover - typing-only (bench must not force api)
+    from repro.api.result import TuningResult
+    from repro.api.specs import TuningRequest
+    from repro.api.tuner import Tuner
+
+__all__ = ["AdvisorRun", "ExperimentResult", "run_advisor", "compare_advisors",
+           "run_request", "compare_requests"]
 
 
 def _safe_ratio(numerator: float, denominator: float) -> float:
@@ -53,6 +70,9 @@ class AdvisorRun:
     recommendation: Recommendation
     perf: float
     wall_seconds: float
+    #: Set by the unified-API surface (:func:`run_request`); ``None`` for
+    #: legacy advisor-instance runs.
+    result: "TuningResult | None" = None
 
     @property
     def speedup_percent(self) -> float:
@@ -149,3 +169,71 @@ def compare_advisors(advisors: Sequence[Advisor],
                                        constraints, candidates,
                                        evaluation_inum=evaluation_inum))
     return result
+
+
+# --------------------------------------------------------- unified-API surface
+def run_request(tuner: "Tuner", request: "TuningRequest",
+                evaluation_optimizer: WhatIfOptimizer,
+                evaluation_inum: InumCache | None = None) -> AdvisorRun:
+    """Serve one declarative request and evaluate it against ground truth.
+
+    The unified-API twin of :func:`run_advisor`: the advisor is resolved from
+    the registry and wired to the tuner's shared per-schema cache, while the
+    evaluation still runs on its own optimizer (or INUM cache) so the
+    ground-truth measurement never pollutes the advisor-side counters.
+
+    Timing semantics: ``wall_seconds`` excludes the facade's per-statement
+    evaluation stage (result enrichment, not advisor work), but requests
+    served through one shared tuner are still *sweep-relative* — an earlier
+    request pays template builds that later requests reuse, exactly like
+    production traffic.  For paper-faithful cold-start timings, use a fresh
+    ``Tuner`` per request (or the legacy :func:`run_advisor`).
+    """
+    started = time.perf_counter()
+    result = tuner.tune(request)
+    wall_seconds = (time.perf_counter() - started
+                    - result.diagnostics.timings.get("facade.evaluate", 0.0))
+    baseline = baseline_configuration(evaluation_optimizer.schema)
+    evaluator = (evaluation_optimizer if evaluation_inum is None
+                 else evaluation_inum)
+    perf = perf_improvement(evaluator, request.workload,
+                            result.configuration, baseline)
+    diagnostics = result.diagnostics
+    recommendation = Recommendation(
+        configuration=result.configuration,
+        advisor_name=result.advisor_name,
+        objective_estimate=result.objective_estimate,
+        timings=dict(diagnostics.timings),
+        candidate_count=diagnostics.candidate_count,
+        whatif_calls=diagnostics.whatif_calls,
+        gap=diagnostics.gap,
+        gap_trace=diagnostics.gap_trace,
+        extras=result.extras,
+    )
+    return AdvisorRun(advisor_name=result.advisor_name,
+                      recommendation=recommendation, perf=perf,
+                      wall_seconds=wall_seconds, result=result)
+
+
+def compare_requests(tuner: "Tuner", requests: "Iterable[TuningRequest]",
+                     evaluation_optimizer: WhatIfOptimizer,
+                     name: str = "experiment",
+                     evaluation_inum: InumCache | None = None
+                     ) -> ExperimentResult:
+    """Serve several requests (typically one per advisor spec) and compare.
+
+    Requests against the same schema share the tuner's context — templates
+    built for the first advisor are reused by every later one, which is both
+    the realistic serving scenario and a large wall-clock win for sweeps.
+    The flip side: time ratios between rows are sweep-relative (they depend
+    on request order); see :func:`run_request` for cold-start alternatives.
+    """
+    runs = [run_request(tuner, request, evaluation_optimizer,
+                        evaluation_inum=evaluation_inum)
+            for request in requests]
+    metadata: dict = {}
+    if runs:
+        first = runs[0].result.provenance["workload"]
+        metadata = {"workload": first["name"],
+                    "statements": first["statements"]}
+    return ExperimentResult(name=name, runs=runs, metadata=metadata)

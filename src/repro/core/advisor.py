@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
-from repro.advisors.base import Advisor, Recommendation
+from repro.advisors.base import Advisor, Recommendation, warn_legacy_construction
 from repro.catalog.schema import Schema
 from repro.core.bip_builder import BipBuilder, CophyBip
 from repro.core.constraints import (
@@ -43,7 +43,12 @@ class CoPhyAdvisor(Advisor):
         gap_tolerance: Early-termination optimality gap (paper default: 5%).
         time_limit_seconds: Wall-clock limit for each solver call.
         apply_relaxation: Apply the Lagrangian-style relaxation before solving.
-        max_orders_per_table / max_templates_per_query: INUM enumeration caps.
+        max_orders_per_table / max_templates_per_query: INUM enumeration caps
+            (applied to a freshly created cache; a shared ``inum`` keeps its
+            own caps).
+        inum: Optional shared INUM cache (the unified API wires one per
+            schema so concurrent sessions reuse templates and tensors); a
+            fresh cache over ``optimizer`` is created otherwise.
     """
 
     name = "cophy"
@@ -56,13 +61,17 @@ class CoPhyAdvisor(Advisor):
                  time_limit_seconds: float | None = None,
                  apply_relaxation: bool = False,
                  max_orders_per_table: int = 2,
-                 max_templates_per_query: int = 64):
+                 max_templates_per_query: int = 64,
+                 inum: InumCache | None = None):
+        warn_legacy_construction(type(self))
         self.schema = schema
+        if optimizer is None and inum is not None:
+            optimizer = inum.optimizer
         self.optimizer = optimizer or WhatIfOptimizer(schema, cost_model)
         self.candidate_generator = candidate_generator or CandidateGenerator(schema)
-        self.inum = InumCache(self.optimizer,
-                              max_orders_per_table=max_orders_per_table,
-                              max_templates_per_query=max_templates_per_query)
+        self.inum = inum or InumCache(self.optimizer,
+                                      max_orders_per_table=max_orders_per_table,
+                                      max_templates_per_query=max_templates_per_query)
         self.bip_builder = BipBuilder(self.inum)
         self.solver = CoPhySolver(backend=backend, gap_tolerance=gap_tolerance,
                                   time_limit_seconds=time_limit_seconds,

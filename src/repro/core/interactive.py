@@ -6,6 +6,12 @@ recommendation.  CoPhy makes this cheap by (a) reusing the INUM cache, (b)
 extending the existing BIP with a *delta* instead of rebuilding it, and (c)
 warm-starting the solver from the previous solution.  Figure 6(b) shows the
 resulting order-of-magnitude reduction in response time.
+
+Since the unified tuning API landed, sessions are opened through
+``TuningService.open_session(TuningRequest(...))`` (which shares the
+schema's cache with concurrent ``tune()`` traffic and returns uniform
+``TuningResult`` objects); this class remains the delta-BIP engine behind
+that surface and the legacy ``CoPhyAdvisor.create_session`` entry point.
 """
 
 from __future__ import annotations

@@ -29,6 +29,9 @@ class Configuration:
         # immutable, and the costing hot paths call ``indexes_on`` for every
         # (statement, table) pair, so a linear scan per call adds up.
         self._by_table: dict[str, tuple[Index, ...]] | None = None
+        # Configurations key the costing memos and the scale-out shard maps;
+        # precompute the hash instead of re-deriving it per lookup.
+        self._hash = hash(self._index_set)
         self.name = name
 
     # ---------------------------------------------------------------- accessors
@@ -51,7 +54,20 @@ class Configuration:
         return self._index_set == other._index_set
 
     def __hash__(self) -> int:
-        return hash(self._index_set)
+        return self._hash
+
+    def __getstate__(self) -> dict:
+        # Like Index/TemplatePlan: the cached hash derives from string hashes,
+        # which vary per process (hash randomisation) — never ship it across a
+        # pickle boundary.  The by-table partition is cheap to rebuild lazily.
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        state["_by_table"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._hash = hash(self._index_set)
 
     def indexes_on(self, table: str) -> tuple[Index, ...]:
         if self._by_table is None:

@@ -53,7 +53,8 @@ from repro.workload.workload import Workload, WorkloadStatement
 if TYPE_CHECKING:  # pragma: no cover - type-checking import only
     from repro.inum.cache import InumCache
 
-__all__ = ["CompressedWorkload", "compress_workload", "SIGNATURE_MODES"]
+__all__ = ["CompressedWorkload", "compress_workload", "SIGNATURE_MODES",
+           "structural_statement_key"]
 
 #: Supported signature modes (see module docstring).
 SIGNATURE_MODES = ("structural", "gamma")
@@ -230,7 +231,10 @@ def _update_key(query: Query, max_cost_error: float,
     return (query.table, written, base_cost)
 
 
-def _structural_key(query: Query, max_cost_error: float) -> Hashable:
+def structural_statement_key(query: Query, max_cost_error: float = 0.0
+                             ) -> Hashable:
+    """The structural signature of one statement (public: the unified API's
+    workload fingerprint reuses it with the exact ``0.0`` fallback)."""
     shell = _shell_of(query)
     selectivities = tuple(sorted(
         (p.column.table, p.column.column, p.operator.name,
@@ -238,6 +242,9 @@ def _structural_key(query: Query, max_cost_error: float) -> Hashable:
         for p in shell.predicates))
     return (_shape_key(shell), selectivities,
             _update_key(query, max_cost_error, None))
+
+
+_structural_key = structural_statement_key
 
 
 def _gamma_key(query: Query, inum: "InumCache", max_cost_error: float

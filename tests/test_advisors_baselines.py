@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import make_advisor
 from repro.advisors.base import Recommendation
 from repro.advisors.dta import DtaAdvisor
 from repro.advisors.ilp_advisor import IlpAdvisor
 from repro.advisors.relaxation import RelaxationAdvisor
 from repro.bench.metrics import baseline_configuration, perf_improvement
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import StorageBudgetConstraint
 from repro.indexes.candidate_generation import CandidateGenerator
 from repro.indexes.index import index_size_bytes
@@ -29,7 +29,7 @@ def _budget(simple_schema, fraction=1.0) -> StorageBudgetConstraint:
 class TestIlpAdvisor:
     def test_produces_useful_recommendation(self, simple_schema, simple_workload,
                                             evaluation_optimizer):
-        advisor = IlpAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("ilp", simple_schema, gap_tolerance=0.0)
         recommendation = advisor.tune(simple_workload,
                                       [_budget(simple_schema)])
         assert isinstance(recommendation, Recommendation)
@@ -43,9 +43,9 @@ class TestIlpAdvisor:
                                                      evaluation_optimizer):
         """On small instances both BIP formulations find equally good designs."""
         budget = _budget(simple_schema)
-        cophy = CoPhyAdvisor(simple_schema, gap_tolerance=0.0).tune(
+        cophy = make_advisor("cophy", simple_schema, gap_tolerance=0.0).tune(
             simple_workload, [budget])
-        ilp = IlpAdvisor(simple_schema, gap_tolerance=0.0).tune(
+        ilp = make_advisor("ilp", simple_schema, gap_tolerance=0.0).tune(
             simple_workload, [budget])
         cophy_perf = perf_improvement(evaluation_optimizer, simple_workload,
                                       cophy.configuration)
@@ -56,7 +56,7 @@ class TestIlpAdvisor:
     def test_respects_storage_budget(self, simple_schema, simple_workload):
         tight = StorageBudgetConstraint(
             0.1 * simple_schema.total_size_bytes)
-        advisor = IlpAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("ilp", simple_schema, gap_tolerance=0.0)
         recommendation = advisor.tune(simple_workload, [tight])
         used = sum(index_size_bytes(index, simple_schema.table(index.table))
                    for index in recommendation.configuration)
@@ -64,9 +64,9 @@ class TestIlpAdvisor:
 
     def test_pruning_knobs_bound_the_model_size(self, simple_schema,
                                                 simple_workload):
-        small = IlpAdvisor(simple_schema, max_indexes_per_table=1,
+        small = make_advisor("ilp", simple_schema, max_indexes_per_table=1,
                            max_configurations_per_query=4)
-        large = IlpAdvisor(simple_schema, max_indexes_per_table=4,
+        large = make_advisor("ilp", simple_schema, max_indexes_per_table=4,
                            max_configurations_per_query=64)
         small_rec = small.tune(simple_workload)
         large_rec = large.tune(simple_workload)
@@ -75,9 +75,9 @@ class TestIlpAdvisor:
     def test_ilp_model_is_larger_than_cophys(self, simple_schema, simple_workload):
         """The per-atomic-configuration formulation needs more variables."""
         candidates = CandidateGenerator(simple_schema).generate(simple_workload)
-        cophy = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        cophy = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         cophy_rec = cophy.tune(simple_workload, candidates=candidates)
-        ilp = IlpAdvisor(simple_schema, gap_tolerance=0.0)
+        ilp = make_advisor("ilp", simple_schema, gap_tolerance=0.0)
         ilp_rec = ilp.tune(simple_workload, candidates=candidates)
         cophy_constraints = cophy_rec.extras["bip_statistics"]["constraints"]
         assert ilp_rec.extras["constraints"] > cophy_constraints * 0.5
@@ -88,7 +88,7 @@ class TestRelaxationAdvisor:
                                                    simple_workload,
                                                    evaluation_optimizer):
         budget = _budget(simple_schema)
-        advisor = RelaxationAdvisor(simple_schema)
+        advisor = make_advisor("relaxation", simple_schema)
         recommendation = advisor.tune(simple_workload, [budget])
         used = sum(index_size_bytes(index, simple_schema.table(index.table))
                    for index in recommendation.configuration)
@@ -97,29 +97,29 @@ class TestRelaxationAdvisor:
                                 recommendation.configuration) > 0.0
 
     def test_uses_many_whatif_calls(self, simple_schema, simple_workload):
-        advisor = RelaxationAdvisor(simple_schema)
+        advisor = make_advisor("relaxation", simple_schema)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
-        cophy = CoPhyAdvisor(simple_schema).tune(simple_workload,
+        cophy = make_advisor("cophy", simple_schema).tune(simple_workload,
                                                  [_budget(simple_schema)])
         assert recommendation.whatif_calls > cophy.whatif_calls
 
     def test_candidate_pruning_cap(self, simple_schema, simple_workload):
-        advisor = RelaxationAdvisor(simple_schema, max_candidates=5)
+        advisor = make_advisor("relaxation", simple_schema, max_candidates=5)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
         assert recommendation.candidate_count <= 5
 
     def test_call_budget_forces_workload_sampling(self, simple_schema,
                                                   simple_workload):
-        advisor = RelaxationAdvisor(simple_schema, whatif_call_budget=100)
+        advisor = make_advisor("relaxation", simple_schema, whatif_call_budget=100)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
         assert recommendation.extras["evaluated_statements"] <= len(simple_workload)
 
     def test_quality_trails_cophy(self, simple_schema, simple_workload,
                                   evaluation_optimizer):
         budget = _budget(simple_schema)
-        cophy = CoPhyAdvisor(simple_schema, gap_tolerance=0.0).tune(
+        cophy = make_advisor("cophy", simple_schema, gap_tolerance=0.0).tune(
             simple_workload, [budget])
-        tool_a = RelaxationAdvisor(simple_schema).tune(simple_workload, [budget])
+        tool_a = make_advisor("relaxation", simple_schema).tune(simple_workload, [budget])
         cophy_perf = perf_improvement(evaluation_optimizer, simple_workload,
                                       cophy.configuration)
         tool_a_perf = perf_improvement(evaluation_optimizer, simple_workload,
@@ -132,7 +132,7 @@ class TestDtaAdvisor:
                                                    simple_workload,
                                                    evaluation_optimizer):
         budget = _budget(simple_schema)
-        advisor = DtaAdvisor(simple_schema)
+        advisor = make_advisor("dta", simple_schema)
         recommendation = advisor.tune(simple_workload, [budget])
         used = sum(index_size_bytes(index, simple_schema.table(index.table))
                    for index in recommendation.configuration)
@@ -147,7 +147,7 @@ class TestDtaAdvisor:
         produce a beneficial, budget-respecting recommendation."""
         budget = _budget(simple_schema)
         optimizer = WhatIfOptimizer(simple_schema)
-        advisor = DtaAdvisor(simple_schema, optimizer=optimizer,
+        advisor = make_advisor("dta", simple_schema, optimizer=optimizer,
                              inum=InumCache(optimizer))
         recommendation = advisor.tune(simple_workload, [budget])
         # Every counted optimizer invocation is a template build — the cost
@@ -167,36 +167,36 @@ class TestDtaAdvisor:
         budget = _budget(simple_schema)
         fast_opt = WhatIfOptimizer(simple_schema)
         slow_opt = WhatIfOptimizer(simple_schema)
-        fast = DtaAdvisor(simple_schema, optimizer=fast_opt,
+        fast = make_advisor("dta", simple_schema, optimizer=fast_opt,
                           inum=InumCache(fast_opt)).tune(simple_workload, [budget])
-        slow = DtaAdvisor(simple_schema, optimizer=slow_opt,
+        slow = make_advisor("dta", simple_schema, optimizer=slow_opt,
                           inum=InumCache(slow_opt, use_gamma_matrix=False)
                           ).tune(simple_workload, [budget])
         assert fast.configuration == slow.configuration
         assert fast.objective_estimate == slow.objective_estimate
 
     def test_workload_compression_kicks_in(self, simple_schema, simple_workload):
-        advisor = DtaAdvisor(simple_schema, compression_size=2)
+        advisor = make_advisor("dta", simple_schema, compression_size=2)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
         assert recommendation.extras["compressed_statements"] == 2
         assert recommendation.extras["original_statements"] == len(simple_workload)
 
     def test_no_compression_for_small_workloads(self, simple_schema,
                                                 simple_workload):
-        advisor = DtaAdvisor(simple_schema, compression_size=50)
+        advisor = make_advisor("dta", simple_schema, compression_size=50)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
         assert recommendation.extras["compressed_statements"] == len(simple_workload)
 
     def test_candidate_cap_respected(self, simple_schema, simple_workload):
-        advisor = DtaAdvisor(simple_schema, max_candidates=3)
+        advisor = make_advisor("dta", simple_schema, max_candidates=3)
         recommendation = advisor.tune(simple_workload, [_budget(simple_schema)])
         assert recommendation.candidate_count <= 3
 
     def test_examines_fewer_candidates_than_cophy(self, simple_schema,
                                                   simple_workload):
         """The §5.2 observation: commercial advisors examine far fewer candidates."""
-        cophy = CoPhyAdvisor(simple_schema).tune(simple_workload)
-        tool_b = DtaAdvisor(simple_schema).tune(simple_workload)
+        cophy = make_advisor("cophy", simple_schema).tune(simple_workload)
+        tool_b = make_advisor("dta", simple_schema).tune(simple_workload)
         assert tool_b.candidate_count < cophy.candidate_count
 
 
@@ -217,7 +217,7 @@ class TestBaselineConfiguration:
 
     def test_perf_improvement_bounded(self, simple_schema, simple_workload,
                                       evaluation_optimizer):
-        recommendation = CoPhyAdvisor(simple_schema).tune(simple_workload)
+        recommendation = make_advisor("cophy", simple_schema).tune(simple_workload)
         perf = perf_improvement(evaluation_optimizer, simple_workload,
                                 recommendation.configuration)
         assert 0.0 <= perf < 1.0

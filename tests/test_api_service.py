@@ -1,0 +1,251 @@
+"""Tests for the concurrent TuningService: cache sharing, determinism, sessions."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import (
+    Tuner,
+    TuningRequest,
+    TuningService,
+    TuningSession,
+    make_advisor,
+)
+from repro.core.constraints import IndexCountConstraint, StorageBudgetConstraint
+from repro.workload.workload import Workload
+
+
+def _budget(schema, fraction=1.0):
+    return StorageBudgetConstraint.from_fraction_of_data(schema, fraction)
+
+
+def _requests(schema, workload):
+    """A mixed batch: two strategies plus a repeated request and a variant."""
+    budget = _budget(schema)
+    return [
+        TuningRequest(workload=workload, schema=schema, constraints=[budget],
+                      advisor="cophy", request_id="cophy-1"),
+        TuningRequest(workload=workload, schema=schema, constraints=[budget],
+                      advisor="dta", request_id="dta-1"),
+        TuningRequest(workload=workload, schema=schema, constraints=[budget],
+                      advisor="tool-a", request_id="tool-a-1"),
+        TuningRequest(workload=workload, schema=schema,
+                      constraints=[_budget(schema, 0.25)],
+                      advisor="cophy", request_id="cophy-tight"),
+        TuningRequest(workload=workload, schema=schema, constraints=[budget],
+                      advisor="cophy", request_id="cophy-2"),
+    ]
+
+
+class TestConcurrentTuning:
+    def test_simultaneous_requests_share_one_cache_deterministically(
+            self, simple_schema, simple_workload):
+        """≥4 simultaneous ``tune()`` calls, one shared cache, per-request
+        results identical to an isolated sequential run.
+
+        Determinism is asserted on the decisions (configuration, objective,
+        per-statement costs) — call-count diagnostics legitimately differ
+        between warm and cold caches.
+        """
+        sequential = [Tuner().tune(request)  # fresh Tuner per request: cold,
+                      for request in _requests(simple_schema, simple_workload)]
+
+        with TuningService(max_workers=4) as service:
+            # All five requests are in flight together before any completes.
+            barrier = threading.Barrier(4, timeout=30)
+            gate_hits = []
+
+            original = service.tune
+
+            def gated_tune(request):
+                if len(gate_hits) < 4:
+                    gate_hits.append(request.request_id)
+                    barrier.wait()
+                return original(request)
+
+            service.tune = gated_tune  # type: ignore[method-assign]
+            concurrent = service.tune_many(
+                _requests(simple_schema, simple_workload))
+            assert len(gate_hits) >= 4
+
+            # One schema + one costing spec = exactly one shared context.
+            assert len(service.tuner.contexts) == 1
+            context = service.context_for(simple_schema)
+            assert context.inum.cached_query_count == len(simple_workload)
+
+        for expected, got in zip(sequential, concurrent):
+            assert got.configuration == expected.configuration
+            assert got.objective_estimate == expected.objective_estimate
+            assert ([ (c.statement, c.cost) for c in got.statement_costs]
+                    == [(c.statement, c.cost) for c in expected.statement_costs])
+
+    def test_repeated_requests_reuse_templates_and_tensors(self, simple_schema,
+                                                           simple_workload):
+        service = TuningService()
+        first = TuningRequest(workload=simple_workload, schema=simple_schema,
+                              constraints=[_budget(simple_schema)])
+        service.tune(first)
+        context = service.context_for(simple_schema)
+        builds_after_first = context.inum.template_build_calls
+        assert builds_after_first > 0
+
+        # An equal-but-distinct workload object: the canonical-workload LRU
+        # must route it onto the existing tensors, not rebuild anything.
+        clone = Workload(simple_workload.statements, name=simple_workload.name)
+        assert clone is not simple_workload
+        second = TuningRequest(workload=clone, schema=simple_schema,
+                               constraints=[_budget(simple_schema)])
+        result = service.tune(second)
+        assert context.inum.template_build_calls == builds_after_first
+        assert context.canonical_workload(clone) is context.canonical_workload(
+            simple_workload)
+        assert result.configuration == service.tune(first).configuration
+
+    def test_name_collisions_do_not_alias_different_workloads(self, tpch):
+        """Default statement names (``stmt1``…) must never make the shared
+        context substitute or mix structurally different statements — the
+        collision is rejected loudly at admission, never served wrong."""
+        from repro.exceptions import WorkloadError
+        from repro.api.tuner import workload_fingerprint
+        from repro.workload import parse_workload
+
+        first = parse_workload(
+            ["SELECT o_totalprice FROM orders WHERE o_orderdate < 700"],
+            schema=tpch)
+        second = parse_workload(
+            ["SELECT l_extendedprice FROM lineitem "
+             "WHERE l_shipdate BETWEEN 2300 AND 2400"],
+            schema=tpch)
+        # Same workload name, same default statement names and weights —
+        # only the structure differs.
+        assert first.name == second.name
+        assert [s.query.name for s in first] == [s.query.name for s in second]
+        assert workload_fingerprint(first) != workload_fingerprint(second)
+
+        service = TuningService()
+        ok = service.tune(TuningRequest(workload=first, schema=tpch))
+        assert {index.table for index in ok.configuration} <= {"orders"}
+        # The shared cache keys templates by statement name: serving the
+        # colliding workload would mix the two statements' templates.
+        with pytest.raises(WorkloadError, match="structurally different"):
+            service.tune(TuningRequest(workload=second, schema=tpch))
+        # A repeat of the admitted workload (equal fingerprint) still works…
+        again = service.tune(TuningRequest(workload=first, schema=tpch))
+        assert again.configuration == ok.configuration
+        # …and the rejected workload tunes fine on its own context.
+        fresh = Tuner().tune(TuningRequest(workload=second, schema=tpch))
+        assert {index.table for index in fresh.configuration} <= {"lineitem"}
+
+    def test_rejected_workload_leaves_no_digest_trace(self, tpch):
+        """Admission is validate-then-commit: a refused workload must not
+        poison the name registry for names it never served."""
+        from repro.exceptions import WorkloadError
+        from repro.workload import parse_statement
+        from repro.workload.workload import Workload
+
+        def statement(sql, name):
+            return parse_statement(sql, schema=tpch, name=name)
+
+        service = TuningService()
+        service.tune(TuningRequest(workload=Workload([statement(
+            "SELECT o_totalprice FROM orders WHERE o_orderdate < 700",
+            "q-orders")]), schema=tpch))
+        # The rejected workload registers a *fresh* name first, then hits the
+        # collision — the fresh registration must be rolled back with it.
+        rejected = Workload([
+            statement("SELECT s_acctbal FROM supplier WHERE s_acctbal >= 9000",
+                      "q-fresh"),
+            statement("SELECT l_extendedprice FROM lineitem "
+                      "WHERE l_shipdate < 100", "q-orders"),  # collides
+        ])
+        with pytest.raises(WorkloadError, match="q-orders"):
+            service.tune(TuningRequest(workload=rejected, schema=tpch))
+        # 'q-fresh' may later name a *different* shape: the rejected
+        # workload's registration must not have stuck.
+        ok = service.tune(TuningRequest(workload=Workload([statement(
+            "SELECT p_retailprice FROM part WHERE p_size <= 5", "q-fresh")]),
+            schema=tpch))
+        assert {index.table for index in ok.configuration} <= {"part"}
+
+    def test_fingerprint_is_constant_sensitive(self, tpch):
+        """Equal shapes with different predicate constants stay distinct."""
+        from repro.api.tuner import workload_fingerprint
+        from repro.workload import parse_workload
+
+        narrow = parse_workload(
+            ["SELECT o_totalprice FROM orders WHERE o_orderdate < 10"],
+            schema=tpch)
+        wide = parse_workload(
+            ["SELECT o_totalprice FROM orders WHERE o_orderdate < 2000"],
+            schema=tpch)
+        assert workload_fingerprint(narrow) != workload_fingerprint(wide)
+
+    def test_different_costing_specs_do_not_share_a_context(self,
+                                                            simple_schema,
+                                                            simple_workload):
+        from repro.api import CostingSpec
+
+        service = TuningService()
+        service.tune(TuningRequest(workload=simple_workload,
+                                   schema=simple_schema))
+        service.tune(TuningRequest(workload=simple_workload,
+                                   schema=simple_schema,
+                                   costing=CostingSpec(max_orders_per_table=1)))
+        assert len(service.tuner.contexts) == 2
+
+
+class TestServiceSessions:
+    def test_open_session_matches_legacy_interactive_session(
+            self, simple_schema, simple_workload):
+        """The service session is the legacy delta-BIP session, normalised."""
+        budget = _budget(simple_schema)
+        legacy_advisor = make_advisor("cophy", simple_schema)
+        legacy = legacy_advisor.create_session(simple_workload,
+                                               constraints=[budget])
+        legacy_first = legacy.recommend()
+        legacy_capped = legacy.update_constraints(
+            [budget, IndexCountConstraint(limit=2)])
+
+        service = TuningService()
+        session = service.open_session(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[budget]))
+        assert isinstance(session, TuningSession)
+        first = session.recommend()
+        capped = session.update_constraints(
+            [budget, IndexCountConstraint(limit=2)])
+
+        assert first.configuration == legacy_first.configuration
+        assert first.objective_estimate == legacy_first.objective_estimate
+        assert capped.configuration == legacy_capped.configuration
+        assert len(session.history) == 2
+        assert session.last_result is capped
+        assert capped.provenance["session"] == {
+            "step": 2, "operation": "update_constraints"}
+
+    def test_session_add_and_remove_candidates(self, simple_schema,
+                                               simple_workload):
+        from repro.indexes.index import Index
+
+        service = TuningService()
+        session = service.open_session(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[_budget(simple_schema)]))
+        session.recommend()
+        extra = Index("items", ("i_shipdate",), include_columns=("i_price",))
+        grown = session.add_candidates([extra])
+        assert grown.extras["warm_started"] is True
+        shrunk = session.remove_candidates([extra])
+        assert extra not in shrunk.configuration
+        assert session.inner.last_recommendation.configuration \
+            == shrunk.configuration
+
+    def test_open_session_requires_cophy(self, simple_schema,
+                                         simple_workload):
+        service = TuningService()
+        with pytest.raises(ValueError, match="cophy"):
+            service.open_session(TuningRequest(
+                workload=simple_workload, schema=simple_schema,
+                advisor="dta"))

@@ -1,0 +1,295 @@
+"""Tests for the unified tuning API: registry, Tuner pipeline, shims.
+
+The load-bearing guarantee is *bit-identity*: every advisor reached through
+``Tuner.tune(TuningRequest(...))`` must recommend exactly what the legacy
+constructor-call path recommends — the API layer wires shared state, it never
+changes a decision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisors.base import Recommendation
+from repro.advisors.dta import DtaAdvisor
+from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.advisors.relaxation import RelaxationAdvisor
+from repro.advisors.scaleout import ScaleOutAdvisor
+from repro.api import (
+    AdvisorSpec,
+    CostingSpec,
+    ScaleSpec,
+    Tuner,
+    TuningRequest,
+    TuningResult,
+    advisor_factory,
+    available_advisors,
+    make_advisor,
+    register_advisor,
+)
+from repro.core.advisor import CoPhyAdvisor
+from repro.core.constraints import StorageBudgetConstraint
+from repro.indexes.candidate_generation import CandidateGenerator
+from repro.indexes.configuration import Configuration
+
+
+def _budget(schema, fraction=1.0):
+    return StorageBudgetConstraint.from_fraction_of_data(schema, fraction)
+
+
+#: (registry name, legacy class, legacy constructor kwargs).  Scale-out runs
+#: inline (one worker) so the legacy and registry runs share no pool state.
+LEGACY_ADVISORS = [
+    ("cophy", CoPhyAdvisor, {}),
+    ("ilp", IlpAdvisor, {}),
+    ("dta", DtaAdvisor, {}),
+    ("relaxation", RelaxationAdvisor, {}),
+    ("scaleout", ScaleOutAdvisor, {"shard_workers": 1}),
+]
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("name,cls,kwargs", LEGACY_ADVISORS)
+    def test_legacy_construction_warns_and_matches_registry_path(
+            self, name, cls, kwargs, simple_schema, simple_workload):
+        """Old-vs-new regression: warn on the legacy path, recommend the same."""
+        budget = _budget(simple_schema)
+        with pytest.warns(DeprecationWarning, match="registry"):
+            legacy = cls(simple_schema, **kwargs).tune(simple_workload, [budget])
+        result = Tuner().tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[budget], advisor=AdvisorSpec(name, kwargs)))
+        assert isinstance(result, TuningResult)
+        assert result.configuration == legacy.configuration
+        assert result.objective_estimate == legacy.objective_estimate
+        assert result.advisor_name == legacy.advisor_name
+
+    def test_registry_construction_does_not_warn(self, simple_schema,
+                                                 recwarn):
+        make_advisor("dta", simple_schema)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_recommend_alias_warns_and_delegates(self, simple_schema,
+                                                 simple_workload):
+        advisor = make_advisor("dta", simple_schema)
+        with pytest.warns(DeprecationWarning, match="recommend"):
+            via_alias = advisor.recommend(simple_workload,
+                                          [_budget(simple_schema)])
+        direct = make_advisor("dta", simple_schema).tune(
+            simple_workload, [_budget(simple_schema)])
+        assert isinstance(via_alias, Recommendation)
+        assert via_alias.configuration == direct.configuration
+
+
+class TestRegistry:
+    def test_builtins_and_aliases_registered(self):
+        names = available_advisors()
+        for name in ("cophy", "ilp", "dta", "tool-b", "relaxation",
+                     "tool-a", "scaleout"):
+            assert name in names
+        assert advisor_factory("dta") is advisor_factory("tool-b")
+        assert advisor_factory("relaxation") is advisor_factory("tool-a")
+
+    def test_unknown_advisor_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="available"):
+            advisor_factory("no-such-advisor")
+
+    def test_custom_strategy_is_reachable_through_tuner(self, simple_schema,
+                                                        simple_workload):
+        """Plugging in a strategy needs one registration, nothing else."""
+
+        class NullAdvisor:
+            name = "null"
+
+            def tune(self, workload, constraints=(), candidates=None):
+                return Recommendation(configuration=Configuration(name="null"),
+                                      advisor_name=self.name,
+                                      objective_estimate=0.0)
+
+        @register_advisor("test-null")
+        def _build(schema, options, *, shared_optimizer=None,
+                   shared_inum=None):
+            return NullAdvisor()
+
+        result = Tuner().tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            advisor="test-null"))
+        assert result.advisor_name == "null"
+        assert result.index_count == 0
+
+    def test_reregistering_a_name_rebinds_its_aliases(self, simple_schema,
+                                                      simple_workload):
+        """Overriding "dta" must not leave "tool-b" serving the old factory."""
+        from repro.api.registry import _build_dta
+
+        calls = []
+
+        @register_advisor("dta", aliases=("tool-b",))
+        def _instrumented(schema, options, *, shared_optimizer=None,
+                          shared_inum=None):
+            calls.append("hit")
+            return _build_dta(schema, options,
+                              shared_optimizer=shared_optimizer,
+                              shared_inum=shared_inum)
+
+        try:
+            make_advisor("tool-b", simple_schema)
+            assert calls == ["hit"]
+        finally:
+            register_advisor("dta", aliases=("tool-b",))(_build_dta)
+
+    def test_inum_cap_options_rejected_with_shared_cache(self, simple_schema,
+                                                         simple_workload):
+        """Caps belong to CostingSpec; silently ignoring them would leave the
+        provenance attesting to enumeration limits that never applied."""
+        with pytest.raises(ValueError, match="CostingSpec"):
+            Tuner().tune(TuningRequest(
+                workload=simple_workload, schema=simple_schema,
+                advisor=AdvisorSpec("cophy", {"max_templates_per_query": 1})))
+        # The imperative path (owned cache) keeps accepting them.
+        advisor = make_advisor("cophy", simple_schema,
+                               max_templates_per_query=1)
+        assert advisor.inum.enumeration_caps[1] == 1
+
+    def test_explicit_options_beat_shared_wiring(self, simple_schema):
+        from repro.optimizer.whatif import WhatIfOptimizer
+
+        mine = WhatIfOptimizer(simple_schema)
+        shared = WhatIfOptimizer(simple_schema)
+        advisor = make_advisor("cophy", simple_schema, optimizer=mine,
+                               shared_optimizer=shared)
+        assert advisor.optimizer is mine
+
+
+class TestTuningRequest:
+    def test_string_advisor_normalises_to_spec(self, simple_schema,
+                                               simple_workload):
+        request = TuningRequest(workload=simple_workload,
+                                schema=simple_schema, advisor="ilp")
+        assert request.resolved_advisor() == AdvisorSpec("ilp")
+
+    def test_scale_spec_implies_scaleout(self, simple_schema, simple_workload):
+        request = TuningRequest(workload=simple_workload, schema=simple_schema,
+                                scale=ScaleSpec(shard_count=2))
+        assert request.resolved_advisor().name == "scaleout"
+        assert request.resolved_options()["shard_count"] == 2
+
+    def test_scale_spec_rejects_other_advisors(self, simple_schema,
+                                               simple_workload):
+        with pytest.raises(ValueError, match="scaleout"):
+            TuningRequest(workload=simple_workload, schema=simple_schema,
+                          advisor="cophy", scale=ScaleSpec())
+
+    def test_explicit_advisor_options_win_over_scale_spec(self, simple_schema,
+                                                          simple_workload):
+        request = TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            advisor=AdvisorSpec("scaleout", {"shard_count": 5}),
+            scale=ScaleSpec(shard_count=2))
+        assert request.resolved_options()["shard_count"] == 5
+
+    def test_rejects_non_workload(self, simple_schema):
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            TuningRequest(workload=["not a workload"], schema=simple_schema)
+
+
+class TestTunerPipeline:
+    def test_request_scoped_candidates_prepare_the_shared_cache(
+            self, simple_schema, simple_workload):
+        candidates = CandidateGenerator(simple_schema).generate(simple_workload)
+        tuner = Tuner()
+        result = tuner.tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[_budget(simple_schema)], candidates=candidates))
+        assert result.provenance["pipeline"]["prepared"] is True
+        assert result.provenance["candidates"]["count"] == len(candidates)
+        context = tuner.context_for(simple_schema)
+        assert context.inum.cached_query_count == len(simple_workload)
+
+    def test_dba_indexes_join_the_candidate_universe(self, simple_schema,
+                                                     simple_workload):
+        from repro.indexes.index import Index
+
+        dba = Index("orders", ("o_customer",), include_columns=("o_total",))
+        result = Tuner().tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[_budget(simple_schema)], dba_indexes=[dba]))
+        assert result.provenance["candidates"]["dba_indexes"] == 1
+        assert result.provenance["candidates"]["count"] is not None
+
+    def test_per_statement_costs_default_per_advisor(self, simple_schema,
+                                                     simple_workload):
+        tuner = Tuner()
+        cophy = tuner.tune(TuningRequest(workload=simple_workload,
+                                         schema=simple_schema))
+        assert len(cophy.statement_costs) == len(simple_workload)
+        # Off by default for advisors that do not share the cache (the
+        # black-box baselines would pay an INUM build they never used)…
+        dta = tuner.tune(TuningRequest(workload=simple_workload,
+                                       schema=simple_schema, advisor="dta"))
+        assert dta.statement_costs == ()
+        # …and for scale-out, whose point is never costing monolithically.
+        scaled = tuner.tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            advisor=AdvisorSpec("scaleout", {"shard_workers": 1})))
+        assert scaled.statement_costs == ()
+        # An explicit True always wins.
+        forced = tuner.tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            advisor=AdvisorSpec("scaleout", {"shard_workers": 1}),
+            per_statement_costs=True))
+        assert len(forced.statement_costs) == len(simple_workload)
+
+    def test_explicit_per_statement_costs_honoured_on_loop_path(
+            self, simple_schema, simple_workload):
+        """use_gamma_matrix=False answers an explicit True via the loop."""
+        result = Tuner().tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            costing=CostingSpec(use_gamma_matrix=False),
+            per_statement_costs=True))
+        assert len(result.statement_costs) == len(simple_workload)
+
+    def test_per_statement_costs_match_inum(self, simple_schema,
+                                            simple_workload):
+        tuner = Tuner()
+        result = tuner.tune(TuningRequest(workload=simple_workload,
+                                          schema=simple_schema,
+                                          constraints=[_budget(simple_schema)]))
+        context = tuner.context_for(simple_schema)
+        for statement, entry in zip(simple_workload, result.statement_costs):
+            assert entry.statement == statement.query.name
+            assert entry.weight == statement.weight
+            assert entry.cost == context.inum.statement_cost(
+                statement.query, result.configuration)
+
+    def test_costing_spec_selects_a_distinct_context(self, simple_schema,
+                                                     simple_workload):
+        tuner = Tuner()
+        default = tuner.tune(TuningRequest(workload=simple_workload,
+                                           schema=simple_schema))
+        loop = tuner.tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            costing=CostingSpec(use_gamma_matrix=False)))
+        assert len(tuner.contexts) == 2
+        # The loop-path context cannot evaluate per-statement tensors…
+        assert loop.statement_costs == ()
+        # …but the recommendation is the same (the two paths are bit-identical).
+        assert loop.configuration == default.configuration
+
+    def test_provenance_records_the_resolved_pipeline(self, simple_schema,
+                                                      simple_workload):
+        result = Tuner().tune(TuningRequest(
+            workload=simple_workload, schema=simple_schema,
+            constraints=[_budget(simple_schema)], advisor="tool-b",
+            request_id="req-42"))
+        provenance = result.provenance
+        assert provenance["request_id"] == "req-42"
+        assert provenance["advisor"]["requested"] == "tool-b"
+        assert provenance["advisor"]["name"] == "dta"
+        assert provenance["advisor"]["class"] == "DtaAdvisor"
+        assert provenance["schema"]["name"] == simple_schema.name
+        assert provenance["workload"]["statements"] == len(simple_workload)
+        assert provenance["constraints"] == ["storage_budget[1x data]"]

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.advisors.dta import DtaAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import AdvisorRun, ExperimentResult, compare_advisors, run_advisor
 from repro.bench.metrics import (
     baseline_configuration,
@@ -15,7 +15,6 @@ from repro.bench.metrics import (
     workload_cost,
 )
 from repro.bench.reporting import format_series, format_table
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import StorageBudgetConstraint
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
@@ -52,7 +51,7 @@ class TestMetrics:
 class TestHarness:
     def test_run_advisor_produces_row(self, simple_schema, simple_workload):
         evaluation = WhatIfOptimizer(simple_schema)
-        run = run_advisor(CoPhyAdvisor(simple_schema), evaluation, simple_workload,
+        run = run_advisor(make_advisor("cophy", simple_schema), evaluation, simple_workload,
                           [StorageBudgetConstraint.from_fraction_of_data(
                               simple_schema, 1.0)])
         row = run.row()
@@ -68,10 +67,10 @@ class TestHarness:
         evaluation = WhatIfOptimizer(simple_schema)
         constraints = [StorageBudgetConstraint.from_fraction_of_data(
             simple_schema, 1.0)]
-        exact = run_advisor(CoPhyAdvisor(simple_schema), evaluation,
+        exact = run_advisor(make_advisor("cophy", simple_schema), evaluation,
                             simple_workload, constraints)
         inum_eval = InumCache(WhatIfOptimizer(simple_schema))
-        approx = run_advisor(CoPhyAdvisor(simple_schema), evaluation,
+        approx = run_advisor(make_advisor("cophy", simple_schema), evaluation,
                              simple_workload, constraints,
                              evaluation_inum=inum_eval)
         assert 0 <= approx.perf <= 1
@@ -81,7 +80,7 @@ class TestHarness:
                                                 simple_workload):
         evaluation = WhatIfOptimizer(simple_schema)
         result = compare_advisors(
-            [CoPhyAdvisor(simple_schema), DtaAdvisor(simple_schema)],
+            [make_advisor("cophy", simple_schema), make_advisor("dta", simple_schema)],
             evaluation, simple_workload, name="unit")
         assert {run.advisor_name for run in result.runs} == {"cophy", "tool-b"}
         assert result.metadata["statements"] == len(simple_workload)
@@ -92,7 +91,7 @@ class TestHarness:
 
     def test_perf_ratio_handles_zero_denominator(self, simple_schema,
                                                  simple_workload):
-        recommendation = CoPhyAdvisor(simple_schema).tune(simple_workload)
+        recommendation = make_advisor("cophy", simple_schema).tune(simple_workload)
         zero_run = AdvisorRun("zero", recommendation, perf=0.0, wall_seconds=0.0)
         good_run = AdvisorRun("good", recommendation, perf=0.5, wall_seconds=1.0)
         result = ExperimentResult("x", runs=[zero_run, good_run])
@@ -102,7 +101,7 @@ class TestHarness:
     def test_degenerate_ratios_never_raise(self, simple_schema,
                                            simple_workload):
         """0/0, inf denominators and nan operands degrade into inf/nan/0."""
-        recommendation = CoPhyAdvisor(simple_schema).tune(simple_workload)
+        recommendation = make_advisor("cophy", simple_schema).tune(simple_workload)
 
         def run(name, perf, seconds):
             return AdvisorRun(name, recommendation, perf=perf,
@@ -128,6 +127,38 @@ class TestHarness:
         assert math.isnan(result.perf_ratio("good", "broken"))
         # The healthy case still divides normally.
         assert result.perf_ratio("good", "good") == pytest.approx(1.0)
+
+
+class TestRequestHarness:
+    def test_compare_requests_matches_compare_advisors(self, simple_schema,
+                                                       simple_workload):
+        """The declarative sweep must reproduce the legacy sweep's decisions."""
+        from repro.api import Tuner, TuningRequest
+        from repro.bench.harness import compare_requests
+
+        constraints = [StorageBudgetConstraint.from_fraction_of_data(
+            simple_schema, 1.0)]
+        legacy = compare_advisors(
+            [make_advisor("cophy", simple_schema),
+             make_advisor("dta", simple_schema)],
+            WhatIfOptimizer(simple_schema), simple_workload, constraints,
+            name="legacy")
+        declarative = compare_requests(
+            Tuner(),
+            [TuningRequest(workload=simple_workload, schema=simple_schema,
+                           constraints=constraints, advisor=name)
+             for name in ("cophy", "dta")],
+            WhatIfOptimizer(simple_schema), name="declarative")
+        assert declarative.metadata["statements"] == len(simple_workload)
+        for name in ("cophy", "tool-b"):
+            old = legacy.run_for(name)
+            new = declarative.run_for(name)
+            assert new.recommendation.configuration \
+                == old.recommendation.configuration
+            assert new.perf == old.perf
+            assert new.result is not None
+            assert new.result.advisor_name == name
+            assert new.row()["advisor"] == name
 
 
 class TestReporting:

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import make_advisor
 from repro.core.advisor import CoPhyAdvisor
 from repro.core.bip_builder import BipBuilder
 from repro.core.constraints import IndexCountConstraint, StorageBudgetConstraint
@@ -153,7 +154,7 @@ class TestParetoExploration:
 class TestCoPhyAdvisor:
     def test_tune_produces_recommendation_with_breakdown(self, simple_schema,
                                                          simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         budget = StorageBudgetConstraint.from_fraction_of_data(simple_schema, 1.0)
         recommendation = advisor.tune(simple_workload, constraints=[budget])
         assert len(recommendation.configuration) > 0
@@ -167,7 +168,7 @@ class TestCoPhyAdvisor:
                                                    simple_workload):
         from repro.bench.metrics import perf_improvement
 
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         recommendation = advisor.tune(simple_workload)
         evaluation = WhatIfOptimizer(simple_schema)
         assert perf_improvement(evaluation, simple_workload,
@@ -175,7 +176,7 @@ class TestCoPhyAdvisor:
 
     def test_explicit_candidates_and_dba_indexes(self, simple_schema,
                                                  simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         dba_index = Index("orders", ("o_customer",), include_columns=("o_total",))
         candidates = advisor.generate_candidates(simple_workload,
                                                  dba_indexes=[dba_index])
@@ -185,7 +186,7 @@ class TestCoPhyAdvisor:
 
     def test_soft_constraints_return_pareto_points(self, simple_schema,
                                                    simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         soft = StorageBudgetConstraint(0.0).soft(target=0.0)
         recommendation = advisor.tune(simple_workload, constraints=[soft])
         points = recommendation.extras["pareto_points"]
@@ -193,7 +194,7 @@ class TestCoPhyAdvisor:
         assert recommendation.configuration == points[-1].configuration
 
     def test_explore_tradeoffs_wrapper(self, simple_schema, simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         soft = StorageBudgetConstraint(0.0).soft(target=0.0)
         points = advisor.explore_tradeoffs(simple_workload, [soft],
                                            lambdas=[0.0, 1.0])
@@ -204,7 +205,7 @@ class TestCoPhyAdvisor:
 class TestInteractiveTuning:
     def test_add_candidates_retunes_without_rebuilding_inum(self, simple_schema,
                                                             simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         all_candidates = list(advisor.generate_candidates(simple_workload))
         initial = advisor.candidate_generator.generate(simple_workload)
         initial = initial.subset(all_candidates[: len(all_candidates) // 2])
@@ -220,7 +221,7 @@ class TestInteractiveTuning:
 
     def test_retune_matches_from_scratch_quality(self, simple_schema,
                                                  simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         all_candidates = list(advisor.generate_candidates(simple_workload))
         half = advisor.generate_candidates(simple_workload).subset(
             all_candidates[: len(all_candidates) // 2])
@@ -229,13 +230,13 @@ class TestInteractiveTuning:
         retuned = session.add_candidates(
             all_candidates[len(all_candidates) // 2:])
 
-        fresh_advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        fresh_advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         fresh = fresh_advisor.tune(simple_workload)
         assert retuned.objective_estimate == pytest.approx(
             fresh.objective_estimate, rel=0.02)
 
     def test_update_constraints_reuses_bip(self, simple_schema, simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         unconstrained = session.recommend()
         constrained = session.update_constraints([IndexCountConstraint(limit=2)])
@@ -246,7 +247,7 @@ class TestInteractiveTuning:
 
     def test_bip_property_requires_initial_recommendation(self, simple_schema,
                                                           simple_workload):
-        advisor = CoPhyAdvisor(simple_schema)
+        advisor = make_advisor("cophy", simple_schema)
         session = advisor.create_session(simple_workload)
         with pytest.raises(Exception):
             _ = session.bip
@@ -255,7 +256,7 @@ class TestInteractiveTuning:
 
     def test_add_candidates_before_recommend_falls_back_to_full_build(
             self, simple_schema, simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         extra = Index("orders", ("o_total",))
         recommendation = session.add_candidates([extra])
@@ -264,7 +265,7 @@ class TestInteractiveTuning:
 
     def test_remove_candidates_retunes_without_rebuilding(self, simple_schema,
                                                           simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         first = session.recommend()
         assert len(first.configuration) > 0
@@ -284,13 +285,13 @@ class TestInteractiveTuning:
 
     def test_remove_candidates_matches_from_scratch_quality(
             self, simple_schema, simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         first = session.recommend()
         removed = list(first.configuration)[:2]
         shrunk = session.remove_candidates(removed)
 
-        fresh_advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        fresh_advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         survivors = [index for index in advisor.generate_candidates(simple_workload)
                      if index not in set(removed)]
         reduced = fresh_advisor.generate_candidates(simple_workload).subset(survivors)
@@ -300,7 +301,7 @@ class TestInteractiveTuning:
 
     def test_removed_candidates_can_be_restored(self, simple_schema,
                                                 simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         first = session.recommend()
         variables_after_build = session.bip.model.variable_count
@@ -318,7 +319,7 @@ class TestInteractiveTuning:
         """A rebuild clears the pin registry: re-adding a candidate that was
         removed before the rebuild must create fresh variables, not no-op on
         the discarded model."""
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         first = session.recommend()
         removed = list(first.configuration)[:1]
@@ -332,7 +333,7 @@ class TestInteractiveTuning:
 
     def test_remove_candidates_before_recommend_falls_back(self, simple_schema,
                                                            simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         session = advisor.create_session(simple_workload)
         victim = next(iter(session.candidates))
         recommendation = session.remove_candidates([victim])

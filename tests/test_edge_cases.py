@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import make_advisor
 from repro.catalog.column import Column
 from repro.catalog.schema import Schema
 from repro.catalog.table import Table
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.bip_builder import BipBuilder
 from repro.core.constraints import StorageBudgetConstraint
 from repro.exceptions import (
@@ -65,7 +65,7 @@ class TestSingleTableTinySchema:
         return Workload([WorkloadStatement(query, 1.0)])
 
     def test_end_to_end_on_tiny_instance(self, tiny_schema, tiny_workload):
-        advisor = CoPhyAdvisor(tiny_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", tiny_schema, gap_tolerance=0.0)
         recommendation = advisor.tune(tiny_workload)
         assert recommendation.objective_estimate > 0
         # On a 100-row table an extra index may or may not pay off, but the
@@ -121,7 +121,7 @@ class TestBipBuilderErrorPaths:
 
     def test_empty_candidate_set_still_solves(self, simple_schema, simple_workload):
         """With no candidates the only choice is the heap access everywhere."""
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         empty = CandidateSet(simple_schema)
         recommendation = advisor.tune(simple_workload, candidates=empty)
         assert len(recommendation.configuration) == 0
@@ -129,7 +129,7 @@ class TestBipBuilderErrorPaths:
 
     def test_storage_constraint_with_empty_candidates_is_trivially_satisfied(
             self, simple_schema, simple_workload):
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         empty = CandidateSet(simple_schema)
         recommendation = advisor.tune(
             simple_workload, candidates=empty,
@@ -175,7 +175,7 @@ class TestWorkloadEdgeCases:
                                  selectivity_hint=0.01),),
                              name="only_update#1")
         workload = Workload([WorkloadStatement(update, 1.0)])
-        advisor = CoPhyAdvisor(simple_schema, gap_tolerance=0.0)
+        advisor = make_advisor("cophy", simple_schema, gap_tolerance=0.0)
         recommendation = advisor.tune(workload)
         # Indexes can only add maintenance cost here, so none should be picked
         # beyond ones that speed up locating the updated rows enough to pay off.

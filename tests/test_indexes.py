@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -141,6 +143,48 @@ class TestConfiguration:
         assert set(configuration.indexes_on("orders")) == {a, clustered}
         assert configuration.clustered_indexes_on("orders") == (clustered,)
         assert configuration.indexes_on("items") == ()
+
+    def test_pickle_roundtrip_rehashes(self):
+        """Like Index/TemplatePlan: the cached hash never ships in a pickle.
+
+        A shipped hash would be built from another process's string hashes
+        (hash randomisation) and silently break every dict lookup keyed by
+        the configuration in scale-out workers.
+        """
+        configuration = Configuration(
+            [Index("orders", ("o_date",)), Index("items", ("i_order",))],
+            name="shipped")
+        clone = pickle.loads(pickle.dumps(configuration))
+        assert "_hash" not in pickle.loads(
+            pickle.dumps(configuration.__getstate__()))
+        assert clone == configuration
+        assert hash(clone) == hash(configuration)
+        assert clone in {configuration}
+        assert clone.name == "shipped"
+        # The lazily built per-table partition is rebuilt, not shipped.
+        assert set(clone.indexes_on("orders")) == {Index("orders", ("o_date",))}
+
+    def test_process_pool_roundtrip_preserves_dict_lookups(self):
+        """Configurations keyed in a dict must survive a worker round trip."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        configurations = [
+            Configuration([Index("orders", ("o_date",))]),
+            Configuration([Index("items", ("i_order",)),
+                           Index("orders", ("o_total",), clustered=True)]),
+            Configuration(),
+        ]
+        mapping = {config: position
+                   for position, config in enumerate(configurations)}
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            looked_up = pool.submit(_lookup_all, mapping,
+                                    configurations).result()
+        assert looked_up == [0, 1, 2]
+
+
+def _lookup_all(mapping, probes):
+    """Worker-side dict lookups (both sides of the map cross the pickle)."""
+    return [mapping.get(probe, -1) for probe in probes]
 
 
 class TestAtomicConfiguration:

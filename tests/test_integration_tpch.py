@@ -9,11 +9,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.advisors.dta import DtaAdvisor
-from repro.advisors.ilp_advisor import IlpAdvisor
+from repro.api import make_advisor
 from repro.bench.harness import compare_advisors
 from repro.bench.metrics import baseline_configuration, perf_improvement
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.constraints import ClusteredIndexConstraint, StorageBudgetConstraint
 from repro.indexes.candidate_generation import CandidateGenerator
 from repro.inum.cache import InumCache
@@ -61,7 +59,7 @@ class TestPipelineOnTpch:
             assert inum_cost == pytest.approx(true_cost, rel=0.5)
 
     def test_cophy_improves_homogeneous_workload(self, tpch_module, hom_workload):
-        advisor = CoPhyAdvisor(tpch_module)
+        advisor = make_advisor("cophy", tpch_module)
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch_module, 1.0)
         recommendation = advisor.tune(hom_workload, constraints=[budget])
         evaluation = WhatIfOptimizer(tpch_module)
@@ -75,7 +73,7 @@ class TestPipelineOnTpch:
         # whose plans indexes barely improve, so the bar is lower than for the
         # homogeneous workload; the figure-level benchmarks use larger
         # workloads where the improvement is substantial.
-        advisor = CoPhyAdvisor(tpch_module)
+        advisor = make_advisor("cophy", tpch_module)
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch_module, 1.0)
         recommendation = advisor.tune(het_workload, constraints=[budget])
         evaluation = WhatIfOptimizer(tpch_module)
@@ -84,7 +82,7 @@ class TestPipelineOnTpch:
 
     def test_constraints_hold_on_tpch_recommendation(self, tpch_module,
                                                      hom_workload):
-        advisor = CoPhyAdvisor(tpch_module)
+        advisor = make_advisor("cophy", tpch_module)
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch_module, 0.5)
         recommendation = advisor.tune(
             hom_workload, constraints=[budget, ClusteredIndexConstraint()])
@@ -101,8 +99,8 @@ class TestPipelineOnTpch:
         evaluation = WhatIfOptimizer(tpch_module)
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch_module, 1.0)
         result = compare_advisors(
-            [CoPhyAdvisor(tpch_module), IlpAdvisor(tpch_module),
-             DtaAdvisor(tpch_module)],
+            [make_advisor("cophy", tpch_module), make_advisor("ilp", tpch_module),
+             make_advisor("dta", tpch_module)],
             evaluation, hom_workload, [budget], name="integration")
         cophy = result.run_for("cophy")
         ilp = result.run_for("ilp")
@@ -120,7 +118,7 @@ class TestPipelineOnTpch:
         from repro.catalog.tpch import tpch_schema
 
         skewed = tpch_schema(scale_factor=0.005, skew=2.0)
-        advisor = CoPhyAdvisor(skewed)
+        advisor = make_advisor("cophy", skewed)
         budget = StorageBudgetConstraint.from_fraction_of_data(skewed, 1.0)
         recommendation = advisor.tune(hom_workload, constraints=[budget])
         evaluation = WhatIfOptimizer(skewed)
@@ -129,7 +127,7 @@ class TestPipelineOnTpch:
 
     def test_interactive_retune_faster_than_initial_on_tpch(self, tpch_module):
         workload = generate_homogeneous_workload(15, seed=9)
-        advisor = CoPhyAdvisor(tpch_module)
+        advisor = make_advisor("cophy", tpch_module)
         all_candidates = list(advisor.generate_candidates(workload))
         split = int(len(all_candidates) * 0.7)
         initial_set = advisor.generate_candidates(workload).subset(

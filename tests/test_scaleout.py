@@ -13,8 +13,8 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.api import make_advisor
 from repro.advisors.scaleout import ScaleOutAdvisor
-from repro.core.advisor import CoPhyAdvisor
 from repro.core.bip_builder import BipBuilder
 from repro.core.constraints import StorageBudgetConstraint
 from repro.exceptions import ConstraintError, WorkloadError
@@ -183,9 +183,9 @@ class TestProcessPaths:
 
     def test_pooled_shard_solves_match_inline(self, tpch, tuning_workload):
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
-        inline = ScaleOutAdvisor(tpch, shard_count=3, shard_workers=1,
+        inline = make_advisor("scaleout", tpch, shard_count=3, shard_workers=1,
                                  gap_tolerance=0.0)
-        pooled = ScaleOutAdvisor(tpch, shard_count=3, shard_workers=2,
+        pooled = make_advisor("scaleout", tpch, shard_count=3, shard_workers=2,
                                  gap_tolerance=0.0)
         first = inline.tune(tuning_workload, constraints=[budget])
         second = pooled.tune(tuning_workload, constraints=[budget])
@@ -203,9 +203,9 @@ class TestScaleOutAdvisor:
     def test_single_shard_reproduces_monolithic(self, tpch, tuning_workload):
         """The fast-lane shard-vs-monolithic equivalence check (CI)."""
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
-        monolithic = CoPhyAdvisor(tpch, gap_tolerance=0.0).tune(
+        monolithic = make_advisor("cophy", tpch, gap_tolerance=0.0).tune(
             tuning_workload, constraints=[budget])
-        scaled = ScaleOutAdvisor(tpch, compress=False, shard_count=1,
+        scaled = make_advisor("scaleout", tpch, compress=False, shard_count=1,
                                  gap_tolerance=0.0).tune(
             tuning_workload, constraints=[budget])
         evaluator = InumCache(WhatIfOptimizer(tpch))
@@ -219,9 +219,9 @@ class TestScaleOutAdvisor:
                                                      tuning_workload):
         """Compression (exact) + 4 shards stays within 5% of monolithic."""
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
-        monolithic = CoPhyAdvisor(tpch, gap_tolerance=0.0).tune(
+        monolithic = make_advisor("cophy", tpch, gap_tolerance=0.0).tune(
             tuning_workload, constraints=[budget])
-        scaled = ScaleOutAdvisor(tpch, signature="structural",
+        scaled = make_advisor("scaleout", tpch, signature="structural",
                                  max_cost_error=0.0, shard_count=4,
                                  gap_tolerance=0.0).tune(
             tuning_workload, constraints=[budget])
@@ -241,7 +241,7 @@ class TestScaleOutAdvisor:
 
     def test_deterministic_across_runs(self, tpch, tuning_workload):
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
-        make = lambda: ScaleOutAdvisor(tpch, max_cost_error=0.5, shard_count=4,
+        make = lambda: make_advisor("scaleout", tpch, max_cost_error=0.5, shard_count=4,
                                        gap_tolerance=0.0).tune(
             tuning_workload, constraints=[budget])
         first, second = make(), make()
@@ -251,13 +251,13 @@ class TestScaleOutAdvisor:
     def test_soft_constraints_are_rejected(self, tpch, tuning_workload):
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
         with pytest.raises(ConstraintError):
-            ScaleOutAdvisor(tpch).tune(tuning_workload,
+            make_advisor("scaleout", tpch).tune(tuning_workload,
                                        constraints=[budget.soft()])
 
     def test_recommendation_reports_pipeline_extras(self, tpch,
                                                     tuning_workload):
         budget = StorageBudgetConstraint.from_fraction_of_data(tpch, 0.5)
-        recommendation = ScaleOutAdvisor(tpch, max_cost_error=0.5,
+        recommendation = make_advisor("scaleout", tpch, max_cost_error=0.5,
                                          shard_count=2).tune(
             tuning_workload, constraints=[budget])
         assert recommendation.extras["compression"]["representatives"] <= len(
