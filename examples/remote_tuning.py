@@ -1,0 +1,92 @@
+"""Remote tuning: the same request served in-process and over HTTP.
+
+Starts a ``TuningServer`` in-process (an ephemeral port, statement
+auto-namespacing on), describes a tuning problem once, and serves it both
+through the embedded ``Tuner`` and through ``TuningClient`` over the wire —
+then asserts the two results carry *identical fingerprints*, which is the
+end-to-end guarantee of the wire formats: encode → HTTP → decode → tune is
+bit-for-bit the in-process pipeline.  Also demos the batch endpoint, a
+remote interactive session, and the ``/v1/stats`` counters (schema-context
+LRU, namespacing).
+
+Run with:  python examples/remote_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import StorageBudgetConstraint, Tuner, TuningRequest
+from repro.catalog import tpch_schema
+from repro.core.constraints import IndexCountConstraint
+from repro.server import TuningClient, TuningServer
+from repro.workload import generate_homogeneous_workload
+
+
+def main() -> None:
+    # 1. One declarative tuning problem, built exactly like quickstart.py.
+    schema = tpch_schema(scale_factor=0.01)
+    workload = generate_homogeneous_workload(30, seed=11)
+    request = TuningRequest(
+        workload=workload,
+        schema=schema,
+        constraints=[StorageBudgetConstraint.from_fraction_of_data(
+            schema, fraction=1.0)],
+        request_id="remote-tuning",
+    )
+
+    # 2. The in-process answer (the ground truth for parity).
+    local = Tuner().tune(request)
+
+    # 3. The same request over the wire: an ephemeral in-process server and
+    #    the stdlib-urllib client SDK.  ``TuningClient.tune`` accepts the
+    #    same TuningRequest and returns the same TuningResult type.
+    with TuningServer(namespace_statements=True, max_contexts=8) as server:
+        client = TuningClient(server.url)
+        health = client.health()
+        print(f"Server up at {server.url}: advisors = "
+              f"{', '.join(health['advisors'])}")
+
+        remote = client.tune(request)
+        assert remote.fingerprint() == local.fingerprint(), \
+            "remote and local results must be bit-identical"
+        print(f"Fingerprint parity: local == remote == "
+              f"{remote.fingerprint()[:16]}… "
+              f"({remote.index_count} indexes, objective "
+              f"{remote.objective_estimate:.1f})")
+
+        # 4. Batched serving: the server fans tune_batch out on its thread
+        #    pool (different advisors, one shared schema context).
+        batch = client.tune_many([
+            TuningRequest(workload=workload, schema=schema,
+                          constraints=request.constraints, advisor="cophy"),
+            TuningRequest(workload=workload, schema=schema,
+                          constraints=request.constraints, advisor="dta"),
+        ])
+        for result in batch:
+            print(f"  batch: {result.advisor_name:<22} "
+                  f"{result.index_count} indexes, "
+                  f"objective {result.objective_estimate:.1f}")
+
+        # 5. A remote interactive session: delta-BIP re-tuning held
+        #    server-side, driven through the SDK.
+        with client.open_session(request) as session:
+            initial = session.recommend()
+            capped = session.update_constraints(
+                [*request.constraints, IndexCountConstraint(limit=3)])
+            print(f"Session: {initial.index_count} indexes -> "
+                  f"{capped.index_count} under an index-count cap of 3")
+
+        # 6. Service counters: schema-context sharing, LRU eviction budget,
+        #    auto-namespacing.
+        stats = client.stats()
+        service = stats["service"]
+        print(f"Stats: {service['context_count']} schema context(s) "
+              f"(cap {service['max_contexts']}), "
+              f"{service['requests_served']} requests served, "
+              f"{service['namespaced_requests']} namespaced, "
+              f"{stats['cached_schemas']} cached schema payload(s)")
+
+    print("Server closed; remote tuning round trip verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,12 @@ from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.lp.solution import GapTracePoint
 
-__all__ = ["StatementCost", "TuningDiagnostics", "TuningResult"]
+__all__ = ["RESULT_PAYLOAD_VERSION", "StatementCost", "TuningDiagnostics",
+           "TuningResult"]
+
+#: Version of the serialized ``TuningResult`` payload.  Bump on incompatible
+#: payload changes; ``from_payload`` rejects versions it does not understand.
+RESULT_PAYLOAD_VERSION = 1
 
 #: Payload keys holding wall-clock measurements; stripped by the fingerprint.
 _TIMING_KEYS = frozenset({
@@ -191,6 +196,7 @@ class TuningResult:
     def to_payload(self) -> dict[str, Any]:
         """The JSON-representable payload (everything except live extras)."""
         return {
+            "version": RESULT_PAYLOAD_VERSION,
             "advisor": self.advisor_name,
             "objective_estimate": self.objective_estimate,
             "configuration": {
@@ -210,6 +216,14 @@ class TuningResult:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "TuningResult":
+        # Pre-PR 5 payloads carried no version field and are structurally
+        # version 1; anything else is a payload this build cannot promise to
+        # load faithfully, so fail loudly instead of partial-loading.
+        version = payload.get("version", RESULT_PAYLOAD_VERSION)
+        if version != RESULT_PAYLOAD_VERSION:
+            raise ValueError(
+                f"Unsupported TuningResult payload version {version!r}; "
+                f"this build understands version {RESULT_PAYLOAD_VERSION}")
         configuration = Configuration(
             (index_from_payload(entry)
              for entry in payload["configuration"]["indexes"]),

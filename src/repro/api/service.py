@@ -23,7 +23,9 @@ the context lock around every call, and normalises every outcome into a
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Iterable, Sequence
 
 from repro.api.registry import canonical_name, make_advisor
@@ -41,6 +43,43 @@ from repro.core.interactive import InteractiveTuningSession
 __all__ = ["TuningService", "TuningSession"]
 
 
+def _renamed_constraint(constraint, renames: "dict[str, str]", workload):
+    """Follow a statement rename through name-referencing constraints.
+
+    Auto-namespacing renames workload statements; a constraint that targets
+    statements *by name* (``QueryCostConstraint.query``,
+    ``QuerySpeedupGenerator.reference_costs``) must follow, or the rule would
+    silently stop matching (speedup generators skip unknown names) or fail
+    with a misleading error (query-cost constraints on absent statements).
+    """
+    from repro.core.constraints import (
+        QueryCostConstraint,
+        QuerySpeedupGenerator,
+        SoftConstraint,
+    )
+
+    if isinstance(constraint, SoftConstraint):
+        inner = _renamed_constraint(constraint.inner, renames, workload)
+        if inner is constraint.inner:
+            return constraint
+        return SoftConstraint(inner, target=constraint.target)
+    if isinstance(constraint, QueryCostConstraint):
+        new_name = renames.get(constraint.query.name)
+        if new_name is None:
+            return constraint
+        for statement in workload:
+            if statement.query.name == new_name:
+                return replace(constraint, query=statement.query)
+        return constraint  # rename target not in this workload: leave as-is
+    if isinstance(constraint, QuerySpeedupGenerator):
+        if not renames.keys() & constraint.reference_costs.keys():
+            return constraint
+        return replace(constraint, reference_costs={
+            renames.get(name, name): cost
+            for name, cost in constraint.reference_costs.items()})
+    return constraint
+
+
 class TuningService:
     """A process-wide facade serving concurrent declarative tuning requests.
 
@@ -51,13 +90,37 @@ class TuningService:
             direct callers do not run concurrently with the service.
         max_workers: Thread count for :meth:`tune_many` / :meth:`submit`
             (``None`` lets :class:`ThreadPoolExecutor` pick its default).
+        namespace_statements: When ``True``, a workload whose statement names
+            collide with structurally different statements already admitted
+            to its schema context is *cloned* under request-qualified names
+            (content-addressed, deterministic) instead of being rejected with
+            :class:`WorkloadError` — the behaviour a network server wants so
+            arbitrary client traffic can share one context.  The default
+            keeps the embedded API's loud rejection.
+        max_contexts: LRU cap on live schema contexts (forwarded to the
+            service's own :class:`Tuner`; pass the knob to your Tuner
+            directly when supplying one).
+        context_ttl_s: Idle TTL for schema contexts (same forwarding rule).
     """
 
     def __init__(self, tuner: Tuner | None = None,
-                 max_workers: int | None = None):
-        self._tuner = tuner or Tuner()
+                 max_workers: int | None = None, *,
+                 namespace_statements: bool = False,
+                 max_contexts: int | None = None,
+                 context_ttl_s: float | None = None):
+        if tuner is not None and (max_contexts is not None
+                                  or context_ttl_s is not None):
+            raise ValueError(
+                "max_contexts/context_ttl_s configure the service's own "
+                "Tuner; when supplying a Tuner, set them on it directly")
+        self._tuner = tuner or Tuner(max_contexts=max_contexts,
+                                     context_ttl_s=context_ttl_s)
         self._max_workers = max_workers
+        self._namespace_statements = bool(namespace_statements)
         self._executor: ThreadPoolExecutor | None = None
+        self._stats_lock = threading.Lock()
+        self._requests_served = 0
+        self._namespaced_requests = 0
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -68,12 +131,52 @@ class TuningService:
         """The shared per-schema context (exposed for inspection/tests)."""
         return self._tuner.context_for(schema, costing)
 
+    @property
+    def namespace_statements(self) -> bool:
+        return self._namespace_statements
+
+    def stats(self) -> dict[str, Any]:
+        """Machine-readable service counters (the ``/v1/stats`` payload)."""
+        with self._stats_lock:
+            served = self._requests_served
+            namespaced = self._namespaced_requests
+        return {
+            **self._tuner.context_stats(),
+            "namespace_statements": self._namespace_statements,
+            "requests_served": served,
+            "namespaced_requests": namespaced,
+        }
+
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
         """Serve one request, atomically against its schema context."""
         context = self._tuner.context_for(request.schema, request.costing)
         with context.lock:
-            return tune_in_context(request, context)
+            request, renames = self._admitted(request, context)
+            result = tune_in_context(request, context,
+                                     namespaced=bool(renames))
+        with self._stats_lock:
+            self._requests_served += 1
+            self._namespaced_requests += int(bool(renames))
+        return result
+
+    def _admitted(self, request: TuningRequest, context: SchemaContext
+                  ) -> tuple[TuningRequest, dict[str, str]]:
+        """Apply the admission policy (caller holds the context lock).
+
+        Returns the (possibly rewritten) request plus the statement rename
+        map — empty when nothing was namespaced.
+        """
+        if not self._namespace_statements:
+            return request, {}
+        workload, renames = context.namespaced_workload(request.workload)
+        if not renames:
+            return request, {}
+        constraints = tuple(
+            _renamed_constraint(constraint, renames, workload)
+            for constraint in request.constraints)
+        return replace(request, workload=workload,
+                       constraints=constraints), renames
 
     def submit(self, request: TuningRequest) -> "Future[TuningResult]":
         """Queue a request on the service's thread pool."""
@@ -99,6 +202,7 @@ class TuningService:
                 f"request asks for {spec.name!r}")
         context = self._tuner.context_for(request.schema, request.costing)
         with context.lock:
+            request, renames = self._admitted(request, context)
             advisor = make_advisor(spec.name, request.schema,
                                    shared_optimizer=context.optimizer,
                                    shared_inum=context.inum,
@@ -108,7 +212,7 @@ class TuningService:
             inner = InteractiveTuningSession(
                 advisor, workload, constraints=request.constraints,
                 candidates=candidates, dba_indexes=())
-        return TuningSession(self, context, request, inner)
+        return TuningSession(self, context, request, inner, renames=renames)
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -142,12 +246,20 @@ class TuningSession:
     """
 
     def __init__(self, service: TuningService, context: SchemaContext,
-                 request: TuningRequest, inner: InteractiveTuningSession):
+                 request: TuningRequest, inner: InteractiveTuningSession,
+                 renames: dict[str, str] | None = None):
         self._service = service
         self._context = context
         self._request = request
         self._inner = inner
+        #: Statement renames applied at admission (auto-namespacing); later
+        #: constraint updates referencing original names must follow them.
+        self._renames = dict(renames or {})
         self._history: list[TuningResult] = []
+        #: Serializes whole session steps: the context lock only covers the
+        #: solve, but step numbering and history order must match execution
+        #: order even when concurrent server threads drive one session.
+        self._step_lock = threading.Lock()
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -176,22 +288,35 @@ class TuningSession:
         return self._run("remove_candidates", removed_indexes)
 
     def update_constraints(self, constraints) -> TuningResult:
-        """Re-tune under a different constraint set (warm-started)."""
+        """Re-tune under a different constraint set (warm-started).
+
+        Constraints referencing statements by their *original* names are
+        rewritten through the admission-time rename map, so clients of a
+        namespacing service keep using the names they sent.
+        """
+        if self._renames:
+            constraints = [
+                _renamed_constraint(constraint, self._renames,
+                                    self._inner.workload)
+                for constraint in constraints]
         return self._run("update_constraints", constraints)
 
     # ---------------------------------------------------------------- internals
     def _run(self, method: str, *args: Any) -> TuningResult:
-        with self._context.lock:
-            recommendation = getattr(self._inner, method)(*args)
-        provenance = {
-            "api_version": 1,
-            "request_id": self._request.request_id,
-            "advisor": {"name": "cophy", "class": "InteractiveTuningSession"},
-            "session": {"step": len(self._history) + 1, "operation": method},
-            "schema": {"name": self._request.schema.name,
-                       "tables": len(self._request.schema)},
-            "workload": {"name": self._inner.workload.name},
-        }
-        result = build_session_result(recommendation, provenance)
-        self._history.append(result)
-        return result
+        with self._step_lock:
+            with self._context.lock:
+                recommendation = getattr(self._inner, method)(*args)
+            provenance = {
+                "api_version": 1,
+                "request_id": self._request.request_id,
+                "advisor": {"name": "cophy",
+                            "class": "InteractiveTuningSession"},
+                "session": {"step": len(self._history) + 1,
+                            "operation": method},
+                "schema": {"name": self._request.schema.name,
+                           "tables": len(self._request.schema)},
+                "workload": {"name": self._inner.workload.name},
+            }
+            result = build_session_result(recommendation, provenance)
+            self._history.append(result)
+            return result

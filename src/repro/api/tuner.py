@@ -15,6 +15,7 @@ adds per-context locking and a thread pool on top for concurrent serving.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -30,7 +31,7 @@ from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.inum.cache import InumCache
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
-from repro.workload.workload import Workload
+from repro.workload.workload import Workload, WorkloadStatement
 
 __all__ = ["SchemaContext", "Tuner"]
 
@@ -55,6 +56,16 @@ def statement_digest(query) -> Hashable:
         (p.column.table, p.column.column, p.operator.name, repr(p.value))
         for p in shell.predicates))
     return (query.kind.value, structural_statement_key(query), constants)
+
+
+def admission_names(query) -> tuple[str, ...]:
+    """The statement names one query occupies in the shared INUM cache.
+
+    Updates occupy two: their own name and their query shell's (the shell is
+    what INUM enumerates templates for).
+    """
+    shell = query.query_shell() if isinstance(query, UpdateQuery) else query
+    return tuple(dict.fromkeys((query.name, shell.name)))
 
 
 def workload_fingerprint(workload: Workload) -> Hashable:
@@ -98,6 +109,17 @@ class SchemaContext:
         #: name must mean one statement shape for the context's lifetime.
         self._statement_digests: dict[str, Hashable] = {}
 
+    # Lock-free counter snapshots: ``len()`` is atomic under the GIL, and a
+    # stats poll must never block behind a context whose lock is held for
+    # the duration of a long solve.
+    @property
+    def canonical_workload_count(self) -> int:
+        return len(self._workloads)
+
+    @property
+    def statement_name_count(self) -> int:
+        return len(self._statement_digests)
+
     def canonical_workload(self, workload: Workload) -> Workload:
         """The first-seen workload object equal to ``workload`` (LRU-kept).
 
@@ -124,6 +146,28 @@ class SchemaContext:
             self._workloads[key] = workload
             return workload
 
+    def _collisions(self, workload: Workload
+                    ) -> tuple[dict[str, Hashable], set[str]]:
+        """Probe every statement name against the context's digest registry.
+
+        Returns the registrations the workload would add, plus the set of
+        names that already denote a *structurally different* statement (in
+        this context, or earlier in the same workload).  Pure — nothing is
+        committed.
+        """
+        admitted: dict[str, Hashable] = {}
+        conflicts: set[str] = set()
+        for statement in workload:
+            query = statement.query
+            digest = statement_digest(query)
+            for name in admission_names(query):
+                known = self._statement_digests.get(name, admitted.get(name))
+                if known is None:
+                    admitted[name] = digest
+                elif known != digest:
+                    conflicts.add(name)
+        return admitted, conflicts
+
     def _admit(self, workload: Workload) -> None:
         """Check every statement name against the context's digest registry.
 
@@ -131,33 +175,91 @@ class SchemaContext:
         partial registration would spuriously reject later workloads with
         names that never reached the shared cache.
         """
-        admitted: dict[str, Hashable] = {}
+        admitted, conflicts = self._collisions(workload)
+        if conflicts:
+            name = sorted(conflicts)[0]
+            raise WorkloadError(
+                f"Statement name {name!r} already denotes a "
+                f"structurally different statement in this schema "
+                f"context (the shared INUM cache keys templates by "
+                f"name). Give statements unique names, or tune the "
+                f"conflicting workload through its own Tuner or a "
+                f"distinct CostingSpec.")
+        self._statement_digests.update(admitted)
+
+    def namespaced_workload(self, workload: Workload
+                            ) -> tuple[Workload, dict[str, str]]:
+        """A collision-free clone of ``workload`` for this context.
+
+        Statements whose names already denote a structurally different
+        statement are cloned under a request-qualified name
+        (``<name>@<digest8>``, where ``digest8`` is content-addressed from
+        the workload's structural fingerprint), so arbitrary client traffic
+        can share one schema context instead of being rejected at admission.
+        Content-addressing makes the rename deterministic: the same workload
+        payload always maps to the same qualified names, regardless of how
+        concurrent requests interleave, so repeats keep hitting the canonical
+        workload LRU and the tensor cache.
+
+        Returns the workload plus the ``old name -> new name`` rename map
+        (``workload`` itself and an empty map when nothing collides), so the
+        caller can rewrite anything else in the request that references
+        statements by name.  Collisions *within* one workload (two
+        same-named, structurally different statements in a single request)
+        cannot be namespaced apart — both sides would receive the same
+        qualifier — and still fail admission loudly.
+        """
+        with self.lock:
+            key = workload_fingerprint(workload)
+            if key in self._workloads:
+                return workload, {}  # already admitted verbatim
+            _, conflicts = self._collisions(workload)
+        if not conflicts:
+            return workload, {}
+        suffix = hashlib.sha256(
+            repr(key).encode("utf-8")).hexdigest()[:8]
+        statements = []
+        renames: dict[str, str] = {}
         for statement in workload:
             query = statement.query
-            digest = statement_digest(query)
-            shell = (query.query_shell() if isinstance(query, UpdateQuery)
-                     else query)
-            for name in dict.fromkeys((query.name, shell.name)):
-                known = self._statement_digests.get(name, admitted.get(name))
-                if known is None:
-                    admitted[name] = digest
-                elif known != digest:
-                    raise WorkloadError(
-                        f"Statement name {name!r} already denotes a "
-                        f"structurally different statement in this schema "
-                        f"context (the shared INUM cache keys templates by "
-                        f"name). Give statements unique names, or tune the "
-                        f"conflicting workload through its own Tuner or a "
-                        f"distinct CostingSpec.")
-        self._statement_digests.update(admitted)
+            if conflicts.intersection(admission_names(query)):
+                renames[query.name] = f"{query.name}@{suffix}"
+                query = query.with_name(renames[query.name])
+            statements.append(WorkloadStatement(query, statement.weight))
+        return Workload(statements, name=workload.name), renames
 
 
 class Tuner:
-    """The declarative tuning facade: resolve, wire, run, normalise."""
+    """The declarative tuning facade: resolve, wire, run, normalise.
 
-    def __init__(self) -> None:
-        self._contexts: dict[tuple[int, CostingSpec], SchemaContext] = {}
+    Args:
+        max_contexts: Optional LRU cap on live :class:`SchemaContext`s.  A
+            long-lived server decodes client schemas into fresh objects, so
+            without a cap the per-schema caches (templates, gamma matrices,
+            tensors) grow for the process lifetime; exceeding the cap evicts
+            the least-recently-used context wholesale.  A request already
+            holding an evicted context finishes safely on its own reference —
+            eviction only means the *next* request for that schema starts
+            cold.
+        context_ttl_s: Optional idle TTL in seconds; contexts unused for
+            longer are reaped on the next ``context_for`` call.
+    """
+
+    def __init__(self, max_contexts: int | None = None,
+                 context_ttl_s: float | None = None) -> None:
+        if max_contexts is not None and max_contexts < 1:
+            raise ValueError("max_contexts must be positive (or None)")
+        if context_ttl_s is not None and context_ttl_s <= 0:
+            raise ValueError("context_ttl_s must be positive (or None)")
+        self.max_contexts = max_contexts
+        self.context_ttl_s = context_ttl_s
+        self._contexts: OrderedDict[tuple[int, CostingSpec], SchemaContext] = \
+            OrderedDict()
+        self._last_used: dict[tuple[int, CostingSpec], float] = {}
         self._contexts_lock = threading.Lock()
+        #: Contexts dropped by the LRU cap / by TTL expiry (monotonic counters).
+        self.evicted_contexts = 0
+        self.expired_contexts = 0
 
     # ---------------------------------------------------------------- contexts
     def context_for(self, schema: Schema,
@@ -165,17 +267,67 @@ class Tuner:
         """The shared context of a schema (created on first use)."""
         costing = costing or CostingSpec()
         key = (id(schema), costing)
+        now = time.monotonic()
         with self._contexts_lock:
+            self._purge_expired(now)
             context = self._contexts.get(key)
             if context is None or context.schema is not schema:
                 context = SchemaContext(schema, costing)
                 self._contexts[key] = context
+            self._contexts.move_to_end(key)
+            self._last_used[key] = now
+            if self.max_contexts is not None:
+                # The requested key was just moved to the end, so the LRU
+                # victims popped off the front are always other contexts.
+                while len(self._contexts) > self.max_contexts:
+                    victim, _ = self._contexts.popitem(last=False)
+                    self._last_used.pop(victim, None)
+                    self.evicted_contexts += 1
             return context
+
+    def _purge_expired(self, now: float) -> None:
+        if self.context_ttl_s is None:
+            return
+        expired = [key for key, used in self._last_used.items()
+                   if now - used > self.context_ttl_s]
+        for key in expired:
+            self._contexts.pop(key, None)
+            self._last_used.pop(key, None)
+            self.expired_contexts += 1
 
     @property
     def contexts(self) -> tuple[SchemaContext, ...]:
         with self._contexts_lock:
             return tuple(self._contexts.values())
+
+    def context_stats(self) -> dict[str, Any]:
+        """Machine-readable context / eviction counters (``/v1/stats``).
+
+        Also reaps TTL-expired contexts, so the reported state is accurate
+        and a stats-polling monitor doubles as the reaper on an otherwise
+        idle server (``context_for`` is the other reap point).
+        """
+        with self._contexts_lock:
+            self._purge_expired(time.monotonic())
+            snapshot = list(self._contexts.values())
+        # Per-context counters are read outside the registry lock (and are
+        # themselves lock-free) so a poll never stalls tuning traffic.
+        contexts = [
+            {"schema": context.schema.name,
+             "cached_queries": context.inum.cached_query_count,
+             "template_builds": context.inum.template_build_calls,
+             "canonical_workloads": context.canonical_workload_count,
+             "statement_names": context.statement_name_count}
+            for context in snapshot
+        ]
+        return {
+            "contexts": contexts,
+            "context_count": len(contexts),
+            "max_contexts": self.max_contexts,
+            "context_ttl_s": self.context_ttl_s,
+            "evicted_contexts": self.evicted_contexts,
+            "expired_contexts": self.expired_contexts,
+        }
 
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
@@ -185,12 +337,14 @@ class Tuner:
 
 
 # ----------------------------------------------------------------- pipeline
-def tune_in_context(request: TuningRequest, context: SchemaContext
-                    ) -> TuningResult:
+def tune_in_context(request: TuningRequest, context: SchemaContext, *,
+                    namespaced: bool = False) -> TuningResult:
     """The resolved pipeline: advisor from registry, shared wiring, result.
 
     Factored out of :class:`Tuner` so the service can run it under its own
-    per-context locking without re-resolving contexts.
+    per-context locking without re-resolving contexts.  ``namespaced`` is
+    recorded in the provenance when the service auto-namespaced the
+    workload's statement names at admission.
     """
     started = time.perf_counter()
     facade_timings: dict[str, float] = {}
@@ -243,7 +397,8 @@ def tune_in_context(request: TuningRequest, context: SchemaContext
 
     facade_timings["total"] = time.perf_counter() - started
     provenance = _provenance(request, spec, options, advisor, workload,
-                             candidates, prepared=prepared, evaluated=evaluate)
+                             candidates, prepared=prepared, evaluated=evaluate,
+                             namespaced=namespaced)
     return TuningResult.from_recommendation(
         recommendation, provenance=provenance,
         statement_costs=statement_costs, facade_timings=facade_timings)
@@ -292,7 +447,7 @@ def _jsonable(value: Any) -> Any:
 def _provenance(request: TuningRequest, spec, options: Mapping[str, Any],
                 advisor: Advisor, workload: Workload,
                 candidates: CandidateSet | None, *, prepared: bool,
-                evaluated: bool) -> dict[str, Any]:
+                evaluated: bool, namespaced: bool = False) -> dict[str, Any]:
     """The machine-readable record of the resolved pipeline."""
     return {
         "api_version": 1,
@@ -315,5 +470,6 @@ def _provenance(request: TuningRequest, spec, options: Mapping[str, Any],
             "dba_indexes": len(request.dba_indexes),
             "count": None if candidates is None else len(candidates),
         },
-        "pipeline": {"prepared": prepared, "evaluated": evaluated},
+        "pipeline": {"prepared": prepared, "evaluated": evaluated,
+                     "namespaced": namespaced},
     }

@@ -1,0 +1,6 @@
+"""``python -m repro.server`` — CLI entry point for the tuning server."""
+
+from repro.server.app import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,380 @@
+"""The HTTP front-end: ``TuningServer`` over a shared ``TuningService``.
+
+Built entirely on the stdlib (``http.server.ThreadingHTTPServer`` — one
+thread per connection, which composes with the service's per-context
+locking), so the tuning server adds zero dependencies.
+
+Endpoints (all JSON, all under :data:`~repro.server.protocol.API_PREFIX`):
+
+======  ==========================  ===========================================
+Method  Path                        Semantics
+======  ==========================  ===========================================
+POST    ``/v1/tune``                One encoded request -> one result payload.
+POST    ``/v1/tune_batch``          ``{"requests": [...]}`` served via
+                                    ``TuningService.tune_many`` (concurrent;
+                                    all-or-nothing on error).
+POST    ``/v1/sessions``            Open an interactive session; returns
+                                    ``{"session_id": ...}``.
+POST    ``/v1/sessions/{id}/tune``  One session step: ``{"operation":
+                                    "recommend" | "add_candidates" |
+                                    "remove_candidates" |
+                                    "update_constraints", ...}``.
+DELETE  ``/v1/sessions/{id}``       Close a session.
+GET     ``/v1/health``              Liveness + advisor registry.
+GET     ``/v1/stats``               Service counters: contexts, cache sizes,
+                                    LRU/TTL evictions, namespacing.
+======  ==========================  ===========================================
+
+Errors travel as the structured envelope of :mod:`repro.server.protocol`.
+Equal client schema payloads are canonicalized through a
+:class:`~repro.server.wire.SchemaCache` so repeated traffic shares one
+``SchemaContext`` (optimizer, templates, tensors) — which is exactly why the
+service-level eviction (``max_contexts`` / ``context_ttl_s``) and statement
+auto-namespacing exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.registry import available_advisors
+from repro.api.result import index_from_payload
+from repro.api.service import TuningService, TuningSession
+from repro.api.specs import TuningRequest
+from repro.server.protocol import (
+    API_PREFIX,
+    TuningServerError,
+    envelope_for_exception,
+)
+from repro.server.wire import (
+    WIRE_VERSION,
+    SchemaCache,
+    WireFormatError,
+    decode_constraint,
+    decode_request,
+)
+
+__all__ = ["TuningServer", "main"]
+
+#: Session tune operations and the request-body key carrying their argument.
+_SESSION_OPERATIONS = {
+    "recommend": None,
+    "add_candidates": "indexes",
+    "remove_candidates": "indexes",
+    "update_constraints": "constraints",
+}
+
+
+class TuningServer:
+    """A threaded HTTP server over one shared :class:`TuningService`.
+
+    Args:
+        service: An existing service to front; a fresh one (with the given
+            ``namespace_statements`` / eviction knobs) is created when
+            omitted.
+        host, port: Bind address.  ``port=0`` picks a free port — read it
+            back from :attr:`port` (the pattern tests and in-process examples
+            use).
+        namespace_statements / max_contexts / context_ttl_s: Forwarded to the
+            created :class:`TuningService` (ignored when ``service`` is
+            supplied).  ``max_contexts`` *defaults to 64* here — unlike the
+            embedded service — because a server's schema contexts are born
+            from decoded payloads: once the schema cache rotates an entry
+            out, the orphaned context would be unreachable yet retained
+            forever without a cap.
+        max_schemas: LRU cap of the schema canonicalization cache.
+    """
+
+    def __init__(self, service: TuningService | None = None,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 namespace_statements: bool = False,
+                 max_contexts: int | None = 64,
+                 context_ttl_s: float | None = None,
+                 max_schemas: int | None = 32):
+        if service is None:
+            service = TuningService(namespace_statements=namespace_statements,
+                                    max_contexts=max_contexts,
+                                    context_ttl_s=context_ttl_s)
+        self.service = service
+        self.schema_cache = SchemaCache(max_schemas=max_schemas)
+        self._sessions: dict[str, tuple[TuningSession, TuningRequest]] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self._httpd = _TuningHTTPServer((host, port), _TuningRequestHandler,
+                                        owner=self)
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> "TuningServer":
+        """Serve on a daemon thread (in-process servers: tests, examples)."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="tuning-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and shut the service's thread pool down (idempotent)."""
+        if self._serving:
+            # shutdown() waits on an event only serve_forever() sets; calling
+            # it on a never-started server would block forever.
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "TuningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- endpoints
+    def handle_health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "wire_version": WIRE_VERSION,
+            "advisors": list(available_advisors()),
+            "sessions_open": self.session_count,
+        }
+
+    def handle_stats(self) -> dict[str, Any]:
+        return {
+            "wire_version": WIRE_VERSION,
+            "service": self.service.stats(),
+            "cached_schemas": len(self.schema_cache),
+            "sessions_open": self.session_count,
+        }
+
+    def handle_tune(self, body: Any) -> dict[str, Any]:
+        request = decode_request(body, schema_cache=self.schema_cache)
+        result = self.service.tune(request)
+        return {"result": result.to_payload()}
+
+    def handle_tune_batch(self, body: Any) -> dict[str, Any]:
+        payloads = body.get("requests") if isinstance(body, dict) else None
+        if not isinstance(payloads, list):
+            raise WireFormatError(
+                "tune_batch body must be {\"requests\": [<request>, ...]}")
+        requests = [decode_request(entry, schema_cache=self.schema_cache)
+                    for entry in payloads]
+        results = self.service.tune_many(requests)
+        return {"results": [result.to_payload() for result in results]}
+
+    def handle_open_session(self, body: Any) -> dict[str, Any]:
+        request = decode_request(body, schema_cache=self.schema_cache)
+        session = self.service.open_session(request)
+        with self._sessions_lock:
+            session_id = f"s{next(self._session_ids)}"
+            self._sessions[session_id] = (session, request)
+        return {"session_id": session_id}
+
+    def handle_session_tune(self, session_id: str, body: Any
+                            ) -> dict[str, Any]:
+        session, request = self._session(session_id)
+        operation = (body.get("operation", "recommend")
+                     if isinstance(body, dict) else "recommend")
+        if operation not in _SESSION_OPERATIONS:
+            raise WireFormatError(
+                f"Unknown session operation {operation!r}; expected one of "
+                f"{sorted(_SESSION_OPERATIONS)}")
+        argument_key = _SESSION_OPERATIONS[operation]
+        if argument_key is None:
+            result = session.recommend()
+        else:
+            entries = body.get(argument_key)
+            if not isinstance(entries, list):
+                raise WireFormatError(
+                    f"Session operation {operation!r} needs a "
+                    f"{argument_key!r} list in the body")
+            if argument_key == "indexes":
+                argument = [index_from_payload(entry) for entry in entries]
+            else:
+                argument = [decode_constraint(entry, request.workload)
+                            for entry in entries]
+            result = getattr(session, operation)(argument)
+        return {"result": result.to_payload()}
+
+    def handle_close_session(self, session_id: str) -> dict[str, Any]:
+        with self._sessions_lock:
+            closed = self._sessions.pop(session_id, None)
+        if closed is None:
+            # Matches the documented contract: 404 = unknown session (the
+            # client SDK guards against double-DELETE itself).
+            raise TuningServerError(f"Unknown session {session_id!r}",
+                                    status=404, error_type="UnknownSession")
+        return {"closed": True, "session_id": session_id}
+
+    def _session(self, session_id: str) -> tuple[TuningSession, TuningRequest]:
+        with self._sessions_lock:
+            entry = self._sessions.get(session_id)
+        if entry is None:
+            raise TuningServerError(f"Unknown session {session_id!r}",
+                                    status=404, error_type="UnknownSession")
+        return entry
+
+
+class _TuningHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Restart accept() on transient socket errors instead of dying.
+    allow_reuse_address = True
+
+    def __init__(self, address, handler_class, owner: TuningServer):
+        self.owner = owner
+        super().__init__(address, handler_class)
+
+
+#: Upper bound on request bodies; large TPC-H-sized requests are ~1 MB, so
+#: this is generous while keeping a hostile Content-Length from buffering
+#: arbitrary amounts of memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _TuningRequestHandler(BaseHTTPRequestHandler):
+    #: Advertised through the Server header.
+    server_version = "repro-tuning-server/1"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that stalls mid-body cannot pin a worker
+    #: thread forever (solves run server-side *after* the body is read).
+    timeout = 120
+
+    # ------------------------------------------------------------------- verbs
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # ---------------------------------------------------------------- plumbing
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload = self._route(method)
+            self._write_json(200, payload)
+        except Exception as exc:  # noqa: BLE001 — every error becomes an envelope
+            status, envelope = envelope_for_exception(exc)
+            self._write_json(status, envelope)
+
+    def _route(self, method: str) -> dict[str, Any]:
+        owner = self.server.owner  # type: ignore[attr-defined]
+        # Ignore any query string (health probes commonly append one).
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if method == "GET" and path == f"{API_PREFIX}/health":
+            return owner.handle_health()
+        if method == "GET" and path == f"{API_PREFIX}/stats":
+            return owner.handle_stats()
+        if method == "POST" and path == f"{API_PREFIX}/tune":
+            return owner.handle_tune(self._read_json())
+        if method == "POST" and path == f"{API_PREFIX}/tune_batch":
+            return owner.handle_tune_batch(self._read_json())
+        sessions_root = f"{API_PREFIX}/sessions"
+        if method == "POST" and path == sessions_root:
+            return owner.handle_open_session(self._read_json())
+        if path.startswith(sessions_root + "/"):
+            rest = path[len(sessions_root) + 1:].split("/")
+            if method == "POST" and len(rest) == 2 and rest[1] == "tune":
+                return owner.handle_session_tune(rest[0], self._read_json())
+            if method == "DELETE" and len(rest) == 1:
+                return owner.handle_close_session(rest[0])
+        raise TuningServerError(f"No such endpoint: {method} {self.path}",
+                                status=404, error_type="NotFound")
+
+    def _read_json(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise WireFormatError("Content-Length must be an integer") \
+                from None
+        if length < 0:
+            # rfile.read(-1) would block until the client closes the socket.
+            raise WireFormatError("Content-Length must be non-negative")
+        if length > MAX_BODY_BYTES:
+            raise TuningServerError(
+                f"Request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit", status=413,
+                error_type="PayloadTooLarge")
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise WireFormatError("Request body must be a JSON document")
+        return json.loads(body)
+
+    def _write_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        # One request per connection: an error response may leave an unread
+        # request body on the socket, which a kept-alive connection would
+        # misparse as the next request line.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr lines (the service keeps the counters)."""
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``python -m repro.server --port 8080``."""
+    parser = argparse.ArgumentParser(description="repro tuning server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--namespace-statements", action="store_true",
+                        help="auto-namespace colliding statement names "
+                             "instead of rejecting them (WorkloadError)")
+    parser.add_argument("--max-contexts", type=int, default=64,
+                        help="LRU cap on live schema contexts")
+    parser.add_argument("--context-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="idle TTL for schema contexts")
+    args = parser.parse_args(argv)
+    server = TuningServer(host=args.host, port=args.port,
+                          namespace_statements=args.namespace_statements,
+                          max_contexts=args.max_contexts,
+                          context_ttl_s=args.context_ttl)
+    print(f"Serving index tuning on {server.url} "
+          f"(advisors: {', '.join(available_advisors())})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,182 @@
+"""``TuningClient`` — the stdlib-``urllib`` SDK over the tuning server.
+
+The client mirrors the embedded API surface one-for-one, so calling code is
+agnostic about where the advisor runs::
+
+    tuner  = Tuner();                 result = tuner.tune(request)
+    client = TuningClient(server_url); result = client.tune(request)
+
+``tune`` / ``tune_many`` / ``open_session`` accept the same
+:class:`~repro.api.specs.TuningRequest` objects, return the same
+:class:`~repro.api.result.TuningResult`, and raise the same exceptions
+(:class:`~repro.exceptions.WorkloadError` on statement-name collisions, …)
+reconstructed from the server's error envelope; only transport-level
+failures surface as :class:`~repro.server.protocol.TuningServerError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Sequence
+
+from repro.api.result import TuningResult, index_to_payload
+from repro.api.specs import TuningRequest
+from repro.server.protocol import (
+    API_PREFIX,
+    TuningServerError,
+    raise_remote_error,
+)
+from repro.server.wire import encode_constraint, encode_request
+
+__all__ = ["TuningClient", "RemoteTuningSession"]
+
+
+class TuningClient:
+    """A remote :class:`~repro.api.tuner.Tuner` / ``TuningService`` facade.
+
+    Args:
+        base_url: The server root, e.g. ``"http://127.0.0.1:8080"`` (any
+            trailing slash is ignored).
+        timeout: Per-request socket timeout in seconds.  Tuning solves can
+            legitimately take a while; the default is generous.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ tuning
+    def tune(self, request: TuningRequest) -> TuningResult:
+        """Serve one declarative request remotely (mirrors ``Tuner.tune``)."""
+        payload = self._post(f"{API_PREFIX}/tune", encode_request(request))
+        return TuningResult.from_payload(payload["result"])
+
+    def tune_many(self, requests: Iterable[TuningRequest]
+                  ) -> list[TuningResult]:
+        """Serve a batch concurrently on the server; results in order."""
+        payload = self._post(
+            f"{API_PREFIX}/tune_batch",
+            {"requests": [encode_request(request) for request in requests]})
+        return [TuningResult.from_payload(entry)
+                for entry in payload["results"]]
+
+    # ---------------------------------------------------------------- sessions
+    def open_session(self, request: TuningRequest) -> "RemoteTuningSession":
+        """Open a server-held interactive session (delta-BIP re-tuning)."""
+        payload = self._post(f"{API_PREFIX}/sessions", encode_request(request))
+        return RemoteTuningSession(self, payload["session_id"], request)
+
+    # ------------------------------------------------------------- diagnostics
+    def health(self) -> dict[str, Any]:
+        return self._get(f"{API_PREFIX}/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._get(f"{API_PREFIX}/stats")
+
+    # ---------------------------------------------------------------- plumbing
+    def _get(self, path: str) -> dict[str, Any]:
+        return self._call("GET", path, None)
+
+    def _post(self, path: str, payload: Any) -> dict[str, Any]:
+        return self._call("POST", path, payload)
+
+    def _delete(self, path: str) -> dict[str, Any]:
+        return self._call("DELETE", path, None)
+
+    def _call(self, method: str, path: str, payload: Any) -> dict[str, Any]:
+        data = (None if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                envelope = json.loads(exc.read())
+            except (ValueError, OSError):
+                envelope = None
+            raise_remote_error(exc.code, envelope)
+            raise  # unreachable — raise_remote_error always raises
+        except urllib.error.URLError as exc:
+            raise TuningServerError(
+                f"Cannot reach tuning server at {self.base_url}: "
+                f"{exc.reason}", status=0,
+                error_type="ConnectionError") from exc
+
+
+class RemoteTuningSession:
+    """The client half of a server-held interactive tuning session.
+
+    Mirrors :class:`~repro.api.service.TuningSession`: every call returns a
+    :class:`TuningResult`, and the locally-kept :attr:`history` /
+    :attr:`last_result` match what the server's session recorded.
+    """
+
+    def __init__(self, client: TuningClient, session_id: str,
+                 request: TuningRequest):
+        self._client = client
+        self.session_id = session_id
+        self.request = request
+        self._history: list[TuningResult] = []
+        self._closed = False
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def history(self) -> tuple[TuningResult, ...]:
+        return tuple(self._history)
+
+    @property
+    def last_result(self) -> TuningResult | None:
+        return self._history[-1] if self._history else None
+
+    # ------------------------------------------------------------------ tuning
+    def recommend(self) -> TuningResult:
+        return self._step({"operation": "recommend"})
+
+    def add_candidates(self, new_indexes: Sequence) -> TuningResult:
+        return self._step({"operation": "add_candidates",
+                           "indexes": [index_to_payload(index)
+                                       for index in new_indexes]})
+
+    def remove_candidates(self, removed_indexes: Sequence) -> TuningResult:
+        return self._step({"operation": "remove_candidates",
+                           "indexes": [index_to_payload(index)
+                                       for index in removed_indexes]})
+
+    def update_constraints(self, constraints: Sequence) -> TuningResult:
+        return self._step({"operation": "update_constraints",
+                           "constraints": [encode_constraint(constraint)
+                                           for constraint in constraints]})
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> bool:
+        """Release the server-side session (idempotent)."""
+        if self._closed:
+            return False
+        payload = self._client._delete(
+            f"{API_PREFIX}/sessions/{self.session_id}")
+        self._closed = True
+        return bool(payload.get("closed"))
+
+    def __enter__(self) -> "RemoteTuningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- internals
+    def _step(self, body: dict[str, Any]) -> TuningResult:
+        if self._closed:
+            raise TuningServerError(
+                f"Session {self.session_id!r} is closed", status=404,
+                error_type="UnknownSession")
+        payload = self._client._post(
+            f"{API_PREFIX}/sessions/{self.session_id}/tune", body)
+        result = TuningResult.from_payload(payload["result"])
+        self._history.append(result)
+        return result

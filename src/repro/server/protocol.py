@@ -1,0 +1,117 @@
+"""HTTP protocol glue shared by the tuning server and the client SDK.
+
+One structured **error envelope** travels in both directions::
+
+    {"error": {"type": "WorkloadError", "message": "...", "status": 422}}
+
+The server maps exceptions onto it (:func:`envelope_for_exception`) and the
+client maps it back onto the exception the embedded API would have raised
+(:func:`raise_remote_error`), so error handling code is the same in-process
+and over the wire.  Status mapping:
+
+* ``400`` — the request itself is broken: malformed JSON, unknown wire
+  version / advisor name, invalid spec combinations (``ValueError``);
+* ``422`` — the request parsed but describes an unservable tuning problem:
+  :class:`WorkloadError` (e.g. statement-name collisions), catalog and
+  constraint errors, infeasible problems;
+* ``404`` — unknown endpoint or session;
+* ``500`` — everything else (a server-side bug, never the client's fault).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro import exceptions as _exceptions
+from repro.exceptions import (
+    CatalogError,
+    ConstraintError,
+    IndexDefinitionError,
+    InfeasibleProblemError,
+    ReproError,
+    WorkloadError,
+)
+from repro.server.wire import WireFormatError
+
+__all__ = ["API_PREFIX", "TuningServerError", "error_envelope",
+           "envelope_for_exception", "raise_remote_error"]
+
+#: URL prefix of every endpoint; bumping it is a wire-format break.
+API_PREFIX = "/v1"
+
+
+class TuningServerError(ReproError):
+    """A server-reported error with no embedded-API equivalent.
+
+    Raised by the client SDK for transport failures, unknown endpoints /
+    sessions, and any envelope whose ``type`` does not name a
+    :mod:`repro.exceptions` class.  ``status`` is the HTTP status code
+    (``0`` for transport failures that never reached the server).
+    """
+
+    def __init__(self, message: str, *, status: int = 500,
+                 error_type: str = "InternalError"):
+        super().__init__(message)
+        self.status = int(status)
+        self.error_type = error_type
+
+
+def error_envelope(error_type: str, message: str, status: int
+                   ) -> dict[str, Any]:
+    return {"error": {"type": error_type, "message": message,
+                      "status": int(status)}}
+
+
+def envelope_for_exception(exc: BaseException) -> tuple[int, dict[str, Any]]:
+    """Map one exception onto ``(status, envelope)`` for the HTTP response."""
+    if isinstance(exc, TuningServerError):
+        return exc.status, error_envelope(exc.error_type, str(exc), exc.status)
+    if isinstance(exc, WireFormatError):
+        return 400, error_envelope("WireFormatError", str(exc), 400)
+    if isinstance(exc, json.JSONDecodeError):
+        return 400, error_envelope("MalformedJSON", str(exc), 400)
+    if isinstance(exc, KeyError):
+        # The registry reports unknown advisors as a KeyError whose message
+        # starts with a fixed prefix; any other KeyError reaching this point
+        # escaped the wire layer's validation and is a server-side bug.
+        message = exc.args[0] if exc.args else str(exc)
+        if isinstance(message, str) and message.startswith(
+                "No advisor registered"):
+            return 400, error_envelope("UnknownAdvisor", message, 400)
+        return 500, error_envelope("KeyError", str(message), 500)
+    if isinstance(exc, (ValueError, TypeError)):
+        return 400, error_envelope(type(exc).__name__, str(exc), 400)
+    if isinstance(exc, (WorkloadError, CatalogError, ConstraintError,
+                        IndexDefinitionError, InfeasibleProblemError)):
+        return 422, error_envelope(type(exc).__name__, str(exc), 422)
+    return 500, error_envelope(type(exc).__name__, str(exc), 500)
+
+
+#: Builtin exception types the embedded API raises for bad requests; the
+#: client resurrects them so ``except ValueError`` handlers work remotely.
+_BUILTIN_ERROR_TYPES = {"ValueError": ValueError, "TypeError": TypeError}
+
+
+def raise_remote_error(status: int, payload: Mapping[str, Any] | None) -> None:
+    """Re-raise a server error envelope as the matching local exception.
+
+    Envelope types naming a :mod:`repro.exceptions` class — or one of the
+    builtin types the embedded API raises for invalid requests
+    (``ValueError``, ``TypeError``) — are raised as that class, so remote
+    error handling matches the in-process API; everything else becomes
+    :class:`TuningServerError`.
+    """
+    envelope = (payload or {}).get("error", {})
+    error_type = str(envelope.get("type", "InternalError"))
+    message = str(envelope.get("message", f"HTTP {status}"))
+    exception_class = getattr(_exceptions, error_type, None)
+    if (isinstance(exception_class, type)
+            and issubclass(exception_class, ReproError)
+            and exception_class is not ReproError):
+        raise exception_class(message)
+    if error_type == "WireFormatError":
+        raise WireFormatError(message)
+    if error_type in _BUILTIN_ERROR_TYPES:
+        raise _BUILTIN_ERROR_TYPES[error_type](message)
+    raise TuningServerError(message, status=status, error_type=error_type)

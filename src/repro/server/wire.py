@@ -1,0 +1,675 @@
+"""Versioned JSON wire formats for the network tuning server.
+
+``TuningResult`` has serialized since PR 4 (:meth:`TuningResult.to_json`);
+this module supplies the *request* side: codecs for :class:`Schema` (tables,
+columns, statistics), :class:`Workload` (statements, weights, predicates,
+updates), the DBA constraint language and the three request specs, composing
+into :func:`encode_request` / :func:`decode_request`.
+
+The contract is **bit-identical round-tripping**: for any encodable request,
+tuning ``decode_request(encode_request(request))`` produces a result whose
+``fingerprint()`` equals the in-process result for ``request`` (pinned in
+``tests/test_wire.py`` and ``tests/test_server.py``).  Three properties make
+that hold:
+
+* floats survive exactly — Python's ``json`` emits shortest-repr floats,
+  which round-trip bit-identically;
+* tuple-valued predicate operands (``BETWEEN`` / ``IN``) are restored to
+  tuples on decode, so statement digests (which ``repr`` the operands) match;
+* statement and workload *names* are part of the payload — the canonical
+  workload LRU and the shared INUM cache key on them.
+
+Every payload carries ``wire_version``; :func:`decode_request` rejects
+versions it does not understand with :class:`WireFormatError` instead of
+silently partial-loading.  Constraints carrying live callables (selectors,
+filters) have no wire representation and are rejected at *encode* time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import fields
+from typing import Any, Mapping
+
+from repro.api.result import index_from_payload, index_to_payload
+from repro.api.specs import AdvisorSpec, CostingSpec, ScaleSpec, TuningRequest
+from repro.catalog.column import Column, ColumnType
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import ColumnStatistics
+from repro.catalog.table import Table
+from repro.core.constraints import (
+    ClusteredIndexConstraint,
+    ComparisonSense,
+    IndexCountConstraint,
+    IndexWidthConstraint,
+    QueryCostConstraint,
+    QuerySpeedupGenerator,
+    SoftConstraint,
+    StorageBudgetConstraint,
+    TuningConstraint,
+    UpdateCostConstraint,
+)
+from repro.exceptions import ReproError
+from repro.indexes.candidate_generation import CandidateSet
+from repro.workload.predicates import (
+    ColumnRef,
+    ComparisonOperator,
+    JoinPredicate,
+    SimplePredicate,
+)
+from repro.workload.query import (
+    Aggregate,
+    AggregateFunction,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.workload.workload import Workload, WorkloadStatement
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireFormatError",
+    "SchemaCache",
+    "encode_schema",
+    "decode_schema",
+    "encode_workload",
+    "decode_workload",
+    "encode_query",
+    "decode_query",
+    "encode_constraint",
+    "decode_constraint",
+    "encode_request",
+    "decode_request",
+]
+
+#: Version of the request wire format.  Bump on any incompatible change; the
+#: decoder rejects versions it does not understand.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ReproError):
+    """Raised when a payload cannot be encoded to / decoded from the wire."""
+
+
+# --------------------------------------------------------------------- helpers
+def _require(payload: Mapping[str, Any], key: str, context: str) -> Any:
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise WireFormatError(
+            f"{context} payload is missing required field {key!r}") from None
+
+
+def _check_fields(payload: Any, allowed: frozenset, context: str) -> None:
+    """Reject unknown payload fields loudly.
+
+    A misspelled optional field (``"sence"`` for ``"sense"``) would otherwise
+    be dropped and its default silently enforced — the partial-load failure
+    mode this module promises never to have.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireFormatError(
+            f"{context} payload must be a JSON object, got "
+            f"{type(payload).__name__}")
+    unknown = set(payload) - allowed
+    if unknown:
+        raise WireFormatError(
+            f"{context} payload has unknown fields {sorted(unknown)}; "
+            f"known fields: {sorted(allowed)}")
+
+
+_REQUEST_FIELDS = frozenset({
+    "wire_version", "kind", "request_id", "schema", "workload", "constraints",
+    "candidates", "dba_indexes", "advisor", "costing", "scale",
+    "per_statement_costs"})
+_SCHEMA_FIELDS = frozenset({"name", "tables"})
+_TABLE_FIELDS = frozenset({"name", "row_count", "page_size", "primary_key",
+                           "columns", "statistics"})
+_COLUMN_FIELDS = frozenset({"name", "type", "width", "nullable"})
+_STATISTICS_FIELDS = frozenset({"distinct_values", "null_fraction",
+                                "correlation", "average_width", "histogram"})
+_HISTOGRAM_FIELDS = frozenset({"buckets"})
+_WORKLOAD_FIELDS = frozenset({"name", "statements"})
+_STATEMENT_FIELDS = frozenset({"weight", "query"})
+_SELECT_FIELDS = frozenset({"kind", "name", "tables", "projections",
+                            "predicates", "joins", "group_by", "order_by",
+                            "aggregates"})
+_UPDATE_FIELDS = frozenset({"kind", "name", "table", "set_columns",
+                            "predicates", "update_fraction"})
+_PREDICATE_FIELDS = frozenset({"column", "operator", "value",
+                               "selectivity_hint"})
+_JOIN_FIELDS = frozenset({"left", "right"})
+_AGGREGATE_FIELDS = frozenset({"function", "column"})
+_ADVISOR_FIELDS = frozenset({"name", "options"})
+#: Allowed fields per constraint payload type.
+_CONSTRAINT_FIELDS = {
+    "soft": frozenset({"type", "target", "inner"}),
+    "storage_budget": frozenset({"type", "budget_bytes", "name"}),
+    "index_count": frozenset({"type", "limit", "sense", "name"}),
+    "index_width": frozenset({"type", "max_columns", "name"}),
+    "clustered_index": frozenset({"type", "name"}),
+    "query_cost": frozenset({"type", "query", "reference_cost", "factor",
+                             "name"}),
+    "speedup_generator": frozenset({"type", "reference_costs", "factor",
+                                    "name"}),
+    "update_cost": frozenset({"type", "limit", "name"}),
+}
+
+
+def _scalar(value: Any, context: str) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise WireFormatError(
+        f"{context} value {value!r} of type {type(value).__name__} has no "
+        f"JSON wire representation")
+
+
+def _encode_operand(value: Any, context: str) -> Any:
+    if isinstance(value, (tuple, list)):
+        return [_scalar(item, context) for item in value]
+    return _scalar(value, context)
+
+
+def _encode_column_ref(column: ColumnRef) -> list[str]:
+    return [column.table, column.column]
+
+
+def _decode_column_ref(payload: Any, context: str) -> ColumnRef:
+    if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+        raise WireFormatError(
+            f"{context}: a column reference must be a [table, column] pair, "
+            f"got {payload!r}")
+    return ColumnRef(payload[0], payload[1])
+
+
+# ---------------------------------------------------------------------- schema
+def encode_schema(schema: Schema) -> dict[str, Any]:
+    """A :class:`Schema` (tables, columns, statistics) as a JSON payload."""
+    return {
+        "name": schema.name,
+        "tables": [_encode_table(table) for table in schema],
+    }
+
+
+def _encode_table(table: Table) -> dict[str, Any]:
+    return {
+        "name": table.name,
+        "row_count": table.row_count,
+        "page_size": table.page_size,
+        "primary_key": list(table.primary_key),
+        "columns": [
+            {"name": column.name, "type": column.column_type.value,
+             "width": column.width, "nullable": column.nullable}
+            for column in table.columns
+        ],
+        "statistics": {name: stats.to_payload()
+                       for name, stats in table.statistics.items()},
+    }
+
+
+def decode_schema(payload: Mapping[str, Any]) -> Schema:
+    _check_fields(payload, _SCHEMA_FIELDS, "schema")
+    tables = [_decode_table(entry)
+              for entry in _require(payload, "tables", "schema")]
+    return Schema(tables, name=_require(payload, "name", "schema"))
+
+
+def _decode_table(payload: Mapping[str, Any]) -> Table:
+    _check_fields(payload, _TABLE_FIELDS, "table")
+    columns = []
+    for entry in _require(payload, "columns", "table"):
+        _check_fields(entry, _COLUMN_FIELDS, "column")
+        try:
+            column_type = ColumnType(_require(entry, "type", "column"))
+        except ValueError as exc:
+            raise WireFormatError(f"Unknown column type: {exc}") from None
+        columns.append(Column(
+            name=_require(entry, "name", "column"),
+            column_type=column_type,
+            width=int(entry.get("width", 0)),
+            nullable=bool(entry.get("nullable", False)),
+        ))
+    statistics = {}
+    for name, stats in payload.get("statistics", {}).items():
+        _check_fields(stats, _STATISTICS_FIELDS, f"statistics[{name}]")
+        if stats.get("histogram") is not None:
+            _check_fields(stats["histogram"], _HISTOGRAM_FIELDS,
+                          f"statistics[{name}].histogram")
+        try:
+            statistics[name] = ColumnStatistics.from_payload(stats)
+        except (KeyError, TypeError) as exc:
+            raise WireFormatError(
+                f"Malformed statistics for column {name!r}: {exc}") from None
+    return Table(
+        name=_require(payload, "name", "table"),
+        columns=columns,
+        row_count=float(_require(payload, "row_count", "table")),
+        statistics=statistics,
+        primary_key=tuple(payload.get("primary_key", ())),
+        page_size=int(payload.get("page_size", 8192)),
+    )
+
+
+class SchemaCache:
+    """Canonicalizes equal schema payloads onto one decoded :class:`Schema`.
+
+    The Tuner keys its per-schema contexts by *object identity*, so a server
+    decoding every request's schema afresh would never share an optimizer, a
+    template or a tensor between requests.  This cache maps the canonical
+    JSON digest of a schema payload to the first decoded object, so equal
+    client schemas resolve to one :class:`Schema` — and therefore one
+    :class:`~repro.api.tuner.SchemaContext` — for as long as the entry lives.
+
+    Entries are LRU-bounded by ``max_schemas``; evicting one only means the
+    next equal payload decodes a fresh object (and gets a fresh context — the
+    Tuner's own ``max_contexts`` / ``context_ttl_s`` reap the orphan).
+    """
+
+    def __init__(self, max_schemas: int | None = 32):
+        if max_schemas is not None and max_schemas < 1:
+            raise ValueError("max_schemas must be positive (or None)")
+        self._max_schemas = max_schemas
+        self._schemas: OrderedDict[str, Schema] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._schemas)
+
+    def resolve(self, payload: Mapping[str, Any]) -> Schema:
+        key = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+        with self._lock:
+            schema = self._schemas.get(key)
+            if schema is not None:
+                self._schemas.move_to_end(key)
+                return schema
+        schema = decode_schema(payload)
+        with self._lock:
+            known = self._schemas.get(key)
+            if known is not None:
+                return known
+            self._schemas[key] = schema
+            if self._max_schemas is not None:
+                while len(self._schemas) > self._max_schemas:
+                    self._schemas.popitem(last=False)
+        return schema
+
+
+# -------------------------------------------------------------------- workload
+def encode_workload(workload: Workload) -> dict[str, Any]:
+    """A :class:`Workload` (statements, weights) as a JSON payload."""
+    return {
+        "name": workload.name,
+        "statements": [
+            {"weight": statement.weight,
+             "query": encode_query(statement.query)}
+            for statement in workload
+        ],
+    }
+
+
+def decode_workload(payload: Mapping[str, Any]) -> Workload:
+    _check_fields(payload, _WORKLOAD_FIELDS, "workload")
+    statements = []
+    for entry in _require(payload, "statements", "workload"):
+        _check_fields(entry, _STATEMENT_FIELDS, "statement")
+        statements.append(WorkloadStatement(
+            decode_query(_require(entry, "query", "statement")),
+            weight=float(entry.get("weight", 1.0))))
+    return Workload(statements, name=_require(payload, "name", "workload"))
+
+
+def encode_query(query: Query) -> dict[str, Any]:
+    """A statement (SELECT or UPDATE) as a JSON payload."""
+    if isinstance(query, UpdateQuery):
+        return {
+            "kind": "update",
+            "name": query.name,
+            "table": query.table,
+            "set_columns": [_encode_column_ref(c) for c in query.set_columns],
+            "predicates": [_encode_predicate(p) for p in query.predicates],
+            "update_fraction": query.update_fraction,
+        }
+    return {
+        "kind": "select",
+        "name": query.name,
+        "tables": list(query.tables),
+        "projections": [_encode_column_ref(c) for c in query.projections],
+        "predicates": [_encode_predicate(p) for p in query.predicates],
+        "joins": [{"left": _encode_column_ref(j.left),
+                   "right": _encode_column_ref(j.right)}
+                  for j in query.joins],
+        "group_by": [_encode_column_ref(c) for c in query.group_by],
+        "order_by": [_encode_column_ref(c) for c in query.order_by],
+        "aggregates": [
+            {"function": a.function.value,
+             "column": (None if a.column is None
+                        else _encode_column_ref(a.column))}
+            for a in query.aggregates
+        ],
+    }
+
+
+def decode_query(payload: Mapping[str, Any]) -> Query:
+    kind = _require(payload, "kind", "query")
+    name = _require(payload, "name", "query")
+    _check_fields(payload,
+                  _UPDATE_FIELDS if kind == "update" else _SELECT_FIELDS,
+                  f"{kind} query")
+    predicates = tuple(_decode_predicate(entry)
+                       for entry in payload.get("predicates", ()))
+    if kind == "update":
+        return UpdateQuery(
+            table=_require(payload, "table", "update query"),
+            set_columns=tuple(_decode_column_ref(c, name)
+                              for c in _require(payload, "set_columns",
+                                                "update query")),
+            predicates=predicates,
+            name=name,
+            update_fraction=payload.get("update_fraction"),
+        )
+    if kind != "select":
+        raise WireFormatError(
+            f"Unknown statement kind {kind!r} (expected 'select' or 'update')")
+    aggregates = []
+    for entry in payload.get("aggregates", ()):
+        _check_fields(entry, _AGGREGATE_FIELDS, "aggregate")
+        try:
+            function = AggregateFunction(_require(entry, "function",
+                                                  "aggregate"))
+        except ValueError as exc:
+            raise WireFormatError(f"Unknown aggregate function: {exc}") from None
+        column = entry.get("column")
+        aggregates.append(Aggregate(
+            function, None if column is None
+            else _decode_column_ref(column, name)))
+    return SelectQuery(
+        tables=tuple(_require(payload, "tables", "query")),
+        projections=tuple(_decode_column_ref(c, name)
+                          for c in payload.get("projections", ())),
+        predicates=predicates,
+        joins=tuple(_decode_join(j, name) for j in payload.get("joins", ())),
+        group_by=tuple(_decode_column_ref(c, name)
+                       for c in payload.get("group_by", ())),
+        order_by=tuple(_decode_column_ref(c, name)
+                       for c in payload.get("order_by", ())),
+        aggregates=tuple(aggregates),
+        name=name,
+    )
+
+
+def _decode_join(payload: Mapping[str, Any], query_name: str) -> JoinPredicate:
+    _check_fields(payload, _JOIN_FIELDS, "join")
+    return JoinPredicate(
+        _decode_column_ref(_require(payload, "left", "join"), query_name),
+        _decode_column_ref(_require(payload, "right", "join"), query_name))
+
+
+def _encode_predicate(predicate: SimplePredicate) -> dict[str, Any]:
+    return {
+        "column": _encode_column_ref(predicate.column),
+        "operator": predicate.operator.value,
+        "value": _encode_operand(predicate.value,
+                                 f"predicate on {predicate.column}"),
+        "selectivity_hint": predicate.selectivity_hint,
+    }
+
+
+def _decode_predicate(payload: Mapping[str, Any]) -> SimplePredicate:
+    _check_fields(payload, _PREDICATE_FIELDS, "predicate")
+    try:
+        operator = ComparisonOperator(_require(payload, "operator",
+                                               "predicate"))
+    except ValueError as exc:
+        raise WireFormatError(f"Unknown comparison operator: {exc}") from None
+    value = payload.get("value")
+    # Tuple operands (BETWEEN bounds, IN lists) arrive as JSON arrays;
+    # restoring tuples keeps statement digests (which repr the operand)
+    # bit-identical to the pre-encode statement.
+    if isinstance(value, list):
+        value = tuple(value)
+    return SimplePredicate(
+        column=_decode_column_ref(_require(payload, "column", "predicate"),
+                                  "predicate"),
+        operator=operator,
+        value=value,
+        selectivity_hint=payload.get("selectivity_hint"),
+    )
+
+
+# ----------------------------------------------------------------- constraints
+def encode_constraint(constraint: TuningConstraint | SoftConstraint
+                      ) -> dict[str, Any]:
+    """A DBA constraint as a JSON payload.
+
+    Constraints carrying live callables (``IndexCountConstraint`` selectors /
+    weights, ``QuerySpeedupGenerator`` filters) are rejected — a callable has
+    no faithful wire representation, and shipping a lossy approximation would
+    silently change what the server enforces.
+    """
+    if isinstance(constraint, SoftConstraint):
+        return {"type": "soft", "target": constraint.target,
+                "inner": encode_constraint(constraint.inner)}
+    if isinstance(constraint, StorageBudgetConstraint):
+        return {"type": "storage_budget",
+                "budget_bytes": constraint.budget_bytes,
+                "name": constraint.name}
+    if isinstance(constraint, IndexCountConstraint):
+        if constraint.selector is not None or constraint.weight is not None:
+            raise WireFormatError(
+                "IndexCountConstraint with a selector/weight callable has no "
+                "wire representation; apply it through the embedded API, or "
+                "express the rule as IndexWidthConstraint / multiple "
+                "constraints")
+        return {"type": "index_count", "limit": constraint.limit,
+                "sense": constraint.sense.value, "name": constraint.name}
+    if isinstance(constraint, IndexWidthConstraint):
+        return {"type": "index_width", "max_columns": constraint.max_columns,
+                "name": constraint.name}
+    if isinstance(constraint, ClusteredIndexConstraint):
+        return {"type": "clustered_index", "name": constraint.name}
+    if isinstance(constraint, QueryCostConstraint):
+        return {"type": "query_cost", "query": constraint.query.name,
+                "reference_cost": constraint.reference_cost,
+                "factor": constraint.factor, "name": constraint.name}
+    if isinstance(constraint, QuerySpeedupGenerator):
+        if constraint.statement_filter is not None:
+            raise WireFormatError(
+                "QuerySpeedupGenerator with a statement_filter callable has "
+                "no wire representation; pre-filter the reference_costs "
+                "mapping instead")
+        return {"type": "speedup_generator",
+                "reference_costs": dict(constraint.reference_costs),
+                "factor": constraint.factor, "name": constraint.name}
+    if isinstance(constraint, UpdateCostConstraint):
+        return {"type": "update_cost", "limit": constraint.limit,
+                "name": constraint.name}
+    raise WireFormatError(
+        f"Constraint type {type(constraint).__name__} has no wire "
+        f"representation")
+
+
+def decode_constraint(payload: Mapping[str, Any], workload: Workload
+                      ) -> TuningConstraint | SoftConstraint:
+    """Decode one constraint payload.
+
+    ``query_cost`` constraints reference their statement *by name*; the name
+    is resolved against ``workload`` (the BIP keys cost expressions by
+    statement name, so the resolved object only needs the right name and a
+    shape that is part of the tuning problem).
+    """
+    kind = _require(payload, "type", "constraint")
+    allowed = _CONSTRAINT_FIELDS.get(kind)
+    if allowed is None:
+        raise WireFormatError(f"Unknown constraint type {kind!r}")
+    _check_fields(payload, allowed, f"{kind} constraint")
+    if kind == "soft":
+        inner = decode_constraint(_require(payload, "inner", "soft constraint"),
+                                  workload)
+        if isinstance(inner, SoftConstraint):
+            raise WireFormatError("Soft constraints cannot nest")
+        return SoftConstraint(inner, target=payload.get("target"))
+    if kind == "storage_budget":
+        return StorageBudgetConstraint(
+            budget_bytes=float(_require(payload, "budget_bytes", kind)),
+            name=payload.get("name", "storage_budget"))
+    if kind == "index_count":
+        try:
+            sense = ComparisonSense(payload.get("sense", "<="))
+        except ValueError as exc:
+            raise WireFormatError(f"Unknown comparison sense: {exc}") from None
+        return IndexCountConstraint(
+            limit=float(_require(payload, "limit", kind)), sense=sense,
+            name=payload.get("name", "index_count"))
+    if kind == "index_width":
+        return IndexWidthConstraint(
+            max_columns=int(_require(payload, "max_columns", kind)),
+            name=payload.get("name", "index_width"))
+    if kind == "clustered_index":
+        return ClusteredIndexConstraint(
+            name=payload.get("name", "one_clustered_per_table"))
+    if kind == "query_cost":
+        query_name = _require(payload, "query", kind)
+        for statement in workload:
+            if statement.query.name == query_name:
+                return QueryCostConstraint(
+                    query=statement.query,
+                    reference_cost=float(_require(payload, "reference_cost",
+                                                  kind)),
+                    factor=float(payload.get("factor", 1.0)),
+                    name=payload.get("name", "query_cost"))
+        raise WireFormatError(
+            f"query_cost constraint references unknown statement "
+            f"{query_name!r} (not in workload {workload.name!r})")
+    if kind == "speedup_generator":
+        return QuerySpeedupGenerator(
+            reference_costs={str(name): float(cost) for name, cost in
+                             _require(payload, "reference_costs",
+                                      kind).items()},
+            factor=float(payload.get("factor", 0.75)),
+            name=payload.get("name", "speedup_generator"))
+    return UpdateCostConstraint(
+        limit=float(_require(payload, "limit", kind)),
+        name=payload.get("name", "update_cost"))
+
+
+# ----------------------------------------------------------------------- specs
+def _encode_options(options: Mapping[str, Any], context: str
+                    ) -> dict[str, Any]:
+    """Strictly-JSON projection of spec options (live objects are rejected)."""
+    encoded: dict[str, Any] = {}
+    for key, value in options.items():
+        if isinstance(value, (tuple, list)):
+            encoded[key] = [_scalar(item, f"{context}.{key}") for item in value]
+        elif isinstance(value, dict):
+            encoded[key] = _encode_options(value, f"{context}.{key}")
+        else:
+            encoded[key] = _scalar(value, f"{context}.{key}")
+    return encoded
+
+
+def _decode_spec(cls, payload: Mapping[str, Any], context: str):
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise WireFormatError(
+            f"{context} payload has unknown fields {sorted(unknown)}; "
+            f"known fields: {sorted(known)}")
+    return cls(**payload)
+
+
+# --------------------------------------------------------------------- request
+def encode_request(request: TuningRequest) -> dict[str, Any]:
+    """One :class:`TuningRequest` as a self-contained, versioned JSON payload."""
+    advisor = request.advisor
+    candidates = request.candidates
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "tuning_request",
+        "request_id": request.request_id,
+        "schema": encode_schema(request.schema),
+        "workload": encode_workload(request.workload),
+        "constraints": [encode_constraint(constraint)
+                        for constraint in request.constraints],
+        "candidates": (None if candidates is None else
+                       [index_to_payload(index) for index in candidates]),
+        "dba_indexes": [index_to_payload(index)
+                        for index in request.dba_indexes],
+        "advisor": (None if advisor is None else
+                    {"name": advisor.name,
+                     "options": _encode_options(advisor.options,
+                                                "advisor option")}),
+        "costing": {f.name: getattr(request.costing, f.name)
+                    for f in fields(CostingSpec)},
+        "scale": (None if request.scale is None else
+                  {f.name: getattr(request.scale, f.name)
+                   for f in fields(ScaleSpec)}),
+        "per_statement_costs": request.per_statement_costs,
+    }
+
+
+def decode_request(payload: Mapping[str, Any],
+                   schema_cache: SchemaCache | None = None) -> TuningRequest:
+    """Decode a request payload back into a :class:`TuningRequest`.
+
+    Args:
+        payload: The JSON-shaped payload produced by :func:`encode_request`.
+        schema_cache: Optional :class:`SchemaCache`; when given, equal schema
+            payloads resolve to one shared :class:`Schema` object so the
+            serving Tuner can share one context (optimizer, INUM cache,
+            tensors) across requests.
+
+    Raises:
+        WireFormatError: On unknown wire versions, missing fields or
+            malformed sub-payloads — never a silent partial load.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireFormatError(
+            f"A tuning request payload must be a JSON object, got "
+            f"{type(payload).__name__}")
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"Unsupported wire_version {version!r}; this build understands "
+            f"version {WIRE_VERSION}")
+    _check_fields(payload, _REQUEST_FIELDS, "request")
+    schema_payload = _require(payload, "schema", "request")
+    if schema_cache is not None:
+        schema = schema_cache.resolve(schema_payload)
+    else:
+        schema = decode_schema(schema_payload)
+    workload = decode_workload(_require(payload, "workload", "request"))
+    workload.validate_against(schema)
+    constraints = tuple(decode_constraint(entry, workload)
+                        for entry in payload.get("constraints", ()))
+    candidates_payload = payload.get("candidates")
+    candidates = (None if candidates_payload is None else
+                  CandidateSet(schema, (index_from_payload(entry)
+                                        for entry in candidates_payload)))
+    dba_indexes = tuple(index_from_payload(entry)
+                        for entry in payload.get("dba_indexes", ()))
+    advisor_payload = payload.get("advisor")
+    if advisor_payload is not None:
+        _check_fields(advisor_payload, _ADVISOR_FIELDS, "advisor")
+    advisor = (None if advisor_payload is None else
+               AdvisorSpec(_require(advisor_payload, "name", "advisor"),
+                           advisor_payload.get("options", {})))
+    scale_payload = payload.get("scale")
+    return TuningRequest(
+        workload=workload,
+        schema=schema,
+        constraints=constraints,
+        candidates=candidates,
+        dba_indexes=dba_indexes,
+        advisor=advisor,
+        costing=_decode_spec(CostingSpec, payload.get("costing", {}),
+                             "costing spec"),
+        scale=(None if scale_payload is None else
+               _decode_spec(ScaleSpec, scale_payload, "scale spec")),
+        per_statement_costs=payload.get("per_statement_costs"),
+        request_id=str(payload.get("request_id", "")),
+    )

@@ -197,6 +197,25 @@ class Query:
     def is_update(self) -> bool:
         return self.kind is StatementKind.UPDATE
 
+    def with_name(self, name: str) -> "Query":
+        """A structural clone of this statement under a different name.
+
+        The clone shares every (immutable) structural component, so its
+        structural signature and statement digest are identical to the
+        original's — which is exactly what the service's auto-namespacing
+        needs: renaming a statement must never change how it is costed.
+        """
+        return type(self)(
+            tables=self.tables,
+            projections=self.projections,
+            predicates=self.predicates,
+            joins=self.joins,
+            group_by=self.group_by,
+            order_by=self.order_by,
+            aggregates=self.aggregates,
+            name=name,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"{type(self).__name__}(name={self.name!r}, tables={self.tables}, "
                 f"predicates={len(self.predicates)}, joins={len(self.joins)})")
@@ -250,6 +269,11 @@ class UpdateQuery(Query):
             predicates=self.predicates,
             name=f"{self.name}__shell",
         )
+
+    def with_name(self, name: str) -> "UpdateQuery":
+        return type(self)(self.table, self.set_columns,
+                          predicates=self.predicates, name=name,
+                          update_fraction=self.update_fraction)
 
     def writes_column(self, column: ColumnRef) -> bool:
         return column in self.set_columns

@@ -95,6 +95,24 @@ class TestJsonRoundTrip:
             <= {"orders", "items"}
         assert payload["provenance"]["api_version"] == 1
 
+    def test_payload_carries_version_and_rejects_unknown_versions(
+            self, simple_schema, simple_workload):
+        from repro.api.result import RESULT_PAYLOAD_VERSION
+
+        result = Tuner().tune(TuningRequest(workload=simple_workload,
+                                            schema=simple_schema))
+        payload = result.to_payload()
+        assert payload["version"] == RESULT_PAYLOAD_VERSION
+        # A payload without the field is a pre-PR 5 (structurally v1) one.
+        legacy = dict(payload)
+        del legacy["version"]
+        restored = TuningResult.from_payload(legacy)
+        assert restored.configuration == result.configuration
+        # Anything else must fail loudly instead of silently partial-loading.
+        for alien in (RESULT_PAYLOAD_VERSION + 1, "2", None):
+            with pytest.raises(ValueError, match="version"):
+                TuningResult.from_payload({**payload, "version": alien})
+
     def test_statement_cost_accessor(self):
         result = TuningResult(
             configuration=Configuration(),

@@ -196,6 +196,205 @@ class TestConcurrentTuning:
         assert len(service.tuner.contexts) == 2
 
 
+class TestContextEviction:
+    def test_lru_cap_evicts_whole_contexts(self, simple_workload):
+        from repro.catalog import tpch_schema
+
+        service = TuningService(max_contexts=2)
+        schemas = [tpch_schema(scale_factor=0.003 + 0.001 * i)
+                   for i in range(3)]
+        for schema in schemas:
+            service.context_for(schema)
+        assert len(service.tuner.contexts) == 2
+        assert service.tuner.evicted_contexts == 1
+        # The survivor set is LRU: schema 0 is gone, touching schema 1 keeps
+        # it alive past a fourth arrival.
+        service.context_for(schemas[1])
+        service.context_for(tpch_schema(scale_factor=0.009))
+        live = {context.schema for context in service.tuner.contexts}
+        assert schemas[1] in live and schemas[2] not in live
+        stats = service.stats()
+        assert stats["evicted_contexts"] == 2
+        assert stats["max_contexts"] == 2
+
+    def test_ttl_reaps_idle_contexts(self, simple_schema, simple_workload):
+        import time
+
+        from repro.catalog import tpch_schema
+
+        service = TuningService(context_ttl_s=0.05)
+        service.tune(TuningRequest(workload=simple_workload,
+                                   schema=simple_schema))
+        assert len(service.tuner.contexts) == 1
+        time.sleep(0.1)
+        service.context_for(tpch_schema(scale_factor=0.003))
+        assert service.tuner.expired_contexts == 1
+        assert all(context.schema is not simple_schema
+                   for context in service.tuner.contexts)
+
+    def test_in_flight_reference_survives_eviction(self, simple_schema,
+                                                   simple_workload):
+        """Eviction drops the registry entry, not the object: a caller holding
+        the context finishes on its own reference, cold state comes later."""
+        from repro.catalog import tpch_schema
+
+        service = TuningService(max_contexts=1)
+        context = service.context_for(simple_schema)
+        service.context_for(tpch_schema(scale_factor=0.003))  # evicts it
+        assert context not in service.tuner.contexts
+        # Tuning through the held reference still works and caches normally.
+        from repro.api.tuner import tune_in_context
+        result = tune_in_context(
+            TuningRequest(workload=simple_workload, schema=simple_schema),
+            context)
+        assert result.index_count >= 0
+        assert context.inum.cached_query_count == len(simple_workload)
+
+    def test_stats_do_not_block_behind_a_busy_context(self, simple_schema,
+                                                      simple_workload):
+        """A stats poll must not stall behind a context lock held by a
+        long-running solve (which would transitively stall tuning traffic
+        for every other schema through the registry lock)."""
+        service = TuningService()
+        service.tune(TuningRequest(workload=simple_workload,
+                                   schema=simple_schema))
+        context = service.context_for(simple_schema)
+        holding = threading.Event()
+        release = threading.Event()
+
+        def long_solve_holder():
+            with context.lock:
+                holding.set()
+                release.wait(10)
+
+        holder = threading.Thread(target=long_solve_holder)
+        holder.start()
+        assert holding.wait(10)
+        try:
+            polled: dict[str, object] = {}
+            poller = threading.Thread(
+                target=lambda: polled.setdefault("stats", service.stats()))
+            poller.start()
+            poller.join(timeout=5)
+            assert not poller.is_alive(), "stats() blocked on a busy context"
+            assert polled["stats"]["context_count"] == 1
+        finally:
+            release.set()
+            holder.join(timeout=10)
+
+    def test_eviction_knobs_require_owned_tuner(self):
+        with pytest.raises(ValueError, match="Tuner"):
+            TuningService(Tuner(), max_contexts=4)
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            Tuner(max_contexts=0)
+        with pytest.raises(ValueError):
+            Tuner(context_ttl_s=0.0)
+
+
+class TestStatementNamespacing:
+    def _colliding_workloads(self, tpch):
+        from repro.workload import parse_workload
+
+        first = parse_workload(
+            ["SELECT o_totalprice FROM orders WHERE o_orderdate < 700"],
+            schema=tpch)
+        second = parse_workload(
+            ["SELECT l_extendedprice FROM lineitem "
+             "WHERE l_shipdate BETWEEN 2300 AND 2400"],
+            schema=tpch)
+        return first, second
+
+    def test_namespacing_admits_colliding_traffic(self, tpch):
+        first, second = self._colliding_workloads(tpch)
+        service = TuningService(namespace_statements=True)
+        ok = service.tune(TuningRequest(workload=first, schema=tpch))
+        renamed = service.tune(TuningRequest(workload=second, schema=tpch))
+        isolated = Tuner().tune(TuningRequest(workload=second, schema=tpch))
+        # Renaming never changes the decision, only the statement labels.
+        assert renamed.configuration == isolated.configuration
+        assert renamed.objective_estimate == isolated.objective_estimate
+        assert renamed.provenance["pipeline"]["namespaced"] is True
+        assert ok.provenance["pipeline"]["namespaced"] is False
+        names = [c.statement for c in renamed.statement_costs]
+        assert all("@" in name for name in names)
+        assert service.stats()["namespaced_requests"] == 1
+
+    def test_namespaced_names_are_content_addressed(self, tpch):
+        """The qualifier depends only on the workload's content, so repeats
+        resolve to the same canonical workload (tensor cache hits) and the
+        rename is independent of request interleaving."""
+        first, second = self._colliding_workloads(tpch)
+        service = TuningService(namespace_statements=True)
+        service.tune(TuningRequest(workload=first, schema=tpch))
+        one = service.tune(TuningRequest(workload=second, schema=tpch))
+        context = service.context_for(tpch)
+        workloads_before = context.canonical_workload_count
+        two = service.tune(TuningRequest(workload=second, schema=tpch))
+        assert [c.statement for c in one.statement_costs] == \
+            [c.statement for c in two.statement_costs]
+        assert context.canonical_workload_count == workloads_before
+        assert two.configuration == one.configuration
+
+    def test_name_referencing_constraints_follow_the_rename(self, tpch):
+        """Constraints targeting statements by name (query-cost, speedup
+        generators) must be rewritten alongside the workload, or they would
+        silently stop matching the renamed statements."""
+        from repro.core.constraints import (
+            QueryCostConstraint,
+            QuerySpeedupGenerator,
+        )
+
+        first, second = self._colliding_workloads(tpch)
+        target = second.statements[0].query
+        constraints = [
+            QueryCostConstraint(target, reference_cost=1e9, factor=1.0),
+            QuerySpeedupGenerator(reference_costs={target.name: 1e9},
+                                  factor=1.0),
+        ]
+        isolated = Tuner().tune(TuningRequest(
+            workload=second, schema=tpch, constraints=constraints))
+
+        service = TuningService(namespace_statements=True)
+        service.tune(TuningRequest(workload=first, schema=tpch))
+        renamed = service.tune(TuningRequest(
+            workload=second, schema=tpch, constraints=constraints))
+        # The constraints applied (no ConstraintError, no silent drop) and
+        # the decision matches the isolated run with the same constraints.
+        assert renamed.configuration == isolated.configuration
+        assert renamed.objective_estimate == isolated.objective_estimate
+
+    def test_default_service_still_rejects_loudly(self, tpch):
+        from repro.exceptions import WorkloadError
+
+        first, second = self._colliding_workloads(tpch)
+        service = TuningService()
+        service.tune(TuningRequest(workload=first, schema=tpch))
+        with pytest.raises(WorkloadError, match="structurally different"):
+            service.tune(TuningRequest(workload=second, schema=tpch))
+
+    def test_intra_workload_collisions_stay_loud(self, tpch):
+        """Two same-named, structurally different statements in ONE request
+        would receive the same qualifier — namespacing cannot split them, so
+        admission still rejects."""
+        from repro.exceptions import WorkloadError
+        from repro.workload import parse_statement
+        from repro.workload.workload import Workload
+
+        clashing = Workload([
+            parse_statement(
+                "SELECT o_totalprice FROM orders WHERE o_orderdate < 700",
+                schema=tpch, name="dup"),
+            parse_statement(
+                "SELECT l_extendedprice FROM lineitem WHERE l_shipdate < 10",
+                schema=tpch, name="dup"),
+        ])
+        service = TuningService(namespace_statements=True)
+        with pytest.raises(WorkloadError, match="dup"):
+            service.tune(TuningRequest(workload=clashing, schema=tpch))
+
+
 class TestServiceSessions:
     def test_open_session_matches_legacy_interactive_session(
             self, simple_schema, simple_workload):
