@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
+from repro.lp.budget import SolveBudget
 from repro.lp.solution import GapTracePoint
 from repro.workload.workload import Workload, WorkloadStatement
 
@@ -93,6 +94,11 @@ class Recommendation:
         gap_trace: Gap-over-time feedback points (CoPhy's early-termination
             feature; empty for advisors that cannot provide it).
         extras: Advisor-specific extra results (e.g. the Pareto set).
+        timed_out: True when a :class:`~repro.lp.budget.SolveBudget` deadline
+            interrupted the run; the recommendation is the best-so-far
+            feasible configuration and ``gap`` its optimality bound.
+        solve_tier: The anytime tier that actually produced the result
+            (``"exact"`` when no budget was involved).
     """
 
     configuration: Configuration
@@ -104,6 +110,8 @@ class Recommendation:
     gap: float = 0.0
     gap_trace: tuple[GapTracePoint, ...] = ()
     extras: dict = field(default_factory=dict)
+    timed_out: bool = False
+    solve_tier: str = "exact"
 
     @property
     def total_seconds(self) -> float:
@@ -137,8 +145,14 @@ class Advisor(abc.ABC):
 
     @abc.abstractmethod
     def tune(self, workload: Workload, constraints: Sequence = (),
-             candidates: CandidateSet | None = None) -> Recommendation:
-        """Run one tuning session and return the recommendation."""
+             candidates: CandidateSet | None = None,
+             budget: "SolveBudget | None" = None) -> Recommendation:
+        """Run one tuning session and return the recommendation.
+
+        ``budget`` (an optional :class:`~repro.lp.budget.SolveBudget`) is the
+        anytime contract: advisors honoring it stop at the deadline and
+        return the best-so-far feasible result with ``timed_out=True``.
+        """
 
     def recommend(self, workload: Workload, constraints: Sequence = (),
                   candidates: CandidateSet | None = None) -> Recommendation:

@@ -36,6 +36,7 @@ from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index, index_size_bytes
 from repro.inum.cache import InumCache
+from repro.lp.budget import SolveBudget
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
 from repro.workload.workload import Workload, WorkloadStatement
@@ -100,7 +101,10 @@ class DtaAdvisor(Advisor):
 
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
-             candidates: CandidateSet | None = None) -> Recommendation:
+             candidates: CandidateSet | None = None,
+             budget: SolveBudget | None = None) -> Recommendation:
+        if budget is not None:
+            budget.start()
         timings: dict[str, float] = {}
         started = time.perf_counter()
         # Count template builds like CoPhy/ILP do, so cross-advisor optimizer
@@ -110,7 +114,7 @@ class DtaAdvisor(Advisor):
 
         compressed = self._compress(workload)
         per_query_best = self._per_query_candidates(compressed, candidates)
-        budget = self._storage_budget(constraints)
+        storage_budget = self._storage_budget(constraints)
         # With INUM available the greedy's many workload costings run through
         # the workload gamma tensor: one batched reduction per probed
         # configuration instead of a Python loop over the statements.
@@ -118,8 +122,9 @@ class DtaAdvisor(Advisor):
         if self.inum is not None and self.inum.uses_gamma_matrix:
             eval_workload = Workload(compressed,
                                      name=f"{workload.name}/compressed")
-        configuration = self._knapsack(compressed, per_query_best, budget,
-                                       eval_workload)
+        configuration = self._knapsack(compressed, per_query_best,
+                                       storage_budget, eval_workload,
+                                       budget=budget)
 
         deployed = self._baseline.union(configuration)
         if eval_workload is not None:
@@ -142,6 +147,8 @@ class DtaAdvisor(Advisor):
                              if self.inum is not None else 0) - whatif_before),
             extras={"compressed_statements": len(compressed),
                     "original_statements": len(workload)},
+            timed_out=budget is not None and budget.expired(),
+            solve_tier=budget.tier if budget is not None else "exact",
         )
 
     # ----------------------------------------------------------------- internals
@@ -209,8 +216,9 @@ class DtaAdvisor(Advisor):
                                         self._baseline.union(configuration))
 
     def _knapsack(self, statements: Sequence[WorkloadStatement],
-                  candidates: list[Index], budget: float | None,
-                  eval_workload: Workload | None = None) -> Configuration:
+                  candidates: list[Index], storage_budget: float | None,
+                  eval_workload: Workload | None = None,
+                  budget: SolveBudget | None = None) -> Configuration:
         """Marginal-benefit greedy knapsack over the *compressed* workload.
 
         Unlike Tool-A's one-shot ranking, the benefit of every remaining
@@ -234,12 +242,18 @@ class DtaAdvisor(Advisor):
         used = 0.0
         remaining = list(candidates)
         while remaining:
+            # Anytime check at pick granularity: the configuration built so
+            # far is always feasible, so stopping here is safe.
+            if budget is not None and budget.expired():
+                break
             best_index = None
             best_ratio = 0.0
             best_costs: dict[WorkloadStatement, float] = {}
             for index in remaining:
+                if budget is not None and budget.expired():
+                    break
                 size = self._index_size(index)
-                if budget is not None and used + size > budget:
+                if storage_budget is not None and used + size > storage_budget:
                     continue
                 relevant = [s for s in statements
                             if s.query.references(index.table)]

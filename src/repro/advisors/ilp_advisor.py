@@ -25,11 +25,13 @@ from typing import Sequence
 from repro.advisors.base import Advisor, Recommendation, warn_legacy_construction
 from repro.catalog.schema import Schema
 from repro.core.constraints import StorageBudgetConstraint, TuningConstraint
+from repro.core.heuristics import ideal_lower_bound
 from repro.exceptions import InfeasibleProblemError
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import AtomicConfiguration, Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
+from repro.lp.budget import SolveBudget
 from repro.lp.expression import LinearExpression
 from repro.lp.highs_backend import MilpBackend
 from repro.lp.model import Model
@@ -80,7 +82,10 @@ class IlpAdvisor(Advisor):
 
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
-             candidates: CandidateSet | None = None) -> Recommendation:
+             candidates: CandidateSet | None = None,
+             budget: SolveBudget | None = None) -> Recommendation:
+        if budget is not None:
+            budget.start()
         timings: dict[str, float] = {}
         started = time.perf_counter()
         if candidates is None:
@@ -94,7 +99,8 @@ class IlpAdvisor(Advisor):
         timings["inum"] = time.perf_counter() - inum_started
 
         build_started = time.perf_counter()
-        model, z_variables, objective = self._build_model(workload, candidates)
+        model, z_variables, objective = self._build_model(workload, candidates,
+                                                          budget=budget)
         storage_budget = self._storage_budget(constraints)
         if storage_budget is not None:
             sizes = [candidates.size_of(index) for index in z_variables]
@@ -105,10 +111,32 @@ class IlpAdvisor(Advisor):
         solve_started = time.perf_counter()
         backend = MilpBackend(gap_tolerance=self.gap_tolerance,
                               time_limit_seconds=self.time_limit_seconds)
-        solution = backend.solve(model)
+        solution = backend.solve(model, budget=budget)
         timings["solve"] = time.perf_counter() - solve_started
         if solution.status is SolutionStatus.INFEASIBLE:
             raise InfeasibleProblemError("ILP tuning problem is infeasible")
+        if not solution.status.has_solution and budget is not None \
+                and budget.expired():
+            # The deadline starved HiGHS of even one incumbent.  The no-index
+            # configuration is always feasible; cost it for real and report
+            # its gap against the ideal (all-candidates, maintenance-free)
+            # bound so the caller still sees a finite gap.
+            objective = self.inum.workload_cost(workload, Configuration(()))
+            bound = ideal_lower_bound(self.inum, workload, candidates)
+            timings["total"] = time.perf_counter() - started
+            return Recommendation(
+                configuration=Configuration((), name="ilp-recommendation"),
+                advisor_name=self.name,
+                objective_estimate=objective,
+                timings=timings,
+                candidate_count=len(candidates),
+                whatif_calls=(self.optimizer.whatif_calls
+                              + self.inum.template_build_calls - whatif_before),
+                gap=max(0.0, (objective - bound) / max(abs(objective), 1e-9)),
+                extras={"variables": model.variable_count,
+                        "constraints": model.constraint_count},
+                timed_out=True,
+            )
 
         selected = [index for index, variable in z_variables.items()
                     if solution.value(variable) >= 0.5]
@@ -124,10 +152,13 @@ class IlpAdvisor(Advisor):
             gap=solution.gap,
             extras={"variables": model.variable_count,
                     "constraints": model.constraint_count},
+            timed_out=solution.timed_out or (budget is not None
+                                             and budget.expired()),
         )
 
     # ----------------------------------------------------------------- internals
-    def _build_model(self, workload: Workload, candidates: CandidateSet
+    def _build_model(self, workload: Workload, candidates: CandidateSet,
+                     budget: SolveBudget | None = None
                      ) -> tuple[Model, dict[Index, object], LinearExpression]:
         model = Model(name="ilp-bip")
         z_variables: dict[Index, object] = {
@@ -137,7 +168,14 @@ class IlpAdvisor(Advisor):
         for statement in workload:
             query = statement.query
             shell = query.query_shell() if isinstance(query, UpdateQuery) else query
-            atomics = self._pruned_atomic_configurations(shell, candidates)
+            if budget is not None and budget.expired():
+                # Deadline fired mid-enumeration: the remaining statements
+                # get only the no-index atomic, which keeps the model
+                # feasible (every query has a choice) at zero extra probes.
+                atomics = [(AtomicConfiguration({}),
+                            self.inum.cost(shell, Configuration(())))]
+            else:
+                atomics = self._pruned_atomic_configurations(shell, candidates)
             config_variables = []
             for position, (atomic, cost) in enumerate(atomics):
                 variable = model.add_binary(f"p[{shell.name}][{position}]")

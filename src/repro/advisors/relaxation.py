@@ -38,6 +38,7 @@ from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index, index_size_bytes
 from repro.inum.cache import InumCache
+from repro.lp.budget import SolveBudget
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
 from repro.workload.workload import Workload, WorkloadStatement
@@ -89,7 +90,10 @@ class RelaxationAdvisor(Advisor):
 
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
-             candidates: CandidateSet | None = None) -> Recommendation:
+             candidates: CandidateSet | None = None,
+             budget: SolveBudget | None = None) -> Recommendation:
+        if budget is not None:
+            budget.start()
         timings: dict[str, float] = {}
         started = time.perf_counter()
         # Count template builds like CoPhy/ILP/DTA do, so cross-advisor
@@ -102,17 +106,19 @@ class RelaxationAdvisor(Advisor):
         pruned = self._prune_candidates(workload, candidates)
 
         evaluation_sample = self._evaluation_sample(workload, pruned)
-        budget = self._storage_budget(constraints)
+        storage_budget = self._storage_budget(constraints)
         # Optional fast path: cost probes through the workload gamma tensor.
         eval_workload = None
         if self.inum is not None and self.inum.uses_gamma_matrix:
             eval_workload = Workload(evaluation_sample,
                                      name=f"{workload.name}/evaluated")
 
-        configuration = self._greedy_build(evaluation_sample, pruned, budget,
-                                           eval_workload)
-        configuration = self._relax(evaluation_sample, configuration, budget,
-                                    eval_workload)
+        configuration = self._greedy_build(evaluation_sample, pruned,
+                                           storage_budget, eval_workload,
+                                           budget=budget)
+        configuration = self._relax(evaluation_sample, configuration,
+                                    storage_budget, eval_workload,
+                                    budget=budget)
 
         objective = self._workload_cost(evaluation_sample, configuration,
                                         eval_workload)
@@ -127,6 +133,8 @@ class RelaxationAdvisor(Advisor):
                           + (self.inum.template_build_calls
                              if self.inum is not None else 0) - whatif_before),
             extras={"evaluated_statements": len(evaluation_sample)},
+            timed_out=budget is not None and budget.expired(),
+            solve_tier=budget.tier if budget is not None else "exact",
         )
 
     # ----------------------------------------------------------------- internals
@@ -200,8 +208,9 @@ class RelaxationAdvisor(Advisor):
                                         self._baseline.union(configuration))
 
     def _greedy_build(self, statements: Sequence[WorkloadStatement],
-                      pruned: list[Index], budget: float | None,
-                      eval_workload: Workload | None = None) -> Configuration:
+                      pruned: list[Index], storage_budget: float | None,
+                      eval_workload: Workload | None = None,
+                      budget: SolveBudget | None = None) -> Configuration:
         """Greedily fill the budget with the highest benefit/size candidates.
 
         Each candidate is scored *in isolation* against the deployed design —
@@ -221,6 +230,10 @@ class RelaxationAdvisor(Advisor):
                               for statement in statements}
         scored: list[tuple[float, Index]] = []
         for index in pruned:
+            # Anytime check: candidates scored so far still yield a feasible
+            # (possibly smaller) configuration below.
+            if budget is not None and budget.expired():
+                break
             relevant = [s for s in statements if s.query.references(index.table)]
             if not relevant:
                 continue
@@ -241,20 +254,31 @@ class RelaxationAdvisor(Advisor):
         used_bytes = 0.0
         for _, index in scored:
             size = self._index_size(index)
-            if budget is not None and used_bytes + size > budget:
+            if storage_budget is not None and used_bytes + size > storage_budget:
                 continue
             selected.append(index)
             used_bytes += size
         return Configuration(selected, name="tool-a")
 
     def _relax(self, statements: Sequence[WorkloadStatement],
-               configuration: Configuration, budget: float | None,
-               eval_workload: Workload | None = None) -> Configuration:
-        """Remove indexes while the configuration exceeds the storage budget."""
-        if budget is None:
+               configuration: Configuration, storage_budget: float | None,
+               eval_workload: Workload | None = None,
+               budget: SolveBudget | None = None) -> Configuration:
+        """Remove indexes while the configuration exceeds the storage budget.
+
+        The relaxation loop restores *feasibility*, so an expired anytime
+        budget cannot stop it early — it switches to the cheapest valid exit
+        instead: dropping the largest remaining indexes without re-costing.
+        """
+        if storage_budget is None:
             return configuration
         used = sum(self._index_size(index) for index in configuration)
-        while used > budget and len(configuration) > 0:
+        while used > storage_budget and len(configuration) > 0:
+            if budget is not None and budget.expired():
+                largest = max(configuration, key=self._index_size)
+                configuration = configuration.without_index(largest)
+                used -= self._index_size(largest)
+                continue
             best_choice = None
             best_penalty = float("inf")
             for index in configuration:

@@ -36,12 +36,14 @@ from repro.core.constraints import (
     TuningConstraint,
     split_constraints,
 )
+from repro.core.heuristics import greedy_knapsack, unsupported_constraint
 from repro.core.solver import CoPhySolver, SolverBackend
 from repro.exceptions import ConstraintError
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
+from repro.lp.budget import SolveBudget
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.scale.compress import compress_workload
 from repro.scale.executor import ShardExecutor
@@ -117,12 +119,15 @@ class ScaleOutAdvisor(Advisor):
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload,
              constraints: Sequence[TuningConstraint] = (),
-             candidates: CandidateSet | None = None) -> Recommendation:
+             candidates: CandidateSet | None = None,
+             budget: SolveBudget | None = None) -> Recommendation:
         hard, soft = split_constraints(constraints)
         if soft:
             raise ConstraintError(
                 "ScaleOutAdvisor does not support soft constraints; "
                 "use CoPhyAdvisor for Pareto exploration")
+        if budget is not None:
+            budget.start()
         timings: dict[str, float] = {}
         extras: dict = {}
         started = time.perf_counter()
@@ -152,25 +157,73 @@ class ScaleOutAdvisor(Advisor):
         if candidates is None:
             candidates = self.candidate_generator.generate(tuned)
 
+        # Anytime handling: the heuristic tier (and a cascade whose deadline
+        # already fired during compression) answers with the greedy knapsack
+        # over the representative workload — no shard/merge BIPs at all.
+        if budget is not None and budget.tier != "exact":
+            blocker = unsupported_constraint(hard)
+            if blocker is not None and budget.tier == "heuristic":
+                raise ConstraintError(
+                    f"Constraint {getattr(blocker, 'name', blocker)!r} is "
+                    "not supported by solve_tier='heuristic'; use 'cascade' "
+                    "or 'exact'")
+            if blocker is None and (budget.tier == "heuristic"
+                                    or budget.expired()):
+                self.inum.prepare(tuned, candidates)
+                heuristic_started = time.perf_counter()
+                heuristic = greedy_knapsack(self.inum, tuned, candidates,
+                                            hard, budget=budget)
+                timings["heuristic"] = time.perf_counter() - heuristic_started
+                timings["total"] = time.perf_counter() - started
+                extras["heuristic"] = {
+                    "objective": heuristic.objective,
+                    "lower_bound": heuristic.lower_bound,
+                    "probes": heuristic.probes,
+                }
+                return Recommendation(
+                    configuration=Configuration(
+                        heuristic.configuration.indexes,
+                        name="scaleout-recommendation"),
+                    advisor_name=self.name,
+                    objective_estimate=heuristic.objective,
+                    timings=timings,
+                    candidate_count=len(candidates),
+                    whatif_calls=(self.optimizer.whatif_calls
+                                  + self.inum.template_build_calls
+                                  - whatif_before),
+                    gap=heuristic.gap,
+                    extras=extras,
+                    timed_out=budget.expired(),
+                    solve_tier="heuristic",
+                )
+
         # 2. Partitioning along the interaction graph + budget water-filling.
         partition_started = time.perf_counter()
         plan = partition_workload(tuned, candidates,
                                   shard_count=self.shard_count)
-        budget = self._storage_budget(hard)
-        plan = split_budget(plan, candidates, budget,
+        storage_budget = self._storage_budget(hard)
+        plan = split_budget(plan, candidates, storage_budget,
                             oversubscription=self.budget_oversubscription)
         timings["partition"] = time.perf_counter() - partition_started
         extras["partition"] = plan.summary()
 
         # 3. Per-shard solves (inline below 2 effective workers, else a
         #    process pool; INUM preprocessing happens per shard, so it also
-        #    scales with the representatives).
+        #    scales with the representatives).  An anytime budget is
+        #    apportioned into equal wall-clock slices per shard wave, with a
+        #    reserved fraction left over for the merge BIP.
         solve_started = time.perf_counter()
         executor = ShardExecutor(workers=self.shard_workers,
                                  backend=self.backend,
                                  gap_tolerance=self.gap_tolerance,
                                  time_limit_seconds=self.time_limit_seconds)
-        results = executor.solve_shards(plan, self.schema, inum=self.inum)
+        shard_time_limit = None
+        if budget is not None:
+            shard_time_limit = budget.shard_slice_seconds(
+                plan.shard_count,
+                workers=executor.effective_workers(plan.shard_count))
+        results = executor.solve_shards(plan, self.schema, inum=self.inum,
+                                        shard_time_limit=shard_time_limit)
         timings["solve"] = time.perf_counter() - solve_started
         extras["shard_workers"] = executor.effective_workers(plan.shard_count)
         extras["shards"] = [
@@ -183,12 +236,15 @@ class ScaleOutAdvisor(Advisor):
              "seconds": round(result.solve_seconds, 4)}
             for result in results]
 
-        # 4. Merge BIP over the union of winners under the global constraints.
+        # 4. Merge BIP over the union of winners under the global constraints
+        #    (running on whatever wall clock the budget has left).
         merge_started = time.perf_counter()
         winners = self._union_of_winners(results)
+        merge_timed_out = False
         if winners:
-            configuration, objective, gap, gap_trace, merge_stats = \
-                self._merge(tuned, winners, hard)
+            configuration, objective, gap, gap_trace, merge_stats, \
+                merge_timed_out = self._merge(tuned, winners, hard,
+                                              budget=budget)
         else:
             configuration = Configuration(name="scaleout-recommendation")
             objective = self.inum.workload_cost(tuned, configuration)
@@ -212,6 +268,9 @@ class ScaleOutAdvisor(Advisor):
             gap=gap,
             gap_trace=gap_trace,
             extras=extras,
+            timed_out=(any(result.timed_out for result in results)
+                       or merge_timed_out
+                       or (budget is not None and budget.expired())),
         )
 
     # ----------------------------------------------------------------- internals
@@ -224,7 +283,8 @@ class ScaleOutAdvisor(Advisor):
         return list(winners)
 
     def _merge(self, tuned: Workload, winners: list[Index],
-               hard: Sequence[TuningConstraint]):
+               hard: Sequence[TuningConstraint],
+               budget: SolveBudget | None = None):
         """The final merge BIP: global constraints over the winner union."""
         merge_candidates = CandidateSet(self.schema, winners)
         self.inum.prepare(tuned, merge_candidates)
@@ -233,14 +293,15 @@ class ScaleOutAdvisor(Advisor):
         solver = CoPhySolver(backend=self.backend,
                              gap_tolerance=self.gap_tolerance,
                              time_limit_seconds=self.time_limit_seconds)
-        report = solver.solve(bip, hard_constraints=hard)
+        report = solver.solve(bip, hard_constraints=hard, budget=budget)
         configuration = Configuration(report.configuration.indexes,
                                       name="scaleout-recommendation")
         stats = {"winners": len(winners),
                  "variables": bip.statistics.get("variables", 0.0),
                  "constraints": bip.statistics.get("constraints", 0.0),
                  "seconds": round(report.solve_seconds, 4)}
-        return configuration, report.objective, report.gap, report.gap_trace, stats
+        return (configuration, report.objective, report.gap, report.gap_trace,
+                stats, report.timed_out)
 
     @staticmethod
     def _storage_budget(constraints: Sequence[TuningConstraint]) -> float | None:

@@ -84,6 +84,11 @@ class TuningDiagnostics:
     #: (``facade.prepare`` / ``facade.evaluate`` / ``facade.total``).
     timings: dict[str, float] = field(default_factory=dict)
     gap_trace: tuple[GapTracePoint, ...] = ()
+    #: True when an anytime deadline interrupted the solve; the result is
+    #: still feasible and ``gap`` bounds its distance from the optimum.
+    timed_out: bool = False
+    #: Which anytime tier produced the answer (``"exact"`` when no budget).
+    solve_tier: str = "exact"
 
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -94,6 +99,8 @@ class TuningDiagnostics:
             "iterations": self.iterations,
             "timings": dict(self.timings),
             "gap_trace": [asdict(point) for point in self.gap_trace],
+            "timed_out": self.timed_out,
+            "solve_tier": self.solve_tier,
         }
 
     @classmethod
@@ -107,6 +114,8 @@ class TuningDiagnostics:
             timings=dict(payload.get("timings", {})),
             gap_trace=tuple(GapTracePoint(**point)
                             for point in payload.get("gap_trace", ())),
+            timed_out=bool(payload.get("timed_out", False)),
+            solve_tier=str(payload.get("solve_tier", "exact")),
         )
 
 
@@ -181,6 +190,8 @@ class TuningResult:
             iterations=iterations,
             timings=timings,
             gap_trace=recommendation.gap_trace,
+            timed_out=recommendation.timed_out,
+            solve_tier=recommendation.solve_tier,
         )
         return cls(
             configuration=recommendation.configuration,

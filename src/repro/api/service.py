@@ -121,6 +121,7 @@ class TuningService:
         self._stats_lock = threading.Lock()
         self._requests_served = 0
         self._namespaced_requests = 0
+        self._sessions_reaped = 0
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -135,16 +136,31 @@ class TuningService:
     def namespace_statements(self) -> bool:
         return self._namespace_statements
 
+    def note_sessions_reaped(self, count: int) -> None:
+        """Record idle sessions reaped by a front-end (e.g. the HTTP server).
+
+        Sessions live above the service (the server maps ids to
+        :class:`TuningSession` objects), but their lifecycle counters belong
+        with the other serving statistics so one ``stats()`` poll tells the
+        whole story.
+        """
+        if count <= 0:
+            return
+        with self._stats_lock:
+            self._sessions_reaped += count
+
     def stats(self) -> dict[str, Any]:
         """Machine-readable service counters (the ``/v1/stats`` payload)."""
         with self._stats_lock:
             served = self._requests_served
             namespaced = self._namespaced_requests
+            reaped = self._sessions_reaped
         return {
             **self._tuner.context_stats(),
             "namespace_statements": self._namespace_statements,
             "requests_served": served,
             "namespaced_requests": namespaced,
+            "sessions_reaped": reaped,
         }
 
     # ------------------------------------------------------------------ tuning

@@ -26,6 +26,7 @@ from repro.inum.cache import (
     DEFAULT_MAX_ORDERS_PER_TABLE,
     DEFAULT_MAX_TEMPLATES_PER_QUERY,
 )
+from repro.lp.budget import SOLVE_TIERS, SolveBudget
 from repro.workload.workload import Workload
 
 __all__ = ["AdvisorSpec", "CostingSpec", "ScaleSpec", "TuningRequest"]
@@ -43,13 +44,35 @@ class AdvisorSpec:
             JSON-representable values (they are recorded in the provenance);
             live objects (custom generators, solver backends) belong to the
             imperative :func:`repro.api.make_advisor` escape hatch instead.
+        time_budget_ms: Anytime wall-clock budget for the whole tune, in
+            milliseconds.  ``None`` (the default) keeps today's run-to-gap
+            behaviour.  When set, the advisor returns its best feasible
+            answer by the deadline and flags ``timed_out`` in the result's
+            diagnostics.
+        solve_tier: Anytime pipeline tier — one of ``"heuristic"``,
+            ``"cascade"`` or ``"exact"``.  ``None`` resolves to ``"cascade"``
+            when a time budget is set and ``"exact"`` otherwise (see
+            :meth:`repro.lp.SolveBudget.from_spec`).
     """
 
     name: str = "cophy"
     options: Mapping[str, Any] = field(default_factory=dict)
+    time_budget_ms: float | None = None
+    solve_tier: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "options", dict(self.options))
+        if self.time_budget_ms is not None and self.time_budget_ms <= 0:
+            raise ValueError(
+                f"time_budget_ms must be positive, got {self.time_budget_ms}")
+        if self.solve_tier is not None and self.solve_tier not in SOLVE_TIERS:
+            raise ValueError(
+                f"solve_tier must be one of {SOLVE_TIERS}, "
+                f"got {self.solve_tier!r}")
+
+    def solve_budget(self) -> SolveBudget | None:
+        """The spec's anytime budget (``None`` when neither field is set)."""
+        return SolveBudget.from_spec(self.time_budget_ms, self.solve_tier)
 
 
 @dataclass(frozen=True)

@@ -350,6 +350,11 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     facade_timings: dict[str, float] = {}
     spec = request.resolved_advisor()
     options = request.resolved_options()
+    # Anchor the anytime deadline here so facade work (candidate resolution,
+    # cache preparation) spends the same budget the advisor sees.
+    budget = spec.solve_budget()
+    if budget is not None:
+        budget.start()
 
     workload = context.canonical_workload(request.workload)
     candidates = _resolve_candidates(request, context, workload)
@@ -370,8 +375,14 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
         facade_timings["prepare"] = time.perf_counter() - prepare_started
         prepared = True
 
-    recommendation = advisor.tune(workload, request.constraints,
-                                  candidates=candidates)
+    if budget is None:
+        # Budget-less requests take the exact legacy call — custom advisors
+        # registered with a pre-anytime tune() signature keep working.
+        recommendation = advisor.tune(workload, request.constraints,
+                                      candidates=candidates)
+    else:
+        recommendation = advisor.tune(workload, request.constraints,
+                                      candidates=candidates, budget=budget)
 
     evaluate = request.per_statement_costs
     if evaluate is None:
@@ -457,6 +468,8 @@ def _provenance(request: TuningRequest, spec, options: Mapping[str, Any],
             "name": canonical_name(spec.name),
             "class": type(advisor).__name__,
             "options": _jsonable(dict(options)),
+            "time_budget_ms": spec.time_budget_ms,
+            "solve_tier": spec.solve_tier,
         },
         "costing": request.costing.to_provenance(),
         "scale": (request.scale.to_provenance()

@@ -18,16 +18,37 @@ from repro.core.constraints import (
     TuningConstraint,
     split_constraints,
 )
+from repro.core.heuristics import (
+    HeuristicResult,
+    greedy_knapsack,
+    ideal_lower_bound,
+    unsupported_constraint,
+)
 from repro.core.soft_constraints import ParetoExplorer, ParetoPoint
 from repro.core.solver import CoPhySolver, SolverBackend
+from repro.exceptions import BuildInterrupted, ConstraintError, SolverError
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
+from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
+from repro.lp.budget import SolveBudget
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
 
 __all__ = ["CoPhyAdvisor", "Recommendation"]
+
+
+def _heuristic_extras(heuristic: HeuristicResult) -> dict:
+    """JSON-friendly digest of the greedy pass for ``Recommendation.extras``."""
+    return {
+        "objective": heuristic.objective,
+        "lower_bound": heuristic.lower_bound,
+        "gap": heuristic.gap,
+        "probes": heuristic.probes,
+        "picked": len(heuristic.configuration),
+        "timed_out": heuristic.timed_out,
+    }
 
 
 class CoPhyAdvisor(Advisor):
@@ -96,15 +117,30 @@ class CoPhyAdvisor(Advisor):
     def tune(self, workload: Workload,
              constraints: Sequence[TuningConstraint | SoftConstraint] = (),
              candidates: CandidateSet | None = None,
-             dba_indexes: Iterable[Index] = ()) -> Recommendation:
+             dba_indexes: Iterable[Index] = (),
+             budget: SolveBudget | None = None) -> Recommendation:
         """Run a complete tuning session.
 
         Hard constraints are merged into the BIP; if soft constraints are
         present the Pareto curve is explored and the cost-optimal end of the
         curve is returned as the primary recommendation, with the full curve
         available under ``extras['pareto_points']``.
+
+        ``budget`` makes the session *anytime*: its tier selects between the
+        greedy-knapsack pass (``"heuristic"``), the exact BIP solve
+        (``"exact"``, interrupted at the deadline with the best-so-far
+        incumbent) and ``"cascade"`` — greedy first, whose incumbent
+        warm-starts the exact solve with whatever wall clock remains.
         """
         hard, soft = split_constraints(constraints)
+        tier = "exact" if budget is None else budget.tier
+        if budget is not None:
+            budget.start()
+            if soft and budget.time_budget_ms is not None:
+                raise ConstraintError(
+                    "Soft constraints are not budget-aware: the Pareto "
+                    "exploration runs several exact solves; drop "
+                    "time_budget_ms or make the constraints hard")
         timings: dict[str, float] = {}
 
         started = time.perf_counter()
@@ -119,12 +155,70 @@ class CoPhyAdvisor(Advisor):
         self.inum.prepare(workload, candidates)
         timings["inum"] = time.perf_counter() - inum_started
 
+        def whatif_spent() -> int:
+            return (self.optimizer.whatif_calls
+                    + self.inum.template_build_calls - whatif_before)
+
+        heuristic: HeuristicResult | None = None
+        if tier in ("heuristic", "cascade") and not soft:
+            blocker = unsupported_constraint(hard)
+            if blocker is not None and tier == "heuristic":
+                # Cascade instead skips the greedy pass and lets the exact
+                # solve handle the constraint.
+                raise ConstraintError(
+                    f"Constraint {getattr(blocker, 'name', blocker)!r} is "
+                    "not supported by solve_tier='heuristic'; use 'cascade' "
+                    "or 'exact'")
+            if blocker is None:
+                heuristic_started = time.perf_counter()
+                heuristic = greedy_knapsack(self.inum, workload, candidates,
+                                            hard, budget=budget)
+                timings["heuristic"] = time.perf_counter() - heuristic_started
+                if tier == "heuristic" or budget.expired():
+                    timings["total"] = time.perf_counter() - started
+                    return Recommendation(
+                        configuration=heuristic.configuration,
+                        advisor_name=self.name,
+                        objective_estimate=heuristic.objective,
+                        timings=timings,
+                        candidate_count=len(candidates),
+                        whatif_calls=whatif_spent(),
+                        gap=heuristic.gap,
+                        extras={"heuristic": _heuristic_extras(heuristic)},
+                        timed_out=budget.expired(),
+                        solve_tier="heuristic",
+                    )
+
+        # A deadline fallback exists when the cascade produced a greedy
+        # incumbent, or when the constraint classes guarantee the empty
+        # configuration is feasible (exactly the heuristic tier's classes).
+        can_fallback = (heuristic is not None
+                        or unsupported_constraint(hard) is None)
         build_started = time.perf_counter()
-        bip = self.bip_builder.build(workload, candidates)
+        try:
+            bip = self.bip_builder.build(workload, candidates,
+                                         budget=budget if can_fallback
+                                         else None)
+        except BuildInterrupted:
+            timings["build"] = time.perf_counter() - build_started
+            return self._deadline_fallback(workload, candidates, heuristic,
+                                           tier, timings, started,
+                                           whatif_spent())
         timings["build"] = time.perf_counter() - build_started
+        if budget is not None and budget.expired() and can_fallback:
+            # The build finished but ate the remaining clock; even starting
+            # the exact solve (its root relaxation / presolve alone) could
+            # dwarf the overrun, so answer with the best incumbent now.
+            recommendation = self._deadline_fallback(
+                workload, candidates, heuristic, tier, timings, started,
+                whatif_spent())
+            recommendation.extras["bip"] = bip
+            return recommendation
 
         solve_started = time.perf_counter()
         extras: dict = {"bip_statistics": dict(bip.statistics)}
+        if heuristic is not None:
+            extras["heuristic"] = _heuristic_extras(heuristic)
         if soft:
             explorer = ParetoExplorer(self.solver)
             points = explorer.explore(bip, soft, hard_constraints=hard)
@@ -137,30 +231,110 @@ class CoPhyAdvisor(Advisor):
                 objective_estimate=best.workload_cost,
                 timings=timings,
                 candidate_count=len(candidates),
-                whatif_calls=(self.optimizer.whatif_calls
-                              + self.inum.template_build_calls - whatif_before),
+                whatif_calls=whatif_spent(),
                 gap=0.0,
                 extras=extras,
             )
         else:
-            report = self.solver.solve(bip, hard_constraints=hard)
+            warm_start = (bip.warm_start_from(heuristic.configuration)
+                          if heuristic is not None else None)
+            try:
+                report = self.solver.solve(bip, hard_constraints=hard,
+                                           warm_start=warm_start, budget=budget)
+            except SolverError:
+                if heuristic is None:
+                    raise
+                # The deadline killed the exact solve before any incumbent
+                # (MILP backend, which cannot warm-start); the greedy result
+                # is still a valid feasible answer.
+                timings["solve"] = time.perf_counter() - solve_started
+                timings["total"] = time.perf_counter() - started
+                recommendation = Recommendation(
+                    configuration=heuristic.configuration,
+                    advisor_name=self.name,
+                    objective_estimate=heuristic.objective,
+                    timings=timings,
+                    candidate_count=len(candidates),
+                    whatif_calls=whatif_spent(),
+                    gap=heuristic.gap,
+                    extras=extras,
+                    timed_out=True,
+                    solve_tier="cascade",
+                )
+                recommendation.extras["bip"] = bip
+                return recommendation
             timings["solve"] = time.perf_counter() - solve_started
             extras["solve_report"] = report
+            timed_out = report.timed_out or (budget is not None
+                                             and budget.expired())
+            configuration, objective = report.configuration, report.objective
+            gap = report.gap
+            if (heuristic is not None
+                    and heuristic.objective < objective - 1e-9):
+                # The exact solve (e.g. the MILP backend, which ignores warm
+                # starts) was cut off below the greedy incumbent — keep the
+                # better configuration and the tightest known bound.
+                configuration = heuristic.configuration
+                objective = heuristic.objective
+                bound = max(heuristic.lower_bound, report.solution.best_bound)
+                gap = max(0.0, (objective - bound) / max(abs(objective), 1e-9))
             recommendation = Recommendation(
-                configuration=report.configuration,
+                configuration=configuration,
                 advisor_name=self.name,
-                objective_estimate=report.objective,
+                objective_estimate=objective,
                 timings=timings,
                 candidate_count=len(candidates),
-                whatif_calls=(self.optimizer.whatif_calls
-                              + self.inum.template_build_calls - whatif_before),
-                gap=report.gap,
+                whatif_calls=whatif_spent(),
+                gap=gap,
                 gap_trace=report.gap_trace,
                 extras=extras,
+                timed_out=timed_out,
+                solve_tier="cascade" if heuristic is not None else "exact",
             )
         timings["total"] = time.perf_counter() - started
         recommendation.extras["bip"] = bip
         return recommendation
+
+    def _deadline_fallback(self, workload: Workload, candidates: CandidateSet,
+                           heuristic: HeuristicResult | None, tier: str,
+                           timings: dict[str, float], started: float,
+                           whatif_calls: int) -> Recommendation:
+        """Best-so-far answer when the deadline fires before the exact solve.
+
+        The greedy incumbent when the cascade produced one; otherwise the
+        empty configuration — feasible for every constraint class the
+        heuristic tier supports (the caller checked) — costed for real and
+        reported with its finite gap against the ideal all-candidates bound.
+        """
+        if heuristic is not None:
+            timings["total"] = time.perf_counter() - started
+            return Recommendation(
+                configuration=heuristic.configuration,
+                advisor_name=self.name,
+                objective_estimate=heuristic.objective,
+                timings=timings,
+                candidate_count=len(candidates),
+                whatif_calls=whatif_calls,
+                gap=heuristic.gap,
+                extras={"heuristic": _heuristic_extras(heuristic)},
+                timed_out=True,
+                solve_tier="cascade",
+            )
+        empty = Configuration((), name="cophy-recommendation")
+        objective = self.inum.workload_cost(workload, empty)
+        bound = ideal_lower_bound(self.inum, workload, candidates)
+        timings["total"] = time.perf_counter() - started
+        return Recommendation(
+            configuration=empty,
+            advisor_name=self.name,
+            objective_estimate=objective,
+            timings=timings,
+            candidate_count=len(candidates),
+            whatif_calls=whatif_calls,
+            gap=max(0.0, (objective - bound) / max(abs(objective), 1e-9)),
+            timed_out=True,
+            solve_tier=tier,
+        )
 
     def explore_tradeoffs(self, workload: Workload,
                           soft_constraints: Sequence[SoftConstraint],

@@ -32,13 +32,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.exceptions import SolverError
+from repro.exceptions import BuildInterrupted, SolverError
 from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
 from repro.inum.template_plan import TemplatePlan
 from repro.inum.workload_tensor import QueryTensorView, WorkloadGammaTensor
+from repro.lp.budget import SolveBudget
 from repro.lp.constraint import Constraint
 from repro.lp.expression import LinearExpression
 from repro.lp.model import Model
@@ -216,7 +217,8 @@ class BipBuilder:
     # -------------------------------------------------------------------- public
     def build(self, workload: Workload, candidates: CandidateSet,
               model_name: str = "cophy-bip",
-              statement_weights: Mapping[str, float] | None = None) -> CophyBip:
+              statement_weights: Mapping[str, float] | None = None,
+              budget: "SolveBudget | None" = None) -> CophyBip:
         """Generate the BIP for the given tuning-problem instance.
 
         Args:
@@ -229,6 +231,14 @@ class BipBuilder:
                 weights, what-if frequency studies) without materialising a
                 re-weighted workload object; :meth:`extend` honours the same
                 overrides for delta coefficients.
+            budget: Optional anytime budget.  Model assembly on a large
+                workload can dwarf a tight deadline, so the per-statement
+                encoding loop checks it and aborts with
+                :class:`~repro.exceptions.BuildInterrupted` — a partial model
+                is never returned.
+
+        Raises:
+            BuildInterrupted: When ``budget``'s deadline fires mid-build.
         """
         started = time.perf_counter()
         model = Model(name=model_name)
@@ -258,7 +268,12 @@ class BipBuilder:
         objective_constant = 0.0
         overrides = (dict(statement_weights)
                      if statement_weights is not None else None)
-        for statement in workload:
+        for encoded, statement in enumerate(workload):
+            if budget is not None and budget.expired():
+                raise BuildInterrupted(
+                    f"Anytime deadline fired while building "
+                    f"{model_name!r}; {encoded} of {len(workload)} "
+                    f"statements encoded")
             weight = statement.weight
             if overrides is not None:
                 weight = overrides.get(statement.query.name, weight)

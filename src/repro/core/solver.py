@@ -27,6 +27,7 @@ from repro.core.constraints import TuningConstraint
 from repro.exceptions import InfeasibleProblemError, SolverError
 from repro.indexes.configuration import Configuration
 from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.budget import SolveBudget
 from repro.lp.constraint import Constraint, ConstraintSense
 from repro.lp.expression import LinearExpression
 from repro.lp.highs_backend import MilpBackend
@@ -56,6 +57,9 @@ class SolveReport:
     gap_trace: tuple[GapTracePoint, ...] = ()
     constraint_rows: int = 0
     relaxation_applied: bool = False
+    #: True when a wall-clock budget interrupted the solve (best-so-far
+    #: incumbent returned; ``gap`` is its closed-form optimality bound).
+    timed_out: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -94,7 +98,8 @@ class CoPhySolver:
               warm_start: Mapping[Variable, float] | None = None,
               extra_objective: LinearExpression | None = None,
               gap_tolerance: float | None = None,
-              time_limit_seconds: float | None = None) -> SolveReport:
+              time_limit_seconds: float | None = None,
+              budget: SolveBudget | None = None) -> SolveReport:
         """Merge constraints, check feasibility, solve, and extract ``X*``.
 
         Args:
@@ -107,6 +112,9 @@ class CoPhySolver:
                 objective is used.
             gap_tolerance: Per-call override of the early-termination gap.
             time_limit_seconds: Per-call override of the time limit.
+            budget: Optional anytime budget; its remaining wall clock / node
+                / gap limits are merged into the backend's settings, and a
+                fired deadline surfaces as ``SolveReport.timed_out``.
 
         Raises:
             InfeasibleProblemError: When the hard constraints cannot be met.
@@ -127,6 +135,9 @@ class CoPhySolver:
         effective_limit = (self.time_limit_seconds if time_limit_seconds is None
                            else time_limit_seconds)
 
+        if budget is not None:
+            budget.start()
+
         started = time.perf_counter()
         if self.backend is SolverBackend.BRANCH_AND_BOUND:
             solver = BranchAndBoundSolver(gap_tolerance=effective_gap,
@@ -138,11 +149,12 @@ class CoPhySolver:
                     violated_constraints=tuple(c.name for c in hard_constraints))
             solution = solver.solve(model, warm_start=warm_start,
                                     gap_tolerance=effective_gap,
-                                    time_limit_seconds=effective_limit)
+                                    time_limit_seconds=effective_limit,
+                                    budget=budget)
         else:
             backend = MilpBackend(gap_tolerance=effective_gap,
                                   time_limit_seconds=effective_limit)
-            solution = backend.solve(model)
+            solution = backend.solve(model, budget=budget)
             if solution.status is SolutionStatus.INFEASIBLE:
                 self._rollback(bip, constraint_rows, relaxation_applied)
                 raise InfeasibleProblemError(
@@ -165,6 +177,7 @@ class CoPhySolver:
             gap_trace=solution.gap_trace,
             constraint_rows=len(constraint_rows),
             relaxation_applied=relaxation_applied,
+            timed_out=solution.timed_out,
         )
         self._rollback(bip, constraint_rows, relaxation_applied)
         return report

@@ -36,6 +36,15 @@ class SolverError(ReproError):
     """Raised when the LP / BIP machinery fails (unbounded model, bad variable use)."""
 
 
+class BuildInterrupted(SolverError):
+    """Raised when an anytime deadline fires while a BIP is still being built.
+
+    A partially built model is unusable (statements without their assignment
+    rows would be costed as free), so the builder aborts instead of returning
+    one; budget-aware callers catch this and fall back to their incumbent.
+    """
+
+
 class InfeasibleProblemError(SolverError):
     """Raised when the hard constraints of a tuning problem cannot all be satisfied.
 

@@ -15,6 +15,7 @@ equivalent substrate without external solvers:
   prefer the HiGHS branch-and-bound written in C.
 """
 
+from repro.lp.budget import SOLVE_TIERS, SolveBudget
 from repro.lp.variable import Variable, VariableKind
 from repro.lp.expression import LinearExpression
 from repro.lp.constraint import Constraint, ConstraintSense
@@ -24,6 +25,8 @@ from repro.lp.highs_backend import LinearRelaxationBackend, MilpBackend
 from repro.lp.branch_and_bound import BranchAndBoundSolver
 
 __all__ = [
+    "SOLVE_TIERS",
+    "SolveBudget",
     "Variable",
     "VariableKind",
     "LinearExpression",

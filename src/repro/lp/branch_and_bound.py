@@ -26,6 +26,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.lp.budget import SolveBudget
 from repro.lp.highs_backend import LinearRelaxationBackend
 from repro.lp.model import Model, ObjectiveSense
 from repro.lp.solution import GapTracePoint, Solution, SolutionStatus
@@ -84,7 +85,8 @@ class BranchAndBoundSolver:
     # -------------------------------------------------------------------- solve
     def solve(self, model: Model, warm_start: Mapping[Variable, float] | None = None,
               gap_tolerance: float | None = None,
-              time_limit_seconds: float | None = None) -> Solution:
+              time_limit_seconds: float | None = None,
+              budget: SolveBudget | None = None) -> Solution:
         """Solve the binary integer program.
 
         Args:
@@ -93,12 +95,25 @@ class BranchAndBoundSolver:
                 is feasible; this is how re-tuning reuses prior solutions.
             gap_tolerance: Per-call override of the construction-time tolerance.
             time_limit_seconds: Per-call override of the time limit.
+            budget: Optional :class:`~repro.lp.budget.SolveBudget`; its
+                remaining wall clock, node limit and gap limit are merged
+                with the solver's own settings.  When the deadline fires the
+                best-so-far incumbent is returned with ``timed_out=True`` and
+                its closed-form gap against the tightest known bound.
         """
         started = time.perf_counter()
         effective_gap = (self.gap_tolerance if gap_tolerance is None
                          else max(0.0, gap_tolerance))
         effective_limit = (self.time_limit_seconds if time_limit_seconds is None
                            else time_limit_seconds)
+        effective_nodes = self.node_limit
+        if budget is not None:
+            budget.start()
+            effective_limit = budget.clamp_time_limit(effective_limit)
+            if budget.gap_limit is not None:
+                effective_gap = max(effective_gap, budget.gap_limit)
+            if budget.node_limit is not None:
+                effective_nodes = min(effective_nodes, budget.node_limit)
         matrices = model.to_matrices()
         root_bounds = matrices["bounds"].copy()
         binary_variables = tuple(v for v in model.variables
@@ -141,6 +156,10 @@ class BranchAndBoundSolver:
         heap: list[_Node] = []
         heapq.heappush(heap, _Node(bound=sign * root.objective, sequence=next(counter),
                                    depth=0, bounds=root_bounds))
+        # The root relaxation is a valid global bound; seeding it keeps the
+        # reported gap finite (closed-form) even when a deadline fires before
+        # the first node is explored.
+        best_bound = min(sign * root.objective, incumbent_objective)
 
         def record(force: bool = False) -> None:
             nonlocal gap_trace
@@ -157,11 +176,14 @@ class BranchAndBoundSolver:
                 if self.progress_callback is not None:
                     self.progress_callback(point)
 
+        timed_out = False
         while heap:
-            if effective_limit is not None and (
-                    time.perf_counter() - started) > effective_limit:
+            if (effective_limit is not None and (
+                    time.perf_counter() - started) > effective_limit) or (
+                    budget is not None and budget.expired()):
+                timed_out = True
                 break
-            if nodes_explored >= self.node_limit:
+            if nodes_explored >= effective_nodes:
                 break
             node = heapq.heappop(heap)
             # Prune by bound against the incumbent.  The heap is bound-ordered
@@ -240,7 +262,8 @@ class BranchAndBoundSolver:
             return Solution(status=SolutionStatus.ERROR, solve_seconds=elapsed,
                             nodes_explored=nodes_explored,
                             gap_trace=tuple(gap_trace),
-                            message="No integer-feasible solution found")
+                            message="No integer-feasible solution found",
+                            timed_out=timed_out)
         if not heap:
             best_bound = incumbent_objective
         gap = self._relative_gap(incumbent_objective, best_bound)
@@ -250,7 +273,8 @@ class BranchAndBoundSolver:
         return Solution(status=status, objective=sign * incumbent_objective,
                         values=incumbent_values, best_bound=sign * best_bound,
                         gap=gap, solve_seconds=elapsed,
-                        nodes_explored=nodes_explored, gap_trace=tuple(gap_trace))
+                        nodes_explored=nodes_explored, gap_trace=tuple(gap_trace),
+                        timed_out=timed_out and status is not SolutionStatus.OPTIMAL)
 
     # ---------------------------------------------------------------- internals
     @staticmethod

@@ -7,6 +7,7 @@ import time
 import numpy as np
 from scipy import optimize
 
+from repro.lp.budget import SolveBudget
 from repro.lp.model import Model, ObjectiveSense
 from repro.lp.solution import Solution, SolutionStatus
 from repro.lp.variable import Variable, VariableKind
@@ -89,7 +90,8 @@ class MilpBackend:
         self.time_limit_seconds = time_limit_seconds
 
     def solve(self, model: Model, gap_tolerance: float | None = None,
-              time_limit_seconds: float | None = None) -> Solution:
+              time_limit_seconds: float | None = None,
+              budget: "SolveBudget | None" = None) -> Solution:
         matrices = model.to_matrices()
         constraints = []
         if matrices["A_ub"] is not None:
@@ -105,6 +107,12 @@ class MilpBackend:
             options["mip_rel_gap"] = effective_gap
         effective_time = (self.time_limit_seconds if time_limit_seconds is None
                           else time_limit_seconds)
+        if budget is not None:
+            budget.start()
+            effective_time = budget.clamp_time_limit(effective_time)
+            if budget.gap_limit is not None:
+                effective_gap = max(effective_gap, budget.gap_limit)
+                options["mip_rel_gap"] = effective_gap
         if effective_time is not None:
             options["time_limit"] = float(effective_time)
 
@@ -136,7 +144,11 @@ class MilpBackend:
         bound = float(getattr(result, "mip_dual_bound", objective) or objective)
         status = (SolutionStatus.OPTIMAL if result.status == 0
                   else SolutionStatus.FEASIBLE)
+        # HiGHS status 1 = iteration / time limit reached with an incumbent;
+        # treat it as timed out only when a wall-clock limit was in force.
+        timed_out = (result.status == 1 and effective_time is not None)
         return Solution(status=status, objective=objective, values=values,
                         best_bound=bound, gap=gap, solve_seconds=elapsed,
                         nodes_explored=int(getattr(result, "mip_node_count", 0) or 0),
-                        message=str(result.message), vector=vector)
+                        message=str(result.message), timed_out=timed_out,
+                        vector=vector)

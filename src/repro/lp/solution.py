@@ -56,6 +56,9 @@ class Solution:
     iterations: int = 0
     gap_trace: tuple[GapTracePoint, ...] = ()
     message: str = ""
+    #: True when a wall-clock deadline interrupted the solve: the solution is
+    #: the best-so-far incumbent, ``gap`` its closed-form optimality bound.
+    timed_out: bool = False
     #: Raw solution vector indexed by ``Variable.index`` (set by the LP/MILP
     #: backends).  Lets vectorized consumers — branch-and-bound's rounding
     #: heuristic and branching rule — avoid per-variable dict traffic.
@@ -85,7 +88,8 @@ class Solution:
                         gap=self.gap, solve_seconds=self.solve_seconds,
                         nodes_explored=self.nodes_explored,
                         iterations=self.iterations, gap_trace=self.gap_trace,
-                        message=self.message, vector=self.vector)
+                        message=self.message, timed_out=self.timed_out,
+                        vector=self.vector)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Solution(status={self.status.value}, objective={self.objective:.4g}, "

@@ -75,6 +75,8 @@ class ShardResult:
     solve_seconds: float
     statistics: dict[str, float] = field(default_factory=dict)
     worker_optimizer_calls: int = 0
+    #: True when the shard's wall-clock slice interrupted its solve.
+    timed_out: bool = False
 
 
 class ShardExecutor:
@@ -104,19 +106,29 @@ class ShardExecutor:
         return max(1, min(workers, shard_count))
 
     def solve_shards(self, plan: "PartitionPlan", schema: Schema,
-                     inum: InumCache | None = None) -> tuple[ShardResult, ...]:
-        """Solve every shard and return results in shard order."""
+                     inum: InumCache | None = None,
+                     shard_time_limit: float | None = None
+                     ) -> tuple[ShardResult, ...]:
+        """Solve every shard and return results in shard order.
+
+        ``shard_time_limit`` is a per-shard wall-clock slice (an anytime
+        budget apportioned by the caller); it is min-merged with the
+        executor's own ``time_limit_seconds``.
+        """
         shards = plan.shards
         if not shards:
             return ()
+        time_limit = self.time_limit_seconds
+        if shard_time_limit is not None:
+            time_limit = (shard_time_limit if time_limit is None
+                          else min(time_limit, shard_time_limit))
         workers = self.effective_workers(len(shards))
         if workers <= 1:
             if inum is None:
                 inum = InumCache(WhatIfOptimizer(schema))
             return tuple(
                 _solve_shard_inline(shard, inum, self.backend,
-                                    self.gap_tolerance,
-                                    self.time_limit_seconds)
+                                    self.gap_tolerance, time_limit)
                 for shard in shards)
         caps = (inum.enumeration_caps if inum is not None
                 else (DEFAULT_MAX_ORDERS_PER_TABLE,
@@ -124,7 +136,7 @@ class ShardExecutor:
         use_matrix = inum.uses_gamma_matrix if inum is not None else True
         jobs = [(schema, shard.position, shard.workload.statements,
                  shard.candidates, shard.budget_bytes, self.backend.value,
-                 self.gap_tolerance, self.time_limit_seconds, caps,
+                 self.gap_tolerance, time_limit, caps,
                  use_matrix)
                 for shard in shards]
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -153,6 +165,7 @@ def _solve_shard_inline(shard: Shard, inum: InumCache,
         objective=report.objective,
         gap=report.gap,
         solve_seconds=time.perf_counter() - started,
+        timed_out=report.timed_out,
         statistics={
             "statements": float(len(shard.workload)),
             "candidates": float(len(shard.candidates)),
@@ -183,7 +196,8 @@ def _solve_shard_job(job: tuple) -> ShardResult:
         objective=result.objective, gap=result.gap,
         solve_seconds=result.solve_seconds, statistics=result.statistics,
         worker_optimizer_calls=(optimizer.whatif_calls
-                                + inum.template_build_calls))
+                                + inum.template_build_calls),
+        timed_out=result.timed_out)
 
 
 # --------------------------------------------------------- matrix build shards

@@ -19,7 +19,7 @@ The paper's index-tuning-as-a-service vision over the unified API (PR 4):
 
 from repro.server.client import RemoteTuningSession, TuningClient
 from repro.server.app import TuningServer
-from repro.server.protocol import TuningServerError
+from repro.server.protocol import TuningClientTimeout, TuningServerError
 from repro.server.wire import (
     WIRE_VERSION,
     SchemaCache,
@@ -36,6 +36,7 @@ __all__ = [
     "RemoteTuningSession",
     "SchemaCache",
     "TuningClient",
+    "TuningClientTimeout",
     "TuningServer",
     "TuningServerError",
     "WIRE_VERSION",

@@ -39,6 +39,8 @@ import argparse
 import itertools
 import json
 import threading
+import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -88,6 +90,17 @@ class TuningServer:
             out, the orphaned context would be unreachable yet retained
             forever without a cap.
         max_schemas: LRU cap of the schema canonicalization cache.
+        session_ttl_s: Idle TTL for interactive sessions.  A client that
+            opens a session and vanishes would otherwise pin its workload,
+            candidate set and delta-BIP state for the process lifetime;
+            sessions idle for longer than the TTL are reaped on the next
+            session/stat touch (like schema contexts) and report 404 from
+            then on.
+        default_time_budget_ms: Anytime budget applied to requests that do
+            not set one themselves (``None`` leaves them unbudgeted).
+        max_time_budget_ms: Upper clamp on client-requested budgets, so one
+            request cannot reserve a worker thread for an arbitrary wall
+            time.
     """
 
     def __init__(self, service: TuningService | None = None,
@@ -95,14 +108,27 @@ class TuningServer:
                  namespace_statements: bool = False,
                  max_contexts: int | None = 64,
                  context_ttl_s: float | None = None,
-                 max_schemas: int | None = 32):
+                 max_schemas: int | None = 32,
+                 session_ttl_s: float | None = None,
+                 default_time_budget_ms: float | None = None,
+                 max_time_budget_ms: float | None = None):
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ValueError("session_ttl_s must be positive (or None)")
+        if default_time_budget_ms is not None and default_time_budget_ms <= 0:
+            raise ValueError("default_time_budget_ms must be positive (or None)")
+        if max_time_budget_ms is not None and max_time_budget_ms <= 0:
+            raise ValueError("max_time_budget_ms must be positive (or None)")
         if service is None:
             service = TuningService(namespace_statements=namespace_statements,
                                     max_contexts=max_contexts,
                                     context_ttl_s=context_ttl_s)
         self.service = service
         self.schema_cache = SchemaCache(max_schemas=max_schemas)
-        self._sessions: dict[str, tuple[TuningSession, TuningRequest]] = {}
+        self.session_ttl_s = session_ttl_s
+        self.default_time_budget_ms = default_time_budget_ms
+        self.max_time_budget_ms = max_time_budget_ms
+        #: session id -> (session, decoded request, last-used monotonic time).
+        self._sessions: dict[str, list] = {}
         self._sessions_lock = threading.Lock()
         self._session_ids = itertools.count(1)
         self._httpd = _TuningHTTPServer((host, port), _TuningRequestHandler,
@@ -126,7 +152,21 @@ class TuningServer:
     @property
     def session_count(self) -> int:
         with self._sessions_lock:
+            self._reap_sessions()
             return len(self._sessions)
+
+    def _reap_sessions(self) -> None:
+        """Drop sessions idle past the TTL (caller holds the sessions lock)."""
+        if self.session_ttl_s is None:
+            return
+        now = time.monotonic()
+        expired = [session_id
+                   for session_id, (_, _, last_used) in self._sessions.items()
+                   if now - last_used > self.session_ttl_s]
+        for session_id in expired:
+            del self._sessions[session_id]
+        if expired:
+            self.service.note_sessions_reaped(len(expired))
 
     # ---------------------------------------------------------------- lifecycle
     def start(self) -> "TuningServer":
@@ -172,15 +212,40 @@ class TuningServer:
         }
 
     def handle_stats(self) -> dict[str, Any]:
+        # session_count reaps first, so a stats-polling monitor doubles as
+        # the session reaper on an otherwise idle server.
         return {
             "wire_version": WIRE_VERSION,
             "service": self.service.stats(),
             "cached_schemas": len(self.schema_cache),
             "sessions_open": self.session_count,
+            "session_ttl_s": self.session_ttl_s,
+            "default_time_budget_ms": self.default_time_budget_ms,
+            "max_time_budget_ms": self.max_time_budget_ms,
         }
 
+    def _budgeted(self, request: TuningRequest) -> TuningRequest:
+        """Apply the server's anytime-budget policy to one decoded request.
+
+        The default budget only fills in for requests that carry none; the
+        clamp overrides client budgets above the server's ceiling.  Both
+        rewrite the advisor spec, so the applied budget lands in the result's
+        provenance exactly as if the client had asked for it.
+        """
+        spec = request.resolved_advisor()
+        budget_ms = spec.time_budget_ms
+        if budget_ms is None:
+            budget_ms = self.default_time_budget_ms
+        if self.max_time_budget_ms is not None and budget_ms is not None:
+            budget_ms = min(budget_ms, self.max_time_budget_ms)
+        if budget_ms == spec.time_budget_ms:
+            return request
+        return replace(request,
+                       advisor=replace(spec, time_budget_ms=budget_ms))
+
     def handle_tune(self, body: Any) -> dict[str, Any]:
-        request = decode_request(body, schema_cache=self.schema_cache)
+        request = self._budgeted(
+            decode_request(body, schema_cache=self.schema_cache))
         result = self.service.tune(request)
         return {"result": result.to_payload()}
 
@@ -189,7 +254,8 @@ class TuningServer:
         if not isinstance(payloads, list):
             raise WireFormatError(
                 "tune_batch body must be {\"requests\": [<request>, ...]}")
-        requests = [decode_request(entry, schema_cache=self.schema_cache)
+        requests = [self._budgeted(
+                        decode_request(entry, schema_cache=self.schema_cache))
                     for entry in payloads]
         results = self.service.tune_many(requests)
         return {"results": [result.to_payload() for result in results]}
@@ -198,8 +264,9 @@ class TuningServer:
         request = decode_request(body, schema_cache=self.schema_cache)
         session = self.service.open_session(request)
         with self._sessions_lock:
+            self._reap_sessions()
             session_id = f"s{next(self._session_ids)}"
-            self._sessions[session_id] = (session, request)
+            self._sessions[session_id] = [session, request, time.monotonic()]
         return {"session_id": session_id}
 
     def handle_session_tune(self, session_id: str, body: Any
@@ -230,21 +297,27 @@ class TuningServer:
 
     def handle_close_session(self, session_id: str) -> dict[str, Any]:
         with self._sessions_lock:
+            self._reap_sessions()
             closed = self._sessions.pop(session_id, None)
         if closed is None:
             # Matches the documented contract: 404 = unknown session (the
-            # client SDK guards against double-DELETE itself).
+            # client SDK guards against double-DELETE itself).  A TTL-reaped
+            # session is indistinguishable from an unknown one on purpose.
             raise TuningServerError(f"Unknown session {session_id!r}",
                                     status=404, error_type="UnknownSession")
         return {"closed": True, "session_id": session_id}
 
     def _session(self, session_id: str) -> tuple[TuningSession, TuningRequest]:
         with self._sessions_lock:
+            self._reap_sessions()
             entry = self._sessions.get(session_id)
+            if entry is not None:
+                entry[2] = time.monotonic()
+                session, request, _ = entry
         if entry is None:
             raise TuningServerError(f"Unknown session {session_id!r}",
                                     status=404, error_type="UnknownSession")
-        return entry
+        return session, request
 
 
 class _TuningHTTPServer(ThreadingHTTPServer):
@@ -363,11 +436,27 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--context-ttl", type=float, default=None,
                         metavar="SECONDS",
                         help="idle TTL for schema contexts")
+    parser.add_argument("--session-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="idle TTL for interactive sessions; abandoned "
+                             "sessions are reaped on the next session/stats "
+                             "touch")
+    parser.add_argument("--default-time-budget", type=float, default=None,
+                        metavar="MS",
+                        help="anytime budget (milliseconds) applied to "
+                             "requests that set none")
+    parser.add_argument("--max-time-budget", type=float, default=None,
+                        metavar="MS",
+                        help="upper clamp on client-requested anytime "
+                             "budgets (milliseconds)")
     args = parser.parse_args(argv)
     server = TuningServer(host=args.host, port=args.port,
                           namespace_statements=args.namespace_statements,
                           max_contexts=args.max_contexts,
-                          context_ttl_s=args.context_ttl)
+                          context_ttl_s=args.context_ttl,
+                          session_ttl_s=args.session_ttl,
+                          default_time_budget_ms=args.default_time_budget,
+                          max_time_budget_ms=args.max_time_budget)
     print(f"Serving index tuning on {server.url} "
           f"(advisors: {', '.join(available_advisors())})")
     try:

@@ -17,6 +17,7 @@ failures surface as :class:`~repro.server.protocol.TuningServerError`.
 from __future__ import annotations
 
 import json
+import socket
 import urllib.error
 import urllib.request
 from typing import Any, Iterable, Sequence
@@ -25,6 +26,7 @@ from repro.api.result import TuningResult, index_to_payload
 from repro.api.specs import TuningRequest
 from repro.server.protocol import (
     API_PREFIX,
+    TuningClientTimeout,
     TuningServerError,
     raise_remote_error,
 )
@@ -40,27 +42,54 @@ class TuningClient:
         base_url: The server root, e.g. ``"http://127.0.0.1:8080"`` (any
             trailing slash is ignored).
         timeout: Per-request socket timeout in seconds.  Tuning solves can
-            legitimately take a while; the default is generous.
+            legitimately take a while; the default is generous.  Requests
+            that carry an anytime budget (``AdvisorSpec.time_budget_ms``)
+            derive a tighter per-call timeout from it instead — the budget
+            plus ``budget_slack_s`` of transport/serialisation headroom.
+        budget_slack_s: Headroom added on top of a request's own time budget
+            when deriving its socket timeout.
     """
 
-    def __init__(self, base_url: str, timeout: float = 300.0):
+    def __init__(self, base_url: str, timeout: float = 300.0,
+                 budget_slack_s: float = 30.0):
+        if budget_slack_s < 0:
+            raise ValueError("budget_slack_s must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.budget_slack_s = budget_slack_s
 
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
         """Serve one declarative request remotely (mirrors ``Tuner.tune``)."""
-        payload = self._post(f"{API_PREFIX}/tune", encode_request(request))
+        payload = self._post(f"{API_PREFIX}/tune", encode_request(request),
+                             timeout=self._derived_timeout([request]))
         return TuningResult.from_payload(payload["result"])
 
     def tune_many(self, requests: Iterable[TuningRequest]
                   ) -> list[TuningResult]:
         """Serve a batch concurrently on the server; results in order."""
+        requests = list(requests)
         payload = self._post(
             f"{API_PREFIX}/tune_batch",
-            {"requests": [encode_request(request) for request in requests]})
+            {"requests": [encode_request(request) for request in requests]},
+            timeout=self._derived_timeout(requests))
         return [TuningResult.from_payload(entry)
                 for entry in payload["results"]]
+
+    def _derived_timeout(self, requests: Sequence[TuningRequest]
+                         ) -> float | None:
+        """The socket timeout implied by the requests' anytime budgets.
+
+        Only kicks in when *every* request carries a budget — one unbudgeted
+        request makes the batch unbounded, so the configured default applies.
+        Budgets are summed (the server may serialise same-schema requests on
+        the context lock) and padded with the configured slack.
+        """
+        budgets = [request.resolved_advisor().time_budget_ms
+                   for request in requests]
+        if not budgets or any(budget is None for budget in budgets):
+            return None
+        return sum(budgets) / 1000.0 + self.budget_slack_s
 
     # ---------------------------------------------------------------- sessions
     def open_session(self, request: TuningRequest) -> "RemoteTuningSession":
@@ -79,21 +108,24 @@ class TuningClient:
     def _get(self, path: str) -> dict[str, Any]:
         return self._call("GET", path, None)
 
-    def _post(self, path: str, payload: Any) -> dict[str, Any]:
-        return self._call("POST", path, payload)
+    def _post(self, path: str, payload: Any,
+              timeout: float | None = None) -> dict[str, Any]:
+        return self._call("POST", path, payload, timeout=timeout)
 
     def _delete(self, path: str) -> dict[str, Any]:
         return self._call("DELETE", path, None)
 
-    def _call(self, method: str, path: str, payload: Any) -> dict[str, Any]:
+    def _call(self, method: str, path: str, payload: Any,
+              timeout: float | None = None) -> dict[str, Any]:
         data = (None if payload is None
                 else json.dumps(payload).encode("utf-8"))
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
+        effective_timeout = self.timeout if timeout is None else timeout
         try:
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+                                        timeout=effective_timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
             try:
@@ -103,10 +135,22 @@ class TuningClient:
             raise_remote_error(exc.code, envelope)
             raise  # unreachable — raise_remote_error always raises
         except urllib.error.URLError as exc:
+            # Connect-phase timeouts arrive wrapped in URLError; read-phase
+            # timeouts (below) come through as bare socket.timeout.
+            if isinstance(exc.reason, socket.timeout):
+                raise TuningClientTimeout(
+                    f"Tuning server at {self.base_url} did not answer "
+                    f"{method} {path} within {effective_timeout} s",
+                    timeout_seconds=effective_timeout) from exc
             raise TuningServerError(
                 f"Cannot reach tuning server at {self.base_url}: "
                 f"{exc.reason}", status=0,
                 error_type="ConnectionError") from exc
+        except socket.timeout as exc:
+            raise TuningClientTimeout(
+                f"Tuning server at {self.base_url} did not answer "
+                f"{method} {path} within {effective_timeout} s",
+                timeout_seconds=effective_timeout) from exc
 
 
 class RemoteTuningSession:

@@ -34,8 +34,8 @@ from repro.exceptions import (
 )
 from repro.server.wire import WireFormatError
 
-__all__ = ["API_PREFIX", "TuningServerError", "error_envelope",
-           "envelope_for_exception", "raise_remote_error"]
+__all__ = ["API_PREFIX", "TuningClientTimeout", "TuningServerError",
+           "error_envelope", "envelope_for_exception", "raise_remote_error"]
 
 #: URL prefix of every endpoint; bumping it is a wire-format break.
 API_PREFIX = "/v1"
@@ -55,6 +55,19 @@ class TuningServerError(ReproError):
         super().__init__(message)
         self.status = int(status)
         self.error_type = error_type
+
+
+class TuningClientTimeout(TuningServerError):
+    """The client-side socket timeout fired before the server answered.
+
+    Distinct from a server-applied anytime budget: the server may well have
+    finished the solve and produced a (partial or complete) result that the
+    client never received.  ``timeout_seconds`` is the deadline that fired.
+    """
+
+    def __init__(self, message: str, *, timeout_seconds: float | None = None):
+        super().__init__(message, status=0, error_type="ClientTimeout")
+        self.timeout_seconds = timeout_seconds
 
 
 def error_envelope(error_type: str, message: str, status: int

@@ -87,7 +87,19 @@ __all__ = [
 
 #: Version of the request wire format.  Bump on any incompatible change; the
 #: decoder rejects versions it does not understand.
-WIRE_VERSION = 1
+#:
+#: Version history:
+#:
+#: * 1 — PR 5 baseline.
+#: * 2 — anytime tuning: the advisor spec may carry ``time_budget_ms`` /
+#:   ``solve_tier``.  The encoder still emits version 1 when neither field
+#:   is set, so budget-less clients keep interoperating with version-1
+#:   servers; the decoder accepts both versions but rejects budget fields
+#:   arriving under version 1.
+WIRE_VERSION = 2
+
+#: Wire versions :func:`decode_request` understands.
+_ACCEPTED_WIRE_VERSIONS = frozenset({1, WIRE_VERSION})
 
 
 class WireFormatError(ReproError):
@@ -143,7 +155,9 @@ _PREDICATE_FIELDS = frozenset({"column", "operator", "value",
                                "selectivity_hint"})
 _JOIN_FIELDS = frozenset({"left", "right"})
 _AGGREGATE_FIELDS = frozenset({"function", "column"})
-_ADVISOR_FIELDS = frozenset({"name", "options"})
+_ADVISOR_FIELDS_V1 = frozenset({"name", "options"})
+_ADVISOR_FIELDS = _ADVISOR_FIELDS_V1 | frozenset({"time_budget_ms",
+                                                  "solve_tier"})
 #: Allowed fields per constraint payload type.
 _CONSTRAINT_FIELDS = {
     "soft": frozenset({"type", "target", "inner"}),
@@ -584,11 +598,27 @@ def _decode_spec(cls, payload: Mapping[str, Any], context: str):
 
 # --------------------------------------------------------------------- request
 def encode_request(request: TuningRequest) -> dict[str, Any]:
-    """One :class:`TuningRequest` as a self-contained, versioned JSON payload."""
+    """One :class:`TuningRequest` as a self-contained, versioned JSON payload.
+
+    Budget-less requests are emitted as wire version 1 (they contain nothing
+    a version-1 server cannot understand); any anytime field on the advisor
+    spec upgrades the payload to version 2.
+    """
     advisor = request.advisor
     candidates = request.candidates
+    advisor_payload = None
+    version = 1
+    if advisor is not None:
+        advisor_payload = {
+            "name": advisor.name,
+            "options": _encode_options(advisor.options, "advisor option"),
+        }
+        if advisor.time_budget_ms is not None or advisor.solve_tier is not None:
+            advisor_payload["time_budget_ms"] = advisor.time_budget_ms
+            advisor_payload["solve_tier"] = advisor.solve_tier
+            version = WIRE_VERSION
     return {
-        "wire_version": WIRE_VERSION,
+        "wire_version": version,
         "kind": "tuning_request",
         "request_id": request.request_id,
         "schema": encode_schema(request.schema),
@@ -599,10 +629,7 @@ def encode_request(request: TuningRequest) -> dict[str, Any]:
                        [index_to_payload(index) for index in candidates]),
         "dba_indexes": [index_to_payload(index)
                         for index in request.dba_indexes],
-        "advisor": (None if advisor is None else
-                    {"name": advisor.name,
-                     "options": _encode_options(advisor.options,
-                                                "advisor option")}),
+        "advisor": advisor_payload,
         "costing": {f.name: getattr(request.costing, f.name)
                     for f in fields(CostingSpec)},
         "scale": (None if request.scale is None else
@@ -632,10 +659,10 @@ def decode_request(payload: Mapping[str, Any],
             f"A tuning request payload must be a JSON object, got "
             f"{type(payload).__name__}")
     version = payload.get("wire_version")
-    if version != WIRE_VERSION:
+    if version not in _ACCEPTED_WIRE_VERSIONS:
         raise WireFormatError(
             f"Unsupported wire_version {version!r}; this build understands "
-            f"version {WIRE_VERSION}")
+            f"versions {sorted(_ACCEPTED_WIRE_VERSIONS)}")
     _check_fields(payload, _REQUEST_FIELDS, "request")
     schema_payload = _require(payload, "schema", "request")
     if schema_cache is not None:
@@ -653,11 +680,25 @@ def decode_request(payload: Mapping[str, Any],
     dba_indexes = tuple(index_from_payload(entry)
                         for entry in payload.get("dba_indexes", ()))
     advisor_payload = payload.get("advisor")
+    advisor = None
     if advisor_payload is not None:
-        _check_fields(advisor_payload, _ADVISOR_FIELDS, "advisor")
-    advisor = (None if advisor_payload is None else
-               AdvisorSpec(_require(advisor_payload, "name", "advisor"),
-                           advisor_payload.get("options", {})))
+        # Anytime fields are a version-2 addition; under version 1 they are
+        # unknown fields and rejected like any other (a version-1 payload
+        # must mean exactly what a version-1 server would make of it).
+        _check_fields(advisor_payload,
+                      _ADVISOR_FIELDS if version >= 2 else _ADVISOR_FIELDS_V1,
+                      "advisor")
+        time_budget_ms = advisor_payload.get("time_budget_ms")
+        solve_tier = advisor_payload.get("solve_tier")
+        try:
+            advisor = AdvisorSpec(
+                _require(advisor_payload, "name", "advisor"),
+                advisor_payload.get("options", {}),
+                time_budget_ms=(None if time_budget_ms is None
+                                else float(time_budget_ms)),
+                solve_tier=None if solve_tier is None else str(solve_tier))
+        except ValueError as exc:
+            raise WireFormatError(f"Malformed advisor spec: {exc}") from None
     scale_payload = payload.get("scale")
     return TuningRequest(
         workload=workload,

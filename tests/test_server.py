@@ -334,7 +334,7 @@ class TestHealthAndStats:
             health = TuningClient(server.url).health()
         assert health["status"] == "ok"
         assert "cophy" in health["advisors"]
-        assert health["wire_version"] == 1
+        assert health["wire_version"] == 2
 
     def test_close_without_start_returns(self):
         """close() on a never-started server must not block on shutdown()."""
