@@ -99,6 +99,13 @@ class Recommendation:
             feasible configuration and ``gap`` its optimality bound.
         solve_tier: The anytime tier that actually produced the result
             (``"exact"`` when no budget was involved).
+        degraded: True when part of the pipeline was lost to faults (e.g. a
+            shard whose retries were exhausted) and the recommendation
+            covers only the surviving work — loud, flagged degradation.
+        retries: Retries the reliability layer took while producing this
+            recommendation (timing-only jitter: not part of fingerprints).
+        faults_survived: Failures absorbed — retried or degraded around —
+            instead of propagated.
     """
 
     configuration: Configuration
@@ -112,6 +119,9 @@ class Recommendation:
     extras: dict = field(default_factory=dict)
     timed_out: bool = False
     solve_tier: str = "exact"
+    degraded: bool = False
+    retries: int = 0
+    faults_survived: int = 0
 
     @property
     def total_seconds(self) -> float:

@@ -83,6 +83,9 @@ class ScaleOutAdvisor(Advisor):
             gamma-signature compression.
         backend / gap_tolerance / time_limit_seconds: Solver settings for the
             shard and merge solves.
+        retry_policy / fault_plan: Reliability knobs forwarded to the
+            :class:`~repro.scale.executor.ShardExecutor` (``None`` defers to
+            the executor defaults / the process-wide armed fault plan).
     """
 
     name = "scaleout"
@@ -99,7 +102,8 @@ class ScaleOutAdvisor(Advisor):
                  build_processes: int | None = None,
                  backend: SolverBackend = SolverBackend.MILP,
                  gap_tolerance: float = 0.05,
-                 time_limit_seconds: float | None = None):
+                 time_limit_seconds: float | None = None,
+                 retry_policy=None, fault_plan=None):
         warn_legacy_construction(type(self))
         self.schema = schema
         self.optimizer = optimizer or WhatIfOptimizer(schema)
@@ -115,6 +119,8 @@ class ScaleOutAdvisor(Advisor):
         self.backend = backend
         self.gap_tolerance = gap_tolerance
         self.time_limit_seconds = time_limit_seconds
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     # -------------------------------------------------------------------- public
     def tune(self, workload: Workload,
@@ -216,14 +222,17 @@ class ScaleOutAdvisor(Advisor):
         executor = ShardExecutor(workers=self.shard_workers,
                                  backend=self.backend,
                                  gap_tolerance=self.gap_tolerance,
-                                 time_limit_seconds=self.time_limit_seconds)
+                                 time_limit_seconds=self.time_limit_seconds,
+                                 retry_policy=self.retry_policy,
+                                 fault_plan=self.fault_plan)
         shard_time_limit = None
         if budget is not None:
             shard_time_limit = budget.shard_slice_seconds(
                 plan.shard_count,
                 workers=executor.effective_workers(plan.shard_count))
         results = executor.solve_shards(plan, self.schema, inum=self.inum,
-                                        shard_time_limit=shard_time_limit)
+                                        shard_time_limit=shard_time_limit,
+                                        budget=budget)
         timings["solve"] = time.perf_counter() - solve_started
         extras["shard_workers"] = executor.effective_workers(plan.shard_count)
         extras["shards"] = [
@@ -233,13 +242,32 @@ class ScaleOutAdvisor(Advisor):
              "selected": len(result.indexes),
              "objective": result.objective,
              "gap": result.gap,
-             "seconds": round(result.solve_seconds, 4)}
+             "seconds": round(result.solve_seconds, 4),
+             "retries": result.retries,
+             "recovered_inline": result.recovered_inline,
+             "failed": result.failed}
             for result in results]
+
+        # Graceful degradation: shards whose every attempt failed contribute
+        # no winners; the merge proceeds over the survivors and the result is
+        # flagged degraded instead of the whole tune erroring out.
+        survivors = [result for result in results if not result.failed]
+        lost = [result for result in results if result.failed]
+        retries = sum(result.retries for result in results)
+        faults_survived = sum(result.faults_survived for result in results)
+        if retries or faults_survived or lost:
+            extras["faults"] = {
+                "retries": retries,
+                "faults_survived": faults_survived,
+                "failed_shards": [result.position for result in lost],
+                "failures": {result.position: result.failure
+                             for result in lost},
+            }
 
         # 4. Merge BIP over the union of winners under the global constraints
         #    (running on whatever wall clock the budget has left).
         merge_started = time.perf_counter()
-        winners = self._union_of_winners(results)
+        winners = self._union_of_winners(survivors)
         merge_timed_out = False
         if winners:
             configuration, objective, gap, gap_trace, merge_stats, \
@@ -271,6 +299,9 @@ class ScaleOutAdvisor(Advisor):
             timed_out=(any(result.timed_out for result in results)
                        or merge_timed_out
                        or (budget is not None and budget.expired())),
+            degraded=bool(lost),
+            retries=retries,
+            faults_survived=faults_survived,
         )
 
     # ----------------------------------------------------------------- internals

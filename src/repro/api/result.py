@@ -34,6 +34,12 @@ RESULT_PAYLOAD_VERSION = 1
 _TIMING_KEYS = frozenset({
     "timings", "elapsed_seconds", "solve_seconds", "total_seconds", "seconds"})
 
+#: Keys that vary with machine-local fault/retry luck but never with the
+#: recommendation itself; stripped by the fingerprint alongside the timings.
+#: ``degraded`` is deliberately NOT here: a degraded result is semantically
+#: different from a complete one and must not fingerprint-match it.
+_VOLATILE_KEYS = frozenset({"retries", "faults_survived"})
+
 
 def index_to_payload(index: Index) -> dict[str, Any]:
     """An :class:`Index` as a JSON-representable dict."""
@@ -89,6 +95,14 @@ class TuningDiagnostics:
     timed_out: bool = False
     #: Which anytime tier produced the answer (``"exact"`` when no budget).
     solve_tier: str = "exact"
+    #: True when faults cost part of the pipeline (e.g. a shard lost after
+    #: retry exhaustion) and the result covers only the surviving work.
+    degraded: bool = False
+    #: Retries taken by the reliability layer (timing-like jitter: excluded
+    #: from fingerprints, as is ``faults_survived``).
+    retries: int = 0
+    #: Failures absorbed — retried or degraded around — instead of raised.
+    faults_survived: int = 0
 
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -101,6 +115,9 @@ class TuningDiagnostics:
             "gap_trace": [asdict(point) for point in self.gap_trace],
             "timed_out": self.timed_out,
             "solve_tier": self.solve_tier,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "faults_survived": self.faults_survived,
         }
 
     @classmethod
@@ -116,6 +133,9 @@ class TuningDiagnostics:
                             for point in payload.get("gap_trace", ())),
             timed_out=bool(payload.get("timed_out", False)),
             solve_tier=str(payload.get("solve_tier", "exact")),
+            degraded=bool(payload.get("degraded", False)),
+            retries=int(payload.get("retries", 0)),
+            faults_survived=int(payload.get("faults_survived", 0)),
         )
 
 
@@ -192,6 +212,9 @@ class TuningResult:
             gap_trace=recommendation.gap_trace,
             timed_out=recommendation.timed_out,
             solve_tier=recommendation.solve_tier,
+            degraded=recommendation.degraded,
+            retries=recommendation.retries,
+            faults_survived=recommendation.faults_survived,
         )
         return cls(
             configuration=recommendation.configuration,
@@ -266,10 +289,16 @@ class TuningResult:
 
 
 def _strip_timings(value: Any) -> Any:
-    """Recursively drop wall-clock keys from a JSON-shaped payload."""
+    """Recursively drop wall-clock and fault-jitter keys from a payload.
+
+    A recovered run (worker crashed, shard retried) must fingerprint
+    identically to a clean one — retry counters are timing-like jitter.
+    ``degraded`` stays in: losing a shard changes the recommendation's
+    meaning, so degraded results never alias complete ones.
+    """
     if isinstance(value, dict):
         return {key: _strip_timings(item) for key, item in value.items()
-                if key not in _TIMING_KEYS}
+                if key not in _TIMING_KEYS and key not in _VOLATILE_KEYS}
     if isinstance(value, list):
         return [_strip_timings(item) for item in value]
     return value

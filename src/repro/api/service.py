@@ -39,6 +39,7 @@ from repro.api.tuner import (
     tune_in_context,
 )
 from repro.core.interactive import InteractiveTuningSession
+from repro.exceptions import ServerOverloaded
 
 __all__ = ["TuningService", "TuningSession"]
 
@@ -101,27 +102,49 @@ class TuningService:
             service's own :class:`Tuner`; pass the knob to your Tuner
             directly when supplying one).
         context_ttl_s: Idle TTL for schema contexts (same forwarding rule).
+        max_pending: Admission-control bound on requests admitted but not
+            yet finished (in-flight solves plus the thread-pool queue).
+            When the bound is hit, :meth:`tune` / :meth:`submit` raise
+            :class:`~repro.exceptions.ServerOverloaded` instead of queueing
+            — the HTTP front-end maps it to ``429`` + ``Retry-After``.
+            ``None`` (default) admits everything.
+        retry_after_s: Backoff hint attached to overload rejections.
     """
 
     def __init__(self, tuner: Tuner | None = None,
                  max_workers: int | None = None, *,
                  namespace_statements: bool = False,
                  max_contexts: int | None = None,
-                 context_ttl_s: float | None = None):
+                 context_ttl_s: float | None = None,
+                 max_pending: int | None = None,
+                 retry_after_s: float = 1.0):
         if tuner is not None and (max_contexts is not None
                                   or context_ttl_s is not None):
             raise ValueError(
                 "max_contexts/context_ttl_s configure the service's own "
                 "Tuner; when supplying a Tuner, set them on it directly")
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be non-negative (or None)")
+        if retry_after_s <= 0:
+            raise ValueError("retry_after_s must be positive")
         self._tuner = tuner or Tuner(max_contexts=max_contexts,
                                      context_ttl_s=context_ttl_s)
         self._max_workers = max_workers
         self._namespace_statements = bool(namespace_statements)
+        self._max_pending = max_pending
+        self.retry_after_s = retry_after_s
         self._executor: ThreadPoolExecutor | None = None
         self._stats_lock = threading.Lock()
         self._requests_served = 0
         self._namespaced_requests = 0
         self._sessions_reaped = 0
+        self._pending = 0
+        self._rejected_overload = 0
+        self._retries = 0
+        self._degraded_results = 0
+        #: Set on pool threads whose request already holds a pending slot
+        #: (acquired at submit() time), so tune() does not acquire a second.
+        self._slot_held = threading.local()
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -135,6 +158,43 @@ class TuningService:
     @property
     def namespace_statements(self) -> bool:
         return self._namespace_statements
+
+    @property
+    def max_pending(self) -> int | None:
+        return self._max_pending
+
+    @max_pending.setter
+    def max_pending(self, value: int | None) -> None:
+        """Mutable at runtime so operators (and tests) can shed or restore
+        load without restarting the service."""
+        if value is not None and value < 0:
+            raise ValueError("max_pending must be non-negative (or None)")
+        self._max_pending = value
+
+    @property
+    def pending(self) -> int:
+        with self._stats_lock:
+            return self._pending
+
+    # -------------------------------------------------------- admission control
+    def _acquire_slot(self) -> None:
+        with self._stats_lock:
+            limit = self._max_pending
+            if limit is not None and self._pending >= limit:
+                self._rejected_overload += 1
+                retry_after = self.retry_after_s
+                pending = self._pending
+            else:
+                self._pending += 1
+                return
+        raise ServerOverloaded(
+            f"Tuning service pending-work queue is full "
+            f"({pending} in flight, max_pending={limit}); "
+            f"retry after {retry_after} s", retry_after_s=retry_after)
+
+    def _release_slot(self) -> None:
+        with self._stats_lock:
+            self._pending -= 1
 
     def note_sessions_reaped(self, count: int) -> None:
         """Record idle sessions reaped by a front-end (e.g. the HTTP server).
@@ -150,30 +210,64 @@ class TuningService:
             self._sessions_reaped += count
 
     def stats(self) -> dict[str, Any]:
-        """Machine-readable service counters (the ``/v1/stats`` payload)."""
+        """Machine-readable service counters (the ``/v1/stats`` payload).
+
+        ``faults_injected`` counts plan firings observed *in this process*;
+        worker-side injections are counted by the worker's plan copy and
+        surface here as part of ``retries`` / ``degraded_results`` instead.
+        """
         with self._stats_lock:
             served = self._requests_served
             namespaced = self._namespaced_requests
             reaped = self._sessions_reaped
+            pending = self._pending
+            rejected = self._rejected_overload
+            retries = self._retries
+            degraded = self._degraded_results
+        plan = self._tuner.effective_fault_plan()
         return {
             **self._tuner.context_stats(),
             "namespace_statements": self._namespace_statements,
             "requests_served": served,
             "namespaced_requests": namespaced,
             "sessions_reaped": reaped,
+            "pending": pending,
+            "max_pending": self._max_pending,
+            "rejected_overload": rejected,
+            "retries": retries,
+            "degraded_results": degraded,
+            "faults_injected": 0 if plan is None else plan.injected_total,
         }
 
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
-        """Serve one request, atomically against its schema context."""
+        """Serve one request, atomically against its schema context.
+
+        Raises :class:`~repro.exceptions.ServerOverloaded` without touching
+        the schema context when admission control (``max_pending``) rejects
+        the request.
+        """
+        if getattr(self._slot_held, "held", False):
+            return self._tune_slotted(request)
+        self._acquire_slot()
+        try:
+            return self._tune_slotted(request)
+        finally:
+            self._release_slot()
+
+    def _tune_slotted(self, request: TuningRequest) -> TuningResult:
+        """The admitted tune path (the caller holds a pending slot)."""
         context = self._tuner.context_for(request.schema, request.costing)
         with context.lock:
             request, renames = self._admitted(request, context)
-            result = tune_in_context(request, context,
-                                     namespaced=bool(renames))
+            result = tune_in_context(
+                request, context, namespaced=bool(renames),
+                fault_plan=self._tuner.effective_fault_plan())
         with self._stats_lock:
             self._requests_served += 1
             self._namespaced_requests += int(bool(renames))
+            self._retries += result.diagnostics.retries
+            self._degraded_results += int(result.diagnostics.degraded)
         return result
 
     def _admitted(self, request: TuningRequest, context: SchemaContext
@@ -195,8 +289,30 @@ class TuningService:
                        constraints=constraints), renames
 
     def submit(self, request: TuningRequest) -> "Future[TuningResult]":
-        """Queue a request on the service's thread pool."""
-        return self._ensure_executor().submit(self.tune, request)
+        """Queue a request on the service's thread pool.
+
+        The pending slot is acquired *here* — queued-but-unstarted work
+        counts against ``max_pending``, which is the whole point of
+        admission control — and released when the future settles.  The pool
+        thread still goes through ``self.tune`` (the overridable entry
+        point); the thread-local marker keeps it from taking a second slot.
+        """
+        self._acquire_slot()
+
+        def run_admitted() -> TuningResult:
+            self._slot_held.held = True
+            try:
+                return self.tune(request)
+            finally:
+                self._slot_held.held = False
+
+        try:
+            future = self._ensure_executor().submit(run_admitted)
+        except BaseException:
+            self._release_slot()
+            raise
+        future.add_done_callback(lambda _future: self._release_slot())
+        return future
 
     def tune_many(self, requests: Iterable[TuningRequest]
                   ) -> list[TuningResult]:

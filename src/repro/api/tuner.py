@@ -15,6 +15,7 @@ adds per-context locking and a thread pool on top for concurrent serving.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import threading
 import time
@@ -243,16 +244,22 @@ class Tuner:
             cold.
         context_ttl_s: Optional idle TTL in seconds; contexts unused for
             longer are reaped on the next ``context_for`` call.
+        fault_plan: Explicit fault-injection plan
+            (:class:`~repro.reliability.faults.FaultPlan`) consulted by the
+            pipeline's ``solver`` fault site; ``None`` defers to the
+            process-wide armed plan / ``REPRO_FAULT_PLAN`` env var.
     """
 
     def __init__(self, max_contexts: int | None = None,
-                 context_ttl_s: float | None = None) -> None:
+                 context_ttl_s: float | None = None,
+                 fault_plan=None) -> None:
         if max_contexts is not None and max_contexts < 1:
             raise ValueError("max_contexts must be positive (or None)")
         if context_ttl_s is not None and context_ttl_s <= 0:
             raise ValueError("context_ttl_s must be positive (or None)")
         self.max_contexts = max_contexts
         self.context_ttl_s = context_ttl_s
+        self.fault_plan = fault_plan
         self._contexts: OrderedDict[tuple[int, CostingSpec], SchemaContext] = \
             OrderedDict()
         self._last_used: dict[tuple[int, CostingSpec], float] = {}
@@ -329,23 +336,39 @@ class Tuner:
             "expired_contexts": self.expired_contexts,
         }
 
+    def effective_fault_plan(self):
+        """The fault plan governing this tuner's pipelines (may be None)."""
+        from repro.reliability.faults import armed_plan
+
+        return self.fault_plan if self.fault_plan is not None \
+            else armed_plan()
+
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
         """Run one declarative tuning request end to end."""
         context = self.context_for(request.schema, request.costing)
-        return tune_in_context(request, context)
+        return tune_in_context(request, context,
+                               fault_plan=self.effective_fault_plan())
 
 
 # ----------------------------------------------------------------- pipeline
 def tune_in_context(request: TuningRequest, context: SchemaContext, *,
-                    namespaced: bool = False) -> TuningResult:
+                    namespaced: bool = False,
+                    fault_plan=None) -> TuningResult:
     """The resolved pipeline: advisor from registry, shared wiring, result.
 
     Factored out of :class:`Tuner` so the service can run it under its own
     per-context locking without re-resolving contexts.  ``namespaced`` is
     recorded in the provenance when the service auto-namespaced the
-    workload's statement names at admission.
+    workload's statement names at admission.  ``fault_plan`` arms the
+    ``solver`` fault site: the check fires before the advisor runs, so a
+    caller-level retry repeats a request the pipeline never started; the
+    plan is then armed process-wide for the duration of the solve, which is
+    how it reaches the downstream fault sites (shard executors, matrix
+    builds) without every advisor growing a ``fault_plan`` parameter.
     """
+    from repro.reliability.faults import armed, maybe_check
+
     started = time.perf_counter()
     facade_timings: dict[str, float] = {}
     spec = request.resolved_advisor()
@@ -355,6 +378,7 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     budget = spec.solve_budget()
     if budget is not None:
         budget.start()
+    maybe_check(fault_plan, "solver", key=canonical_name(spec.name))
 
     workload = context.canonical_workload(request.workload)
     candidates = _resolve_candidates(request, context, workload)
@@ -375,14 +399,19 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
         facade_timings["prepare"] = time.perf_counter() - prepare_started
         prepared = True
 
-    if budget is None:
-        # Budget-less requests take the exact legacy call — custom advisors
-        # registered with a pre-anytime tune() signature keep working.
-        recommendation = advisor.tune(workload, request.constraints,
-                                      candidates=candidates)
-    else:
-        recommendation = advisor.tune(workload, request.constraints,
-                                      candidates=candidates, budget=budget)
+    plan_guard = (armed(fault_plan) if fault_plan is not None
+                  else contextlib.nullcontext())
+    with plan_guard:
+        if budget is None:
+            # Budget-less requests take the exact legacy call — custom
+            # advisors registered with a pre-anytime tune() signature keep
+            # working.
+            recommendation = advisor.tune(workload, request.constraints,
+                                          candidates=candidates)
+        else:
+            recommendation = advisor.tune(workload, request.constraints,
+                                          candidates=candidates,
+                                          budget=budget)
 
     evaluate = request.per_statement_costs
     if evaluate is None:

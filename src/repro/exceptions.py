@@ -60,3 +60,17 @@ class InfeasibleProblemError(SolverError):
 
 class ConstraintError(ReproError):
     """Raised when a DBA constraint cannot be translated to linear form."""
+
+
+class ServerOverloaded(ReproError):
+    """Raised when admission control rejects a request (queue full).
+
+    Maps to HTTP 429 with a ``Retry-After`` header on the wire;
+    ``retry_after_s`` is the server's backoff hint, which
+    :class:`~repro.reliability.retry.RetryPolicy` honors as a delay floor.
+    """
+
+    def __init__(self, message: str = "Tuning service is overloaded",
+                 retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

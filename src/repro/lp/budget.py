@@ -120,6 +120,16 @@ class SolveBudget:
             return False
         return time.perf_counter() >= self._deadline
 
+    def can_spend(self, seconds: float) -> bool:
+        """Whether ``seconds`` of extra wall clock fits in the budget.
+
+        The retry–deadline contract: a backoff sleep is only taken when the
+        remaining budget covers it, so no retry ever pushes a request past
+        its own deadline.  Always True when unlimited.
+        """
+        remaining = self.remaining_seconds()
+        return remaining is None or remaining >= max(0.0, seconds)
+
     # -------------------------------------------------------------- sub-budgets
     def clamp_time_limit(self, limit_seconds: float | None) -> float | None:
         """Merge a solver-configured time limit with the remaining budget."""

@@ -1,0 +1,41 @@
+"""Fault injection, retry policies and degradation plumbing (PR 7).
+
+The reliability layer threads three guarantees through the stack:
+
+* **deterministic chaos** — :class:`~repro.reliability.faults.FaultPlan`
+  replays exact failure schedules (armed per-process or via the
+  ``REPRO_FAULT_PLAN`` env var, the chaos CI lane's switch);
+* **uniform retries** — :class:`~repro.reliability.retry.RetryPolicy` backs
+  off exponentially with jitter and never sleeps past the request's
+  :class:`~repro.lp.budget.SolveBudget`;
+* **graceful degradation** — a worker crash never changes a
+  recommendation, only its timing; exhausted retries degrade the result
+  (``TuningDiagnostics.degraded``) instead of losing it.
+"""
+
+from repro.reliability.faults import (
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    arm,
+    armed,
+    armed_plan,
+    disarm,
+)
+from repro.reliability.retry import RetryPolicy, default_retryable
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "arm",
+    "armed",
+    "armed_plan",
+    "default_retryable",
+    "disarm",
+]

@@ -16,21 +16,33 @@ multi-core machines (the PR 2 open item).  This module moves both across
   and adopted into the calling cache (``InumCache.adopt_built``) in workload
   order, so cache state is deterministic regardless of scheduling.
 
+Fault tolerance (PR 7): a failed or crashed shard solve is retried under
+the executor's :class:`~repro.reliability.retry.RetryPolicy`; a
+``BrokenProcessPool`` rebuilds the pool (the crash cannot be attributed to
+one future, so every unfinished shard advances its attempt counter); a
+shard that exhausts its pool attempts falls back to solving inline on the
+caller's cache; and a shard that fails even inline comes back as a
+``failed=True`` :class:`ShardResult` for the advisor to degrade around —
+a worker crash never changes the recommendation, only the timing.
+
 Determinism and correctness notes: results are merged in shard/workload
-order (``ProcessPoolExecutor.map`` preserves input order); the synthetic
-cost model is a pure function of the schema statistics, so worker-built
-arrays are bit-identical to locally built ones (asserted in the tests); and
-``Index`` / ``TemplatePlan`` recompute their cached hashes on unpickling, so
-objects crossing the process boundary key dictionaries correctly on both
-sides of it.
+order; the synthetic cost model is a pure function of the schema
+statistics, so worker-built arrays are bit-identical to locally built ones
+(asserted in the tests); ``Index`` / ``TemplatePlan`` recompute their
+cached hashes on unpickling, so objects crossing the process boundary key
+dictionaries correctly on both sides of it; and a retried shard reruns on
+a fresh worker whose counters match the first try's, so recovered runs
+fingerprint identically to clean ones.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.catalog.schema import Schema
@@ -46,7 +58,10 @@ from repro.inum.cache import (
 )
 from repro.inum.gamma_matrix import QueryGammaMatrix
 from repro.inum.template_plan import TemplatePlan
+from repro.lp.budget import SolveBudget
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.reliability.faults import FaultPlan, armed_plan, maybe_check
+from repro.reliability.retry import RetryPolicy, default_retryable
 from repro.scale.partition import Shard
 from repro.workload.query import Query
 from repro.workload.workload import Workload, WorkloadStatement
@@ -77,6 +92,16 @@ class ShardResult:
     worker_optimizer_calls: int = 0
     #: True when the shard's wall-clock slice interrupted its solve.
     timed_out: bool = False
+    #: Retries taken (pool resubmissions + the inline fallback) for this shard.
+    retries: int = 0
+    #: Failures the reliability layer absorbed (retried or degraded around).
+    faults_survived: int = 0
+    #: True when the shard exhausted its pool attempts and solved inline.
+    recovered_inline: bool = False
+    #: True when every attempt failed; ``indexes`` is empty and the advisor
+    #: merges over the surviving shards (graceful degradation).
+    failed: bool = False
+    failure: str = ""
 
 
 class ShardExecutor:
@@ -88,18 +113,34 @@ class ShardExecutor:
             run inline and share ``inum`` — no pickling, no process startup.
         backend: BIP solver backend for the per-shard solves.
         gap_tolerance / time_limit_seconds: Per-shard solver settings.
+        retry_policy: Retry/backoff schedule for failed or crashed shard
+            solves (``None`` = the default policy; pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries).
+        fault_plan: Explicit fault-injection plan; ``None`` defers to the
+            process-wide armed plan / ``REPRO_FAULT_PLAN``.
+        degrade: When True (default), a shard whose every attempt — pool
+            retries plus the inline fallback — failed with a transient
+            error is returned as a ``failed=True`` result instead of
+            raising, so the advisor can merge over the survivors.
     """
 
     def __init__(self, workers: int | None = None,
                  backend: SolverBackend = SolverBackend.MILP,
                  gap_tolerance: float = 0.05,
-                 time_limit_seconds: float | None = None):
+                 time_limit_seconds: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 degrade: bool = True):
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.backend = backend
         self.gap_tolerance = gap_tolerance
         self.time_limit_seconds = time_limit_seconds
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.fault_plan = fault_plan
+        self.degrade = degrade
 
     def effective_workers(self, shard_count: int) -> int:
         workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
@@ -107,13 +148,16 @@ class ShardExecutor:
 
     def solve_shards(self, plan: "PartitionPlan", schema: Schema,
                      inum: InumCache | None = None,
-                     shard_time_limit: float | None = None
+                     shard_time_limit: float | None = None,
+                     budget: SolveBudget | None = None
                      ) -> tuple[ShardResult, ...]:
         """Solve every shard and return results in shard order.
 
         ``shard_time_limit`` is a per-shard wall-clock slice (an anytime
         budget apportioned by the caller); it is min-merged with the
-        executor's own ``time_limit_seconds``.
+        executor's own ``time_limit_seconds``.  ``budget`` is the request's
+        :class:`~repro.lp.budget.SolveBudget`, consulted before every retry
+        backoff so recovery never pushes the request past its deadline.
         """
         shards = plan.shards
         if not shards:
@@ -122,31 +166,184 @@ class ShardExecutor:
         if shard_time_limit is not None:
             time_limit = (shard_time_limit if time_limit is None
                           else min(time_limit, shard_time_limit))
+        faults = (self.fault_plan if self.fault_plan is not None
+                  else armed_plan())
         workers = self.effective_workers(len(shards))
         if workers <= 1:
             if inum is None:
                 inum = InumCache(WhatIfOptimizer(schema))
             return tuple(
-                _solve_shard_inline(shard, inum, self.backend,
-                                    self.gap_tolerance, time_limit)
+                self._solve_inline_with_retry(shard, inum, time_limit,
+                                              faults, budget)
                 for shard in shards)
+        return self._solve_pooled(shards, schema, inum, time_limit, workers,
+                                  faults, budget)
+
+    # -------------------------------------------------------------- inline path
+    def _solve_inline_with_retry(self, shard: Shard, inum: InumCache,
+                                 time_limit: float | None,
+                                 faults: FaultPlan | None,
+                                 budget: SolveBudget | None) -> ShardResult:
+        counters = {"retries": 0, "survived": 0}
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            counters["retries"] += 1
+            counters["survived"] += 1
+
+        try:
+            result = self.retry_policy.call(
+                lambda attempt: _solve_shard_inline(
+                    shard, inum, self.backend, self.gap_tolerance, time_limit,
+                    fault_plan=faults, attempt=attempt),
+                budget=budget, on_retry=on_retry)
+        except Exception as exc:
+            if not (self.degrade and default_retryable(exc)):
+                raise
+            counters["survived"] += 1
+            return _failed_shard_result(shard, exc, counters)
+        return replace(result, retries=counters["retries"],
+                       faults_survived=counters["survived"])
+
+    # ---------------------------------------------------------------- pool path
+    def _solve_pooled(self, shards: Sequence[Shard], schema: Schema,
+                      inum: InumCache | None, time_limit: float | None,
+                      workers: int, faults: FaultPlan | None,
+                      budget: SolveBudget | None) -> tuple[ShardResult, ...]:
         caps = (inum.enumeration_caps if inum is not None
                 else (DEFAULT_MAX_ORDERS_PER_TABLE,
                       DEFAULT_MAX_TEMPLATES_PER_QUERY))
         use_matrix = inum.uses_gamma_matrix if inum is not None else True
-        jobs = [(schema, shard.position, shard.workload.statements,
-                 shard.candidates, shard.budget_bytes, self.backend.value,
-                 self.gap_tolerance, time_limit, caps,
-                 use_matrix)
-                for shard in shards]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return tuple(pool.map(_solve_shard_job, jobs))
+        policy = self.retry_policy
+        rng = random.Random(policy.seed) if policy.seed is not None else None
+        results: dict[int, ShardResult] = {}
+        attempt_no = {shard.position: 1 for shard in shards}
+        retries = {shard.position: 0 for shard in shards}
+        survived = {shard.position: 0 for shard in shards}
+        remaining = list(shards)
+        fallback: list[Shard] = []
+        round_no = 1
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while remaining:
+                futures = [
+                    (shard, pool.submit(
+                        _solve_shard_job,
+                        self._shard_job(shard, schema, caps, use_matrix,
+                                        time_limit, faults,
+                                        attempt_no[shard.position])))
+                    for shard in remaining]
+                failed_round: list[Shard] = []
+                pool_broken = False
+                for shard, future in futures:
+                    # A broken pool resolves every pending future with
+                    # BrokenProcessPool immediately, while siblings that
+                    # finished before the crash keep their results — so
+                    # every .result() below returns without blocking.
+                    try:
+                        results[shard.position] = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        failed_round.append(shard)
+                    except Exception as exc:
+                        if not default_retryable(exc):
+                            raise
+                        failed_round.append(shard)
+                if pool_broken:
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                if not failed_round:
+                    break
+                # A broken pool cannot attribute the crash to one shard, so
+                # every unfinished shard advances its attempt — otherwise
+                # the guilty shard would rerun at attempt 1 forever against
+                # an attempt-keyed fault schedule.
+                retry_next: list[Shard] = []
+                for shard in failed_round:
+                    position = shard.position
+                    survived[position] += 1
+                    if attempt_no[position] >= policy.max_attempts:
+                        fallback.append(shard)
+                    else:
+                        attempt_no[position] += 1
+                        retries[position] += 1
+                        retry_next.append(shard)
+                if retry_next:
+                    delay = policy.backoff_delay(round_no, rng)
+                    if budget is not None and (budget.expired()
+                                               or not budget.can_spend(delay)):
+                        # No wall clock left for another pool round: the
+                        # inline fallback is the only recovery still allowed.
+                        fallback.extend(retry_next)
+                        retry_next = []
+                    elif delay > 0:
+                        time.sleep(delay)
+                remaining = retry_next
+                round_no += 1
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        if fallback:
+            if inum is None:
+                inum = InumCache(WhatIfOptimizer(schema))
+            for shard in sorted(fallback, key=lambda s: s.position):
+                position = shard.position
+                retries[position] += 1
+                try:
+                    result = _solve_shard_inline(
+                        shard, inum, self.backend, self.gap_tolerance,
+                        time_limit, fault_plan=faults,
+                        attempt=attempt_no[position] + 1)
+                except Exception as exc:
+                    if not (self.degrade and default_retryable(exc)):
+                        raise
+                    survived[position] += 1
+                    results[position] = _failed_shard_result(
+                        shard, exc, {"retries": retries[position],
+                                     "survived": survived[position]})
+                else:
+                    results[position] = replace(result, recovered_inline=True)
+
+        return tuple(
+            replace(results[shard.position],
+                    retries=retries[shard.position],
+                    faults_survived=survived[shard.position])
+            for shard in shards)
+
+    def _shard_job(self, shard: Shard, schema: Schema, caps, use_matrix: bool,
+                   time_limit: float | None, faults: FaultPlan | None,
+                   attempt: int) -> tuple:
+        return (schema, shard.position, shard.workload.statements,
+                shard.candidates, shard.budget_bytes, self.backend.value,
+                self.gap_tolerance, time_limit, caps, use_matrix, faults,
+                attempt)
+
+
+def _failed_shard_result(shard: Shard, exc: BaseException,
+                         counters: dict[str, int]) -> ShardResult:
+    return ShardResult(
+        position=shard.position, indexes=(), objective=float("inf"),
+        gap=float("inf"), solve_seconds=0.0,
+        statistics={"statements": float(len(shard.workload)),
+                    "candidates": float(len(shard.candidates))},
+        retries=counters["retries"], faults_survived=counters["survived"],
+        failed=True, failure=f"{type(exc).__name__}: {exc}")
 
 
 def _solve_shard_inline(shard: Shard, inum: InumCache,
                         backend: SolverBackend, gap_tolerance: float,
-                        time_limit_seconds: float | None) -> ShardResult:
-    """Solve one shard reusing the caller's INUM cache (no process hop)."""
+                        time_limit_seconds: float | None,
+                        fault_plan: FaultPlan | None = None,
+                        attempt: int = 1,
+                        in_worker: bool = False) -> ShardResult:
+    """Solve one shard reusing the caller's INUM cache (no process hop).
+
+    The fault check fires *before* any optimizer work, so a retried attempt
+    repeats exactly the work the failed one never did — optimizer-call
+    accounting (and with it the result fingerprint) stays identical to a
+    fault-free run.
+    """
+    maybe_check(fault_plan, "shard_solve", key=shard.position,
+                attempt=attempt, in_worker=in_worker)
     started = time.perf_counter()
     candidates = CandidateSet(inum.schema, shard.candidates)
     inum.prepare(shard.workload, candidates)
@@ -178,7 +375,9 @@ def _solve_shard_inline(shard: Shard, inum: InumCache,
 def _solve_shard_job(job: tuple) -> ShardResult:
     """Worker-side shard solve: rebuild the full stack from pickled inputs."""
     (schema, position, statements, indexes, budget_bytes, backend_value,
-     gap_tolerance, time_limit_seconds, caps, use_matrix) = job
+     gap_tolerance, time_limit_seconds, caps, use_matrix, fault_plan,
+     attempt) = job
+    plan = fault_plan if fault_plan is not None else armed_plan()
     optimizer = WhatIfOptimizer(schema)
     inum = InumCache(optimizer, max_orders_per_table=caps[0],
                      max_templates_per_query=caps[1],
@@ -188,22 +387,22 @@ def _solve_shard_job(job: tuple) -> ShardResult:
                   statement_positions=tuple(range(len(statements))),
                   budget_bytes=budget_bytes)
     result = _solve_shard_inline(shard, inum, SolverBackend(backend_value),
-                                 gap_tolerance, time_limit_seconds)
+                                 gap_tolerance, time_limit_seconds,
+                                 fault_plan=plan, attempt=attempt,
+                                 in_worker=True)
     # The caller's counters never saw this process's optimizer: report its
     # work so the advisor's whatif_calls metric covers the shard phase.
-    return ShardResult(
-        position=result.position, indexes=result.indexes,
-        objective=result.objective, gap=result.gap,
-        solve_seconds=result.solve_seconds, statistics=result.statistics,
-        worker_optimizer_calls=(optimizer.whatif_calls
-                                + inum.template_build_calls),
-        timed_out=result.timed_out)
+    return replace(result,
+                   worker_optimizer_calls=(optimizer.whatif_calls
+                                           + inum.template_build_calls))
 
 
 # --------------------------------------------------------- matrix build shards
 def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
                                 indexes: tuple[Index, ...],
-                                workers: int | None = None) -> int:
+                                workers: int | None = None,
+                                retry_policy: RetryPolicy | None = None,
+                                fault_plan: FaultPlan | None = None) -> int:
     """Build pending gamma matrices in worker processes and adopt them.
 
     Only shells the cache has not built yet are dispatched; each worker
@@ -211,6 +410,11 @@ def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
     chunk of matrices (candidate columns included) and pickles them back.
     Adoption happens on the calling side in workload order.  Returns the
     number of shells built remotely.
+
+    Worker failures are retried under ``retry_policy`` (a fresh pool per
+    attempt); when retries are exhausted on a transient error the function
+    returns 0 and the caller builds the matrices locally — the process pool
+    is an accelerator, never a correctness dependency.
     """
     pending = list(cache.pending_shells(shells))
     workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -219,10 +423,22 @@ def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
         return 0
     caps = cache.enumeration_caps
     chunks = [pending[offset::workers] for offset in range(workers)]
-    jobs = [(cache.schema, chunk, indexes, caps, cache.uses_gamma_matrix)
-            for chunk in chunks if chunk]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(_build_matrices_job, jobs))
+    plan = fault_plan if fault_plan is not None else armed_plan()
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    def build_all(attempt: int) -> list:
+        jobs = [(cache.schema, chunk, indexes, caps, cache.uses_gamma_matrix,
+                 plan, attempt)
+                for chunk in chunks if chunk]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_build_matrices_job, jobs))
+
+    try:
+        results = policy.call(build_all)
+    except Exception as exc:
+        if not default_retryable(exc):
+            raise
+        return 0  # degraded: the caller builds the matrices locally
     by_name: dict[str, tuple[Query, tuple[TemplatePlan, ...],
                              QueryGammaMatrix | None]] = {}
     build_calls = 0
@@ -237,7 +453,9 @@ def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
 
 def _build_matrices_job(job: tuple) -> tuple[list, int]:
     """Worker-side matrix build for one chunk of query shells."""
-    schema, shells, indexes, caps, use_matrix = job
+    schema, shells, indexes, caps, use_matrix, fault_plan, attempt = job
+    plan = fault_plan if fault_plan is not None else armed_plan()
+    maybe_check(plan, "matrix_build", attempt=attempt, in_worker=True)
     optimizer = WhatIfOptimizer(schema)
     cache = InumCache(optimizer, max_orders_per_table=caps[0],
                       max_templates_per_query=caps[1],

@@ -1,4 +1,10 @@
-"""``python -m repro.server`` — CLI entry point for the tuning server."""
+"""``python -m repro.server`` — CLI entry point for the tuning server.
+
+``main`` installs SIGTERM/SIGINT handlers
+(:func:`repro.server.app.install_signal_handlers`) so a deploy's stop
+signal drains in-flight requests (bounded by ``--drain-timeout``) instead
+of resetting mid-solve connections.
+"""
 
 from repro.server.app import main
 

@@ -52,6 +52,8 @@ from repro.server.protocol import (
     API_PREFIX,
     TuningServerError,
     envelope_for_exception,
+    error_envelope,
+    response_headers_for,
 )
 from repro.server.wire import (
     WIRE_VERSION,
@@ -61,7 +63,7 @@ from repro.server.wire import (
     decode_request,
 )
 
-__all__ = ["TuningServer", "main"]
+__all__ = ["TuningServer", "install_signal_handlers", "main"]
 
 #: Session tune operations and the request-body key carrying their argument.
 _SESSION_OPERATIONS = {
@@ -101,6 +103,13 @@ class TuningServer:
         max_time_budget_ms: Upper clamp on client-requested budgets, so one
             request cannot reserve a worker thread for an arbitrary wall
             time.
+        max_pending / retry_after_s: Admission control, forwarded to the
+            created :class:`TuningService` (ignored when ``service`` is
+            supplied): at most ``max_pending`` tuning requests in flight,
+            beyond which the server answers 429 with a ``Retry-After``
+            header of ``retry_after_s``.
+        drain_timeout_s: Upper bound :meth:`stop` waits for in-flight
+            requests to finish before closing (graceful shutdown).
     """
 
     def __init__(self, service: TuningService | None = None,
@@ -111,22 +120,30 @@ class TuningServer:
                  max_schemas: int | None = 32,
                  session_ttl_s: float | None = None,
                  default_time_budget_ms: float | None = None,
-                 max_time_budget_ms: float | None = None):
+                 max_time_budget_ms: float | None = None,
+                 max_pending: int | None = None,
+                 retry_after_s: float = 1.0,
+                 drain_timeout_s: float = 10.0):
         if session_ttl_s is not None and session_ttl_s <= 0:
             raise ValueError("session_ttl_s must be positive (or None)")
         if default_time_budget_ms is not None and default_time_budget_ms <= 0:
             raise ValueError("default_time_budget_ms must be positive (or None)")
         if max_time_budget_ms is not None and max_time_budget_ms <= 0:
             raise ValueError("max_time_budget_ms must be positive (or None)")
+        if drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be non-negative")
         if service is None:
             service = TuningService(namespace_statements=namespace_statements,
                                     max_contexts=max_contexts,
-                                    context_ttl_s=context_ttl_s)
+                                    context_ttl_s=context_ttl_s,
+                                    max_pending=max_pending,
+                                    retry_after_s=retry_after_s)
         self.service = service
         self.schema_cache = SchemaCache(max_schemas=max_schemas)
         self.session_ttl_s = session_ttl_s
         self.default_time_budget_ms = default_time_budget_ms
         self.max_time_budget_ms = max_time_budget_ms
+        self.drain_timeout_s = drain_timeout_s
         #: session id -> (session, decoded request, last-used monotonic time).
         self._sessions: dict[str, list] = {}
         self._sessions_lock = threading.Lock()
@@ -135,6 +152,10 @@ class TuningServer:
                                         owner=self)
         self._thread: threading.Thread | None = None
         self._serving = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        #: Serializes stop(): signal handlers and the main thread may race it.
+        self._stop_lock = threading.Lock()
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -183,18 +204,51 @@ class TuningServer:
         self._serving = True
         self._httpd.serve_forever()
 
+    # In-flight request accounting for graceful shutdown; bumped by the
+    # request handler around every dispatch.
+    def _request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def stop(self, drain_timeout_s: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, then close.
+
+        New connections stop being accepted immediately; requests already
+        being served get up to ``drain_timeout_s`` (the constructor value
+        when ``None``) to finish before the listening socket and the
+        service's thread pool are torn down — no mid-solve connection
+        resets on deploy.  Idempotent, and safe to call from a signal
+        handler's helper thread while ``serve_forever`` runs elsewhere.
+        """
+        timeout = (self.drain_timeout_s if drain_timeout_s is None
+                   else drain_timeout_s)
+        with self._stop_lock:
+            if self._serving:
+                # shutdown() waits on an event only serve_forever() sets;
+                # calling it on a never-started server would block forever.
+                self._httpd.shutdown()
+                self._serving = False
+            deadline = time.monotonic() + max(0.0, timeout)
+            while self.inflight_requests > 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=10)
+                self._thread = None
+            self.service.close()
+
     def close(self) -> None:
         """Stop serving and shut the service's thread pool down (idempotent)."""
-        if self._serving:
-            # shutdown() waits on an event only serve_forever() sets; calling
-            # it on a never-started server would block forever.
-            self._httpd.shutdown()
-            self._serving = False
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10)
-            self._thread = None
-        self.service.close()
+        self.stop()
 
     def __enter__(self) -> "TuningServer":
         return self.start()
@@ -356,12 +410,43 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
 
     # ---------------------------------------------------------------- plumbing
     def _dispatch(self, method: str) -> None:
+        owner = self.server.owner  # type: ignore[attr-defined]
+        owner._request_started()
         try:
-            payload = self._route(method)
-            self._write_json(200, payload)
-        except Exception as exc:  # noqa: BLE001 — every error becomes an envelope
-            status, envelope = envelope_for_exception(exc)
-            self._write_json(status, envelope)
+            try:
+                payload = self._route(method)
+            except Exception as exc:  # noqa: BLE001 — errors become envelopes
+                self._write_error(exc)
+            else:
+                try:
+                    self._write_json(200, payload)
+                except (TypeError, ValueError) as exc:
+                    # The handler's payload failed to encode — a server-side
+                    # bug, but the client still deserves a well-formed
+                    # envelope instead of a bare connection reset.
+                    # (_write_json encodes before sending any bytes, so the
+                    # socket is still clean here.)
+                    self._write_error(
+                        TuningServerError(
+                            f"Response encoding failed: {exc}", status=500,
+                            error_type="ResponseEncodingError"))
+                except OSError:
+                    pass  # client went away mid-response
+        finally:
+            owner._request_finished()
+
+    def _write_error(self, exc: BaseException) -> None:
+        status, envelope = envelope_for_exception(exc)
+        try:
+            self._write_json(status, envelope,
+                             headers=response_headers_for(exc))
+        except (TypeError, ValueError):
+            # Envelope encoding itself failed (it never should: envelopes
+            # are built from str/int only) — last-resort minimal envelope.
+            self._write_json(500, error_envelope(
+                type(exc).__name__, "error envelope encoding failed", 500))
+        except OSError:
+            pass  # client went away before the error could be delivered
 
     def _route(self, method: str) -> dict[str, Any]:
         owner = self.server.owner  # type: ignore[attr-defined]
@@ -406,11 +491,17 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
             raise WireFormatError("Request body must be a JSON document")
         return json.loads(body)
 
-    def _write_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _write_json(self, status: int, payload: dict[str, Any],
+                    headers: dict[str, str] | None = None) -> None:
+        # Encode BEFORE any byte hits the socket: an encoding failure must
+        # leave the response unstarted so an error envelope can still be
+        # written in its place.
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         # One request per connection: an error response may leave an unread
         # request body on the socket, which a kept-alive connection would
         # misparse as the next request line.
@@ -449,6 +540,17 @@ def main(argv: list[str] | None = None) -> None:
                         metavar="MS",
                         help="upper clamp on client-requested anytime "
                              "budgets (milliseconds)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="admission-control bound on in-flight tuning "
+                             "requests; beyond it the server answers 429 "
+                             "with a Retry-After header")
+    parser.add_argument("--retry-after", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="Retry-After hint attached to 429 rejections")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="maximum wait for in-flight requests to finish "
+                             "on graceful shutdown (SIGTERM/SIGINT)")
     args = parser.parse_args(argv)
     server = TuningServer(host=args.host, port=args.port,
                           namespace_statements=args.namespace_statements,
@@ -456,13 +558,36 @@ def main(argv: list[str] | None = None) -> None:
                           context_ttl_s=args.context_ttl,
                           session_ttl_s=args.session_ttl,
                           default_time_budget_ms=args.default_time_budget,
-                          max_time_budget_ms=args.max_time_budget)
+                          max_time_budget_ms=args.max_time_budget,
+                          max_pending=args.max_pending,
+                          retry_after_s=args.retry_after,
+                          drain_timeout_s=args.drain_timeout)
+    install_signal_handlers(server)
     print(f"Serving index tuning on {server.url} "
           f"(advisors: {', '.join(available_advisors())})")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        server.close()
+    server.serve_forever()
+    # serve_forever returns once the signal handler's helper thread called
+    # shutdown(); this second stop() is idempotent and blocks until the
+    # helper finishes draining, so the process exits only when clean.
+    server.stop()
+
+
+def install_signal_handlers(server: TuningServer) -> None:
+    """Route SIGTERM/SIGINT to a graceful :meth:`TuningServer.stop`.
+
+    ``shutdown()`` must never run on the thread executing
+    ``serve_forever`` (it would deadlock waiting for the serve loop it is
+    blocking), and a Python signal handler runs exactly there — so the
+    handler only spawns a helper thread and returns.
+    """
+    import signal
+
+    def _graceful(signum, frame):  # pragma: no cover - signal delivery
+        threading.Thread(target=server.stop, name="tuning-server-stop",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

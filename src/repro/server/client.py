@@ -24,15 +24,24 @@ from typing import Any, Iterable, Sequence
 
 from repro.api.result import TuningResult, index_to_payload
 from repro.api.specs import TuningRequest
+from repro.exceptions import ServerOverloaded
+from repro.lp.budget import SolveBudget
+from repro.reliability.faults import FaultPlan, InjectedFault, armed_plan
+from repro.reliability.retry import RetryPolicy
 from repro.server.protocol import (
     API_PREFIX,
     TuningClientTimeout,
     TuningServerError,
+    TuningServerUnavailable,
     raise_remote_error,
 )
 from repro.server.wire import encode_constraint, encode_request
 
-__all__ = ["TuningClient", "RemoteTuningSession"]
+__all__ = ["DEFAULT_RETRY_POLICY", "TuningClient", "RemoteTuningSession"]
+
+#: The client's default backoff schedule for idempotent calls.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.2,
+                                   cap_delay_s=5.0)
 
 
 class TuningClient:
@@ -48,21 +57,34 @@ class TuningClient:
             plus ``budget_slack_s`` of transport/serialisation headroom.
         budget_slack_s: Headroom added on top of a request's own time budget
             when deriving its socket timeout.
+        retry_policy: Backoff schedule for *idempotent* calls (``tune``,
+            ``tune_batch``, GETs) on connect failures, 5xx answers and 429
+            overload rejections (whose ``Retry-After`` floors the delay).
+            Session steps are never retried — a lost response leaves the
+            step's server-side fate unknown.  ``None`` disables retries.
+            Budgeted requests never retry past their own derived deadline.
+        fault_plan: Explicit fault-injection plan for the ``http_request``
+            site; ``None`` defers to the process-wide armed plan.
     """
 
     def __init__(self, base_url: str, timeout: float = 300.0,
-                 budget_slack_s: float = 30.0):
+                 budget_slack_s: float = 30.0,
+                 retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+                 fault_plan: FaultPlan | None = None):
         if budget_slack_s < 0:
             raise ValueError("budget_slack_s must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.budget_slack_s = budget_slack_s
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
         """Serve one declarative request remotely (mirrors ``Tuner.tune``)."""
         payload = self._post(f"{API_PREFIX}/tune", encode_request(request),
-                             timeout=self._derived_timeout([request]))
+                             timeout=self._derived_timeout([request]),
+                             idempotent=True)
         return TuningResult.from_payload(payload["result"])
 
     def tune_many(self, requests: Iterable[TuningRequest]
@@ -72,7 +94,7 @@ class TuningClient:
         payload = self._post(
             f"{API_PREFIX}/tune_batch",
             {"requests": [encode_request(request) for request in requests]},
-            timeout=self._derived_timeout(requests))
+            timeout=self._derived_timeout(requests), idempotent=True)
         return [TuningResult.from_payload(entry)
                 for entry in payload["results"]]
 
@@ -106,23 +128,64 @@ class TuningClient:
 
     # ---------------------------------------------------------------- plumbing
     def _get(self, path: str) -> dict[str, Any]:
-        return self._call("GET", path, None)
+        return self._call("GET", path, None, idempotent=True)
 
-    def _post(self, path: str, payload: Any,
-              timeout: float | None = None) -> dict[str, Any]:
-        return self._call("POST", path, payload, timeout=timeout)
+    def _post(self, path: str, payload: Any, timeout: float | None = None,
+              idempotent: bool = False) -> dict[str, Any]:
+        return self._call("POST", path, payload, timeout=timeout,
+                          idempotent=idempotent)
 
     def _delete(self, path: str) -> dict[str, Any]:
         return self._call("DELETE", path, None)
 
+    @staticmethod
+    def _retryable(exc: BaseException) -> bool:
+        """Whether a failed call is safe *and* worthwhile to repeat.
+
+        Connect failures (the request never reached a handler), injected
+        transport faults, overload rejections and 5xx answers are transient;
+        a client-side timeout is not — the server may still be working on
+        the original request, and re-sending doubles its load exactly when
+        it is slowest.
+        """
+        if isinstance(exc, (TuningServerUnavailable, InjectedFault,
+                            ServerOverloaded)):
+            return True
+        if isinstance(exc, TuningClientTimeout):
+            return False
+        if isinstance(exc, TuningServerError):
+            return 500 <= exc.status < 600
+        return False
+
     def _call(self, method: str, path: str, payload: Any,
-              timeout: float | None = None) -> dict[str, Any]:
+              timeout: float | None = None,
+              idempotent: bool = False) -> dict[str, Any]:
         data = (None if payload is None
                 else json.dumps(payload).encode("utf-8"))
+        effective_timeout = self.timeout if timeout is None else timeout
+        fault_plan = self.fault_plan if self.fault_plan is not None \
+            else armed_plan()
+
+        def attempt_call(attempt: int) -> dict[str, Any]:
+            if fault_plan is not None:
+                fault_plan.check("http_request", key=path, attempt=attempt)
+            return self._request_once(method, path, data, effective_timeout)
+
+        if not idempotent or self.retry_policy is None:
+            return attempt_call(1)
+        # A request derived from an anytime budget must not retry past the
+        # deadline that budget implies; unbudgeted calls retry freely.
+        budget = None
+        if timeout is not None:
+            budget = SolveBudget(time_budget_ms=timeout * 1000.0).start()
+        return self.retry_policy.call(attempt_call, budget=budget,
+                                      retryable=self._retryable)
+
+    def _request_once(self, method: str, path: str, data: bytes | None,
+                      effective_timeout: float) -> dict[str, Any]:
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
-        effective_timeout = self.timeout if timeout is None else timeout
         try:
             with urllib.request.urlopen(request,
                                         timeout=effective_timeout) as response:
@@ -132,7 +195,7 @@ class TuningClient:
                 envelope = json.loads(exc.read())
             except (ValueError, OSError):
                 envelope = None
-            raise_remote_error(exc.code, envelope)
+            raise_remote_error(exc.code, envelope, headers=exc.headers)
             raise  # unreachable — raise_remote_error always raises
         except urllib.error.URLError as exc:
             # Connect-phase timeouts arrive wrapped in URLError; read-phase
@@ -142,10 +205,9 @@ class TuningClient:
                     f"Tuning server at {self.base_url} did not answer "
                     f"{method} {path} within {effective_timeout} s",
                     timeout_seconds=effective_timeout) from exc
-            raise TuningServerError(
+            raise TuningServerUnavailable(
                 f"Cannot reach tuning server at {self.base_url}: "
-                f"{exc.reason}", status=0,
-                error_type="ConnectionError") from exc
+                f"{exc.reason}") from exc
         except socket.timeout as exc:
             raise TuningClientTimeout(
                 f"Tuning server at {self.base_url} did not answer "

@@ -25,6 +25,7 @@ from repro.core.constraints import (
 )
 from repro.exceptions import WorkloadError
 from repro.indexes.index import Index
+from repro.reliability import FaultPlan
 from repro.server import TuningClient, TuningServer, TuningServerError
 from repro.workload import parse_workload
 
@@ -321,11 +322,81 @@ class TestErrorEnvelopes:
         assert "non-negative" in envelope["error"]["message"]
 
     def test_connection_error_is_typed(self):
-        client = TuningClient("http://127.0.0.1:9", timeout=2)
-        with pytest.raises(TuningServerError) as info:
+        from repro.server.protocol import TuningServerUnavailable
+
+        # retry_policy=None: surface the first failure; an empty FaultPlan
+        # masks any ambient REPRO_FAULT_PLAN (this test wants the real
+        # socket error, not an injected one).
+        client = TuningClient("http://127.0.0.1:9", timeout=2,
+                              retry_policy=None, fault_plan=FaultPlan())
+        with pytest.raises(TuningServerUnavailable) as info:
             client.health()
-        assert info.value.error_type == "ConnectionError"
+        assert info.value.error_type == "ServerUnavailable"
         assert info.value.status == 0
+        # Still catchable as the generic server error (subclass contract).
+        assert isinstance(info.value, TuningServerError)
+
+    def test_truncated_body_is_a_400_envelope(self):
+        """A client that dies mid-upload gets MalformedJSON, not a reset."""
+        import socket
+
+        with TuningServer() as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10) as conn:
+                conn.sendall(
+                    b"POST /v1/tune HTTP/1.1\r\n"
+                    b"Host: test\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 1000\r\n\r\n"
+                    b'{"wire_version": 2, "truncat')
+                conn.shutdown(socket.SHUT_WR)  # body ends 972 bytes early
+                response = b""
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    response += chunk
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        envelope = json.loads(body)
+        assert envelope["error"]["type"] == "MalformedJSON"
+
+    def test_oversized_body_is_rejected_with_413(self):
+        from repro.server.app import MAX_BODY_BYTES
+
+        with TuningServer() as server:
+            request = urllib.request.Request(
+                f"{server.url}/v1/tune", data=b"{}",
+                headers={"Content-Type": "application/json",
+                         "Content-Length": str(MAX_BODY_BYTES + 1)},
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=10)
+            assert info.value.code == 413
+            envelope = json.loads(info.value.read())
+            assert envelope["error"]["type"] == "PayloadTooLarge"
+
+    def test_garbage_bytes_with_valid_length_are_400(self):
+        with TuningServer() as server:
+            request = urllib.request.Request(
+                f"{server.url}/v1/tune", data=b"\x00\xff\xfe not json at all",
+                headers={"Content-Type": "application/json"}, method="POST")
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=10)
+            assert info.value.code == 400
+            envelope = json.loads(info.value.read())
+            assert envelope["error"]["type"] == "MalformedJSON"
+
+    def test_unencodable_handler_payload_is_a_500_envelope(self):
+        """A handler returning non-JSON data still yields an envelope."""
+        with TuningServer() as server:
+            server.handle_health = (  # type: ignore[method-assign]
+                lambda: {"bad": {1, 2}})  # sets are not JSON-encodable
+            with pytest.raises(TuningServerError) as info:
+                TuningClient(server.url, retry_policy=None,
+                             fault_plan=FaultPlan()).health()
+        assert info.value.status == 500
+        assert info.value.error_type == "ResponseEncodingError"
+        assert "encoding failed" in str(info.value)
 
 
 class TestHealthAndStats:
