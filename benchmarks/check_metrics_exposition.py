@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Validate a ``/v1/metrics`` scrape as Prometheus text exposition.
+
+Two modes:
+
+* default — read an exposition document from stdin (or ``--file``) and
+  validate it;
+* ``--live`` — start an in-process :class:`TuningServer` on an ephemeral
+  port, serve one small tuning request through the HTTP client, scrape
+  ``GET /v1/metrics`` over real HTTP, and validate the response: content
+  type, text grammar, and the presence of the request/solver/cache/HTTP
+  series the dashboard relies on.
+
+CI runs the ``--live`` mode in the server-smoke lane, so a malformed
+exposition (or a silently vanished series) fails the build rather than the
+first scrape in production.
+
+Usage::
+
+    python benchmarks/check_metrics_exposition.py --live
+    curl -s $SERVER/v1/metrics | python benchmarks/check_metrics_exposition.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: ``name{labels} value`` — the sample-line grammar we emit (no timestamps).
+SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' (?P<value>-?[0-9.e+-]+|[+-]Inf|NaN)$')
+
+#: Series the tuning dashboard depends on; each must appear in a live scrape
+#: after one served request (as a sample, not just a declared family).
+REQUIRED_LIVE_SERIES = (
+    "repro_requests_total",
+    "repro_request_seconds_count",
+    "repro_solver_solves_total",
+    "repro_cache_events_total",
+    "repro_http_requests_total",
+    "repro_http_request_seconds_count",
+)
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Grammar problems in an exposition document (empty = valid)."""
+    problems: list[str] = []
+    if not text.endswith("\n"):
+        problems.append("document must end with a newline")
+    typed: dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append(f"line {number}: truncated comment: {line!r}")
+            elif parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    problems.append(
+                        f"line {number}: unknown metric type {parts[3]!r}")
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {number}: malformed comment: {line!r}")
+            continue
+        match = SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(
+                f"line {number}: sample {name!r} has no # TYPE header")
+    return problems
+
+
+def scrape_live() -> tuple[str, str]:
+    """Serve one request through a live server; return (content_type, body)."""
+    import time
+    from urllib.request import urlopen
+
+    from repro.api import TuningRequest
+    from repro.catalog.tpch import tpch_schema
+    from repro.core.constraints import StorageBudgetConstraint
+    from repro.server.app import TuningServer
+    from repro.server.client import TuningClient
+    from repro.workload.generators import generate_homogeneous_workload
+
+    schema = tpch_schema(scale_factor=0.01)
+    workload = generate_homogeneous_workload(8, seed=7)
+    request = TuningRequest(
+        workload=workload, schema=schema,
+        constraints=[StorageBudgetConstraint.from_fraction_of_data(
+            schema, 1.0)])
+    with TuningServer(namespace_statements=True) as server:
+        TuningClient(server.url).tune(request)
+        # The tune handler records its HTTP counters *after* writing the
+        # response body, so give that finally-block a moment to land.
+        for _ in range(50):
+            with urlopen(server.url + "/v1/metrics") as response:
+                content_type = response.headers["Content-Type"]
+                text = response.read().decode("utf-8")
+            if "repro_http_requests_total{" in text:
+                break
+            time.sleep(0.1)
+        return content_type, text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--live", action="store_true",
+                        help="start an in-process server, tune once, scrape "
+                             "/v1/metrics over HTTP and validate it")
+    parser.add_argument("--file", type=Path, default=None,
+                        help="read the exposition from a file instead of "
+                             "stdin")
+    args = parser.parse_args(argv)
+
+    required: tuple[str, ...] = ()
+    if args.live:
+        from repro.obs.metrics import METRICS_CONTENT_TYPE
+
+        content_type, text = scrape_live()
+        if content_type != METRICS_CONTENT_TYPE:
+            print(f"FAIL bad content type: {content_type!r}")
+            return 1
+        required = REQUIRED_LIVE_SERIES
+    elif args.file is not None:
+        text = args.file.read_text(encoding="utf-8")
+    else:
+        text = sys.stdin.read()
+
+    problems = validate_exposition(text)
+    sample_lines = [line for line in text.splitlines()
+                    if line and not line.startswith("#")]
+    for series in required:
+        if not any(line.startswith(series) for line in sample_lines):
+            problems.append(f"required series {series!r} has no samples")
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    print(f"Exposition OK: {len(sample_lines)} sample(s), "
+          f"{sum(1 for line in text.splitlines() if line.startswith('# TYPE'))} "
+          f"family(ies).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Guard: the observability layer must be (nearly) free.
+
+The PR-8 contract: tracing spans plus the metrics registry add at most 5%
+end-to-end latency to a 200-statement tuning request.  Spans cost one
+contextvar read when no tracer is active and a dict append when one is;
+metrics are recorded per *stage* (never per node / per cost lookup), so the
+solve itself dominates either way.
+
+Both modes run through fully warmed schema contexts (separate tuners, same
+request) and are timed best-of-``ROUNDS`` to shed scheduler noise; the
+traced/untraced ratio lands in ``BENCH_inum.json`` as
+``overhead_cost_ratio`` so the CI trajectory gate catches erosion.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Tuner, TuningRequest
+from repro.workload.generators import generate_homogeneous_workload
+
+from benchmarks.conftest import SEED, make_schema, print_report, storage_budget
+
+STATEMENTS = 200
+#: The tentpole bound: observability may cost at most 5% end to end.
+TARGET_OVERHEAD = 1.05
+ROUNDS = 3
+
+
+def _best_tune_seconds(tuner: Tuner, request: TuningRequest,
+                       rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        tuner.tune(request)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_observability_overhead_is_bounded(bench_record):
+    schema = make_schema()
+    workload = generate_homogeneous_workload(STATEMENTS, seed=SEED)
+    request = TuningRequest(workload=workload, schema=schema,
+                            constraints=[storage_budget(schema)])
+
+    traced, untraced = Tuner(tracing=True), Tuner(tracing=False)
+    # Warm both tuners' schema contexts (what-if scans, INUM templates,
+    # gamma matrices) so the timed runs isolate pipeline + solve.
+    traced.tune(request)
+    untraced.tune(request)
+
+    traced_s = _best_tune_seconds(traced, request)
+    untraced_s = _best_tune_seconds(untraced, request)
+    ratio = traced_s / untraced_s
+
+    print_report(
+        "Observability overhead (tracing + metrics vs off)",
+        f"statements={STATEMENTS}  untraced={untraced_s * 1000:.1f} ms  "
+        f"traced={traced_s * 1000:.1f} ms  ratio={ratio:.3f}  "
+        f"(target <= {TARGET_OVERHEAD})")
+    bench_record("observability_overhead",
+                 statements=STATEMENTS,
+                 untraced_ms=round(untraced_s * 1000, 2),
+                 traced_ms=round(traced_s * 1000, 2),
+                 overhead_cost_ratio=round(ratio, 4),
+                 overhead_budget=TARGET_OVERHEAD)
+
+    assert ratio <= TARGET_OVERHEAD, (
+        f"tracing+metrics cost {ratio:.3f}x the untraced pipeline "
+        f"(budget {TARGET_OVERHEAD}x)")

@@ -25,6 +25,7 @@ the monolithic recommendation up to solver gap tolerance.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Sequence
 
@@ -44,6 +45,8 @@ from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
 from repro.lp.budget import SolveBudget
+from repro.obs.log import log_event
+from repro.obs.trace import adopt, span
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.scale.compress import compress_workload
 from repro.scale.executor import ShardExecutor
@@ -141,23 +144,26 @@ class ScaleOutAdvisor(Advisor):
 
         # 1. Compression: everything downstream sees representatives only.
         compress_started = time.perf_counter()
-        if self.compress:
-            if self.signature == "gamma":
-                # Gamma signatures read every statement's templates and heap
-                # gamma columns: batch-build them up front (across processes
-                # when configured) instead of one statement at a time inside
-                # the signature loop.
-                self.inum.build_workload(workload,
-                                         build_processes=self.build_processes)
-            compressed = compress_workload(
-                workload, signature=self.signature,
-                max_cost_error=self.max_cost_error,
-                inum=self.inum if self.signature == "gamma" else None)
-            tuned = compressed.workload
-            extras["compression"] = compressed.summary()
-        else:
-            compressed = None
-            tuned = workload
+        with span("compress", enabled=self.compress,
+                  statements=len(workload)) as compress_span:
+            if self.compress:
+                if self.signature == "gamma":
+                    # Gamma signatures read every statement's templates and
+                    # heap gamma columns: batch-build them up front (across
+                    # processes when configured) instead of one statement at
+                    # a time inside the signature loop.
+                    self.inum.build_workload(
+                        workload, build_processes=self.build_processes)
+                compressed = compress_workload(
+                    workload, signature=self.signature,
+                    max_cost_error=self.max_cost_error,
+                    inum=self.inum if self.signature == "gamma" else None)
+                tuned = compressed.workload
+                extras["compression"] = compressed.summary()
+                compress_span.set(representatives=len(tuned))
+            else:
+                compressed = None
+                tuned = workload
         timings["compress"] = time.perf_counter() - compress_started
 
         if candidates is None:
@@ -205,11 +211,13 @@ class ScaleOutAdvisor(Advisor):
 
         # 2. Partitioning along the interaction graph + budget water-filling.
         partition_started = time.perf_counter()
-        plan = partition_workload(tuned, candidates,
-                                  shard_count=self.shard_count)
-        storage_budget = self._storage_budget(hard)
-        plan = split_budget(plan, candidates, storage_budget,
-                            oversubscription=self.budget_oversubscription)
+        with span("partition", candidates=len(candidates)) as partition_span:
+            plan = partition_workload(tuned, candidates,
+                                      shard_count=self.shard_count)
+            storage_budget = self._storage_budget(hard)
+            plan = split_budget(plan, candidates, storage_budget,
+                                oversubscription=self.budget_oversubscription)
+            partition_span.set(shards=plan.shard_count)
         timings["partition"] = time.perf_counter() - partition_started
         extras["partition"] = plan.summary()
 
@@ -230,9 +238,17 @@ class ScaleOutAdvisor(Advisor):
             shard_time_limit = budget.shard_slice_seconds(
                 plan.shard_count,
                 workers=executor.effective_workers(plan.shard_count))
-        results = executor.solve_shards(plan, self.schema, inum=self.inum,
-                                        shard_time_limit=shard_time_limit,
-                                        budget=budget)
+        with span("solve", shards=plan.shard_count,
+                  workers=executor.effective_workers(plan.shard_count)):
+            results = executor.solve_shards(plan, self.schema,
+                                            inum=self.inum,
+                                            shard_time_limit=shard_time_limit,
+                                            budget=budget)
+            # Pool shards solved under their own worker-side tracers; graft
+            # each exported tree here so the request trace stays one tree
+            # (inline shards already nested themselves under this span).
+            for result in results:
+                adopt(result.trace)
         timings["solve"] = time.perf_counter() - solve_started
         extras["shard_workers"] = executor.effective_workers(plan.shard_count)
         extras["shards"] = [
@@ -263,20 +279,27 @@ class ScaleOutAdvisor(Advisor):
                 "failures": {result.position: result.failure
                              for result in lost},
             }
+        if lost:
+            log_event(logging.WARNING, "scaleout_degraded",
+                      failed_shards=[result.position for result in lost],
+                      surviving_shards=len(survivors))
 
         # 4. Merge BIP over the union of winners under the global constraints
         #    (running on whatever wall clock the budget has left).
         merge_started = time.perf_counter()
         winners = self._union_of_winners(survivors)
         merge_timed_out = False
-        if winners:
-            configuration, objective, gap, gap_trace, merge_stats, \
-                merge_timed_out = self._merge(tuned, winners, hard,
-                                              budget=budget)
-        else:
-            configuration = Configuration(name="scaleout-recommendation")
-            objective = self.inum.workload_cost(tuned, configuration)
-            gap, gap_trace, merge_stats = 0.0, (), {}
+        with span("merge", winners=len(winners)) as merge_span:
+            if winners:
+                configuration, objective, gap, gap_trace, merge_stats, \
+                    merge_timed_out = self._merge(tuned, winners, hard,
+                                                  budget=budget)
+            else:
+                configuration = Configuration(name="scaleout-recommendation")
+                objective = self.inum.workload_cost(tuned, configuration)
+                gap, gap_trace, merge_stats = 0.0, (), {}
+            merge_span.set(indexes=len(configuration),
+                           timed_out=merge_timed_out)
         timings["merge"] = time.perf_counter() - merge_started
         extras["merge"] = merge_stats
         timings["total"] = time.perf_counter() - started

@@ -38,7 +38,9 @@ _TIMING_KEYS = frozenset({
 #: recommendation itself; stripped by the fingerprint alongside the timings.
 #: ``degraded`` is deliberately NOT here: a degraded result is semantically
 #: different from a complete one and must not fingerprint-match it.
-_VOLATILE_KEYS = frozenset({"retries", "faults_survived"})
+#: ``trace`` is: span trees are pure timing observation, so a result must
+#: fingerprint identically with tracing on or off.
+_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace"})
 
 
 def index_to_payload(index: Index) -> dict[str, Any]:
@@ -150,7 +152,9 @@ class TuningResult:
     diagnostics: TuningDiagnostics
     provenance: dict[str, Any]
     #: Advisor-specific live extras (Pareto points, the BIP, solve reports…).
-    #: Programmatic-access only: never serialized, empty after ``from_json``.
+    #: Programmatic-access only and not serialized — except ``"trace"``, the
+    #: exported span tree, which rides the payload so remote callers see the
+    #: server-side trace; everything else is empty after ``from_json``.
     extras: dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ---------------------------------------------------------------- accessors
@@ -187,11 +191,13 @@ class TuningResult:
                             provenance: Mapping[str, Any],
                             statement_costs: Sequence[StatementCost] = (),
                             facade_timings: Mapping[str, float] | None = None,
+                            trace: Mapping[str, Any] | None = None,
                             ) -> "TuningResult":
         """Normalise a legacy :class:`Recommendation` into a result.
 
         Node/iteration counts are lifted from the solve report when the
-        advisor recorded one in its extras.
+        advisor recorded one in its extras.  ``trace`` (an exported span
+        tree) lands in ``extras["trace"]`` and travels with the payload.
         """
         nodes = iterations = 0
         report = recommendation.extras.get("solve_report")
@@ -216,6 +222,9 @@ class TuningResult:
             retries=recommendation.retries,
             faults_survived=recommendation.faults_survived,
         )
+        extras = dict(recommendation.extras)
+        if trace is not None:
+            extras["trace"] = dict(trace)
         return cls(
             configuration=recommendation.configuration,
             advisor_name=recommendation.advisor_name,
@@ -223,13 +232,13 @@ class TuningResult:
             statement_costs=tuple(statement_costs),
             diagnostics=diagnostics,
             provenance=dict(provenance),
-            extras=dict(recommendation.extras),
+            extras=extras,
         )
 
     # ------------------------------------------------------------ serialization
     def to_payload(self) -> dict[str, Any]:
         """The JSON-representable payload (everything except live extras)."""
-        return {
+        payload = {
             "version": RESULT_PAYLOAD_VERSION,
             "advisor": self.advisor_name,
             "objective_estimate": self.objective_estimate,
@@ -243,6 +252,10 @@ class TuningResult:
             "diagnostics": self.diagnostics.to_payload(),
             "provenance": self.provenance,
         }
+        trace = self.extras.get("trace")
+        if trace is not None:
+            payload["trace"] = trace
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialize the payload (Python's JSON ``NaN``/``Infinity`` allowed)."""
@@ -262,6 +275,9 @@ class TuningResult:
             (index_from_payload(entry)
              for entry in payload["configuration"]["indexes"]),
             name=payload["configuration"].get("name", ""))
+        extras: dict[str, Any] = {}
+        if payload.get("trace") is not None:
+            extras["trace"] = dict(payload["trace"])
         return cls(
             configuration=configuration,
             advisor_name=payload["advisor"],
@@ -270,6 +286,7 @@ class TuningResult:
                                   for entry in payload["statement_costs"]),
             diagnostics=TuningDiagnostics.from_payload(payload["diagnostics"]),
             provenance=dict(payload["provenance"]),
+            extras=extras,
         )
 
     @classmethod

@@ -23,6 +23,7 @@ the context lock around every call, and normalises every outcome into a
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
@@ -134,14 +135,32 @@ class TuningService:
         self._max_pending = max_pending
         self.retry_after_s = retry_after_s
         self._executor: ThreadPoolExecutor | None = None
+        #: Admission control still runs on a plain int under its own lock
+        #: (the compare-and-increment must be atomic); every *monotonic*
+        #: serving counter lives in the tuner's metrics registry, so one
+        #: ``snapshot()`` reads them all consistently and ``/v1/metrics``
+        #: exposes them for free.
         self._stats_lock = threading.Lock()
-        self._requests_served = 0
-        self._namespaced_requests = 0
-        self._sessions_reaped = 0
         self._pending = 0
-        self._rejected_overload = 0
-        self._retries = 0
-        self._degraded_results = 0
+        metrics = self._tuner.metrics
+        self._namespaced_metric = metrics.counter(
+            "repro_namespaced_requests_total",
+            "Requests whose statements were auto-namespaced")
+        self._reaped_metric = metrics.counter(
+            "repro_sessions_reaped_total",
+            "Interactive sessions reaped by idle TTL")
+        self._rejected_metric = metrics.counter(
+            "repro_overload_rejected_total",
+            "Requests rejected by admission control (429)")
+        self._retries_metric = metrics.counter(
+            "repro_result_retries_total",
+            "Reliability-layer retries reported by served results")
+        self._degraded_metric = metrics.counter(
+            "repro_degraded_total",
+            "Served results flagged degraded (lost shards)")
+        self._pending_metric = metrics.gauge(
+            "repro_pending_requests",
+            "Requests admitted but not yet finished")
         #: Set on pool threads whose request already holds a pending slot
         #: (acquired at submit() time), so tune() does not acquire a second.
         self._slot_held = threading.local()
@@ -181,12 +200,13 @@ class TuningService:
         with self._stats_lock:
             limit = self._max_pending
             if limit is not None and self._pending >= limit:
-                self._rejected_overload += 1
                 retry_after = self.retry_after_s
                 pending = self._pending
             else:
                 self._pending += 1
+                self._pending_metric.set(float(self._pending))
                 return
+        self._rejected_metric.inc()
         raise ServerOverloaded(
             f"Tuning service pending-work queue is full "
             f"({pending} in flight, max_pending={limit}); "
@@ -195,6 +215,7 @@ class TuningService:
     def _release_slot(self) -> None:
         with self._stats_lock:
             self._pending -= 1
+            self._pending_metric.set(float(self._pending))
 
     def note_sessions_reaped(self, count: int) -> None:
         """Record idle sessions reaped by a front-end (e.g. the HTTP server).
@@ -206,36 +227,46 @@ class TuningService:
         """
         if count <= 0:
             return
-        with self._stats_lock:
-            self._sessions_reaped += count
+        self._reaped_metric.inc(float(count))
 
     def stats(self) -> dict[str, Any]:
         """Machine-readable service counters (the ``/v1/stats`` payload).
+
+        All monotonic counters come out of ONE registry ``snapshot()`` —
+        a single lock acquisition — so a poll racing concurrent
+        ``tune_many`` traffic sees a consistent set: no counter in the
+        payload can come from a later instant than another.
 
         ``faults_injected`` counts plan firings observed *in this process*;
         worker-side injections are counted by the worker's plan copy and
         surface here as part of ``retries`` / ``degraded_results`` instead.
         """
-        with self._stats_lock:
-            served = self._requests_served
-            namespaced = self._namespaced_requests
-            reaped = self._sessions_reaped
-            pending = self._pending
-            rejected = self._rejected_overload
-            retries = self._retries
-            degraded = self._degraded_results
+        snap = self._tuner.metrics.snapshot()
+
+        def total(name: str) -> float:
+            return sum(snap.get(name, {}).values())
+
+        # requests_served keeps its legacy meaning: requests that returned a
+        # result (the facade also counts errored requests, under
+        # status="error").
+        served = sum(value
+                     for key, value in snap.get("repro_requests_total",
+                                                {}).items()
+                     if key[2] != "error")
+        pending = snap.get("repro_pending_requests", {}).get((), 0.0)
         plan = self._tuner.effective_fault_plan()
         return {
             **self._tuner.context_stats(),
             "namespace_statements": self._namespace_statements,
-            "requests_served": served,
-            "namespaced_requests": namespaced,
-            "sessions_reaped": reaped,
-            "pending": pending,
+            "requests_served": int(served),
+            "namespaced_requests": int(
+                total("repro_namespaced_requests_total")),
+            "sessions_reaped": int(total("repro_sessions_reaped_total")),
+            "pending": int(pending),
             "max_pending": self._max_pending,
-            "rejected_overload": rejected,
-            "retries": retries,
-            "degraded_results": degraded,
+            "rejected_overload": int(total("repro_overload_rejected_total")),
+            "retries": int(total("repro_result_retries_total")),
+            "degraded_results": int(total("repro_degraded_total")),
             "faults_injected": 0 if plan is None else plan.injected_total,
         }
 
@@ -262,12 +293,16 @@ class TuningService:
             request, renames = self._admitted(request, context)
             result = tune_in_context(
                 request, context, namespaced=bool(renames),
-                fault_plan=self._tuner.effective_fault_plan())
-        with self._stats_lock:
-            self._requests_served += 1
-            self._namespaced_requests += int(bool(renames))
-            self._retries += result.diagnostics.retries
-            self._degraded_results += int(result.diagnostics.degraded)
+                fault_plan=self._tuner.effective_fault_plan(),
+                tracing=self._tuner.tracing, metrics=self._tuner.metrics)
+        # The per-request family (repro_requests_total) was recorded inside
+        # tune_in_context; only the service-level views remain.
+        if renames:
+            self._namespaced_metric.inc()
+        if result.diagnostics.retries:
+            self._retries_metric.inc(float(result.diagnostics.retries))
+        if result.diagnostics.degraded:
+            self._degraded_metric.inc()
         return result
 
     def _admitted(self, request: TuningRequest, context: SchemaContext
@@ -306,8 +341,12 @@ class TuningService:
             finally:
                 self._slot_held.held = False
 
+        # Pool threads do not inherit contextvars from the submitting
+        # thread; copying the context here carries a caller's pending trace
+        # id (trace_context / the HTTP request scope) into the solve.
+        ctx = contextvars.copy_context()
         try:
-            future = self._ensure_executor().submit(run_admitted)
+            future = self._ensure_executor().submit(ctx.run, run_admitted)
         except BaseException:
             self._release_slot()
             raise

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -30,6 +31,13 @@ from repro.catalog.schema import Schema
 from repro.exceptions import WorkloadError
 from repro.indexes.candidate_generation import CandidateGenerator, CandidateSet
 from repro.inum.cache import InumCache
+from repro.obs.log import log_event
+from repro.obs.metrics import (
+    MetricsRegistry,
+    declare_standard_metrics,
+    use_registry,
+)
+from repro.obs.trace import Tracer, activate, span
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
 from repro.workload.workload import Workload, WorkloadStatement
@@ -135,12 +143,19 @@ class SchemaContext:
                 statements' templates (wrong costs, or a shape crash deep in
                 the tensor), so the collision is rejected loudly at admission.
         """
+        from repro.obs.metrics import active_registry
+
+        events = active_registry().counter(
+            "repro_cache_events_total",
+            "Hits and misses of the tuning-stack caches", ("cache", "event"))
         key = workload_fingerprint(workload)
         with self.lock:
             known = self._workloads.get(key)
             if known is not None:
                 self._workloads.move_to_end(key)
+                events.inc(cache="canonical_workload", event="hit")
                 return known
+            events.inc(cache="canonical_workload", event="miss")
             self._admit(workload)
             if len(self._workloads) >= WORKLOAD_LRU_LIMIT:
                 self._workloads.popitem(last=False)
@@ -248,11 +263,20 @@ class Tuner:
             (:class:`~repro.reliability.faults.FaultPlan`) consulted by the
             pipeline's ``solver`` fault site; ``None`` defers to the
             process-wide armed plan / ``REPRO_FAULT_PLAN`` env var.
+        tracing: Record a span tree per request and export it in
+            ``TuningResult.extras["trace"]`` (on by default; spans are
+            timing-only, so fingerprints are identical either way —
+            asserted in the tests).
+        metrics: The :class:`~repro.obs.metrics.MetricsRegistry` this
+            tuner's pipelines record into (activated ambiently around each
+            request); a fresh registry with the standard families declared
+            is created when omitted.
     """
 
     def __init__(self, max_contexts: int | None = None,
                  context_ttl_s: float | None = None,
-                 fault_plan=None) -> None:
+                 fault_plan=None, tracing: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
         if max_contexts is not None and max_contexts < 1:
             raise ValueError("max_contexts must be positive (or None)")
         if context_ttl_s is not None and context_ttl_s <= 0:
@@ -260,6 +284,9 @@ class Tuner:
         self.max_contexts = max_contexts
         self.context_ttl_s = context_ttl_s
         self.fault_plan = fault_plan
+        self.tracing = bool(tracing)
+        self.metrics = (metrics if metrics is not None
+                        else declare_standard_metrics(MetricsRegistry()))
         self._contexts: OrderedDict[tuple[int, CostingSpec], SchemaContext] = \
             OrderedDict()
         self._last_used: dict[tuple[int, CostingSpec], float] = {}
@@ -348,13 +375,15 @@ class Tuner:
         """Run one declarative tuning request end to end."""
         context = self.context_for(request.schema, request.costing)
         return tune_in_context(request, context,
-                               fault_plan=self.effective_fault_plan())
+                               fault_plan=self.effective_fault_plan(),
+                               tracing=self.tracing, metrics=self.metrics)
 
 
 # ----------------------------------------------------------------- pipeline
 def tune_in_context(request: TuningRequest, context: SchemaContext, *,
                     namespaced: bool = False,
-                    fault_plan=None) -> TuningResult:
+                    fault_plan=None, tracing: bool = True,
+                    metrics: MetricsRegistry | None = None) -> TuningResult:
     """The resolved pipeline: advisor from registry, shared wiring, result.
 
     Factored out of :class:`Tuner` so the service can run it under its own
@@ -366,82 +395,148 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     plan is then armed process-wide for the duration of the solve, which is
     how it reaches the downstream fault sites (shard executors, matrix
     builds) without every advisor growing a ``fault_plan`` parameter.
+
+    Observability rides the same ambient pattern: ``tracing`` opens the
+    root ``tune`` span on a fresh :class:`~repro.obs.trace.Tracer`
+    (inheriting a pending trace id planted by the HTTP server or
+    :func:`~repro.obs.trace.trace_context`) and activates it for the
+    duration, so advisor/solver/executor spans nest under it without
+    parameters; ``metrics`` is activated the same way.  Request latency and
+    status are recorded even when the pipeline raises, the facade's
+    ``total`` timing is finalized in a ``finally``, and a failed request's
+    partial trace is exported to the structured log.
     """
+    from repro.obs.metrics import active_registry
     from repro.reliability.faults import armed, maybe_check
 
     started = time.perf_counter()
     facade_timings: dict[str, float] = {}
     spec = request.resolved_advisor()
     options = request.resolved_options()
-    # Anchor the anytime deadline here so facade work (candidate resolution,
-    # cache preparation) spends the same budget the advisor sees.
-    budget = spec.solve_budget()
-    if budget is not None:
-        budget.start()
-    maybe_check(fault_plan, "solver", key=canonical_name(spec.name))
+    advisor_name = canonical_name(spec.name)
+    tracer = Tracer() if tracing else None
+    registry = metrics if metrics is not None else active_registry()
+    status, tier = "error", "none"
+    try:
+        with contextlib.ExitStack() as scope:
+            scope.enter_context(use_registry(registry))
+            root = None
+            if tracer is not None:
+                scope.enter_context(activate(tracer))
+                root = scope.enter_context(tracer.span(
+                    "tune", advisor=advisor_name,
+                    request_id=request.request_id,
+                    schema=request.schema.name,
+                    statements=len(request.workload)))
 
-    workload = context.canonical_workload(request.workload)
-    candidates = _resolve_candidates(request, context, workload)
+            # Anchor the anytime deadline here so facade work (candidate
+            # resolution, cache preparation) spends the same budget the
+            # advisor sees.
+            budget = spec.solve_budget()
+            if budget is not None:
+                budget.start()
+            maybe_check(fault_plan, "solver", key=advisor_name)
 
-    advisor = make_advisor(spec.name, request.schema,
-                           shared_optimizer=context.optimizer,
-                           shared_inum=context.inum, **options)
+            workload = context.canonical_workload(request.workload)
+            candidates = _resolve_candidates(request, context, workload)
 
-    # Request-scoped candidate registration: when the request names its
-    # candidate universe, the shared cache registers the columns before the
-    # advisor runs (idempotent + incremental — repeated requests only append
-    # genuinely new columns).
-    prepared = False
-    shares_cache = getattr(advisor, "inum", None) is context.inum
-    if candidates is not None and shares_cache:
-        prepare_started = time.perf_counter()
-        context.inum.prepare(workload, candidates)
-        facade_timings["prepare"] = time.perf_counter() - prepare_started
-        prepared = True
+            advisor = make_advisor(spec.name, request.schema,
+                                   shared_optimizer=context.optimizer,
+                                   shared_inum=context.inum, **options)
 
-    plan_guard = (armed(fault_plan) if fault_plan is not None
-                  else contextlib.nullcontext())
-    with plan_guard:
-        if budget is None:
-            # Budget-less requests take the exact legacy call — custom
-            # advisors registered with a pre-anytime tune() signature keep
-            # working.
-            recommendation = advisor.tune(workload, request.constraints,
-                                          candidates=candidates)
-        else:
-            recommendation = advisor.tune(workload, request.constraints,
-                                          candidates=candidates,
-                                          budget=budget)
+            # Request-scoped candidate registration: when the request names
+            # its candidate universe, the shared cache registers the columns
+            # before the advisor runs (idempotent + incremental — repeated
+            # requests only append genuinely new columns).
+            prepared = False
+            shares_cache = getattr(advisor, "inum", None) is context.inum
+            if candidates is not None and shares_cache:
+                prepare_started = time.perf_counter()
+                with span("prepare", candidates=len(candidates)):
+                    context.inum.prepare(workload, candidates)
+                facade_timings["prepare"] = \
+                    time.perf_counter() - prepare_started
+                prepared = True
 
-    evaluate = request.per_statement_costs
-    if evaluate is None:
-        # Default: evaluate only advisors already wired to the context's
-        # gamma-matrix cache — the tensors exist, one reduction is free.
-        # The black-box baselines (dta/relaxation without use_shared_inum)
-        # would pay a full INUM build they deliberately avoided, and
-        # scale-out exists to never cost the full workload monolithically.
-        evaluate = (shares_cache and context.inum.uses_gamma_matrix
-                    and canonical_name(spec.name) != "scaleout")
-    # An explicit True always evaluates: InumCache.statement_costs answers
-    # from the per-statement loop when gamma matrices are disabled.
-    statement_costs: tuple[StatementCost, ...] = ()
-    if evaluate:
-        evaluate_started = time.perf_counter()
-        costs = context.inum.statement_costs(workload,
-                                             recommendation.configuration)
-        statement_costs = tuple(
-            StatementCost(statement=statement.query.name,
-                          weight=statement.weight, cost=float(cost))
-            for statement, cost in zip(workload, costs))
-        facade_timings["evaluate"] = time.perf_counter() - evaluate_started
+            plan_guard = (armed(fault_plan) if fault_plan is not None
+                          else contextlib.nullcontext())
+            with plan_guard:
+                if budget is None:
+                    # Budget-less requests take the exact legacy call —
+                    # custom advisors registered with a pre-anytime tune()
+                    # signature keep working.
+                    recommendation = advisor.tune(workload,
+                                                  request.constraints,
+                                                  candidates=candidates)
+                else:
+                    recommendation = advisor.tune(workload,
+                                                  request.constraints,
+                                                  candidates=candidates,
+                                                  budget=budget)
+            tier = recommendation.solve_tier
 
-    facade_timings["total"] = time.perf_counter() - started
+            evaluate = request.per_statement_costs
+            if evaluate is None:
+                # Default: evaluate only advisors already wired to the
+                # context's gamma-matrix cache — the tensors exist, one
+                # reduction is free.  The black-box baselines
+                # (dta/relaxation without use_shared_inum) would pay a full
+                # INUM build they deliberately avoided, and scale-out exists
+                # to never cost the full workload monolithically.
+                evaluate = (shares_cache and context.inum.uses_gamma_matrix
+                            and advisor_name != "scaleout")
+            # An explicit True always evaluates: InumCache.statement_costs
+            # answers from the per-statement loop when gamma matrices are
+            # disabled.
+            statement_costs: tuple[StatementCost, ...] = ()
+            if evaluate:
+                evaluate_started = time.perf_counter()
+                with span("evaluate", statements=len(workload)):
+                    costs = context.inum.statement_costs(
+                        workload, recommendation.configuration)
+                statement_costs = tuple(
+                    StatementCost(statement=statement.query.name,
+                                  weight=statement.weight, cost=float(cost))
+                    for statement, cost in zip(workload, costs))
+                facade_timings["evaluate"] = \
+                    time.perf_counter() - evaluate_started
+
+            if root is not None:
+                root.set(tier=tier,
+                         whatif_calls=recommendation.whatif_calls,
+                         indexes=len(recommendation.configuration),
+                         retries=recommendation.retries,
+                         faults_survived=recommendation.faults_survived,
+                         degraded=recommendation.degraded)
+            status = "degraded" if recommendation.degraded else "ok"
+    finally:
+        # The total facade timing must exist even when the pipeline raises
+        # mid-stage, so failed requests still report latency and export a
+        # (partial) trace instead of vanishing without a timing record.
+        facade_timings["total"] = time.perf_counter() - started
+        registry.counter(
+            "repro_requests_total",
+            "Tuning requests served through the facade",
+            ("advisor", "tier", "status")).inc(
+            advisor=advisor_name, tier=tier, status=status)
+        registry.histogram(
+            "repro_request_seconds",
+            "End-to-end facade latency per tuning request",
+            ("advisor",)).observe(facade_timings["total"],
+                                  advisor=advisor_name)
+        if status == "error" and tracer is not None:
+            log_event(logging.WARNING, "tune_failed",
+                      advisor=advisor_name, request_id=request.request_id,
+                      seconds=round(facade_timings["total"], 4),
+                      trace_id=tracer.trace_id, trace=tracer.export())
+
     provenance = _provenance(request, spec, options, advisor, workload,
                              candidates, prepared=prepared, evaluated=evaluate,
                              namespaced=namespaced)
     return TuningResult.from_recommendation(
         recommendation, provenance=provenance,
-        statement_costs=statement_costs, facade_timings=facade_timings)
+        statement_costs=statement_costs, facade_timings=facade_timings,
+        trace=tracer.export() if tracer is not None else None)
 
 
 def build_session_result(recommendation: Recommendation,

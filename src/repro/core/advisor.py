@@ -32,6 +32,7 @@ from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
 from repro.inum.cache import InumCache
 from repro.lp.budget import SolveBudget
+from repro.obs.trace import span
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.workload import Workload
@@ -145,14 +146,18 @@ class CoPhyAdvisor(Advisor):
 
         started = time.perf_counter()
         if candidates is None:
-            candidates = self.generate_candidates(workload, dba_indexes)
+            with span("candidates") as node:
+                candidates = self.generate_candidates(workload, dba_indexes)
+                node.set(candidates=len(candidates))
         timings["candidate_generation"] = time.perf_counter() - started
 
         whatif_before = self.optimizer.whatif_calls + self.inum.template_build_calls
         inum_started = time.perf_counter()
         # Template enumeration plus gamma-matrix materialization for the full
         # candidate set: BIP coefficient assembly then only reads arrays.
-        self.inum.prepare(workload, candidates)
+        with span("prepare", statements=len(workload),
+                  candidates=len(candidates)):
+            self.inum.prepare(workload, candidates)
         timings["inum"] = time.perf_counter() - inum_started
 
         def whatif_spent() -> int:
@@ -171,8 +176,11 @@ class CoPhyAdvisor(Advisor):
                     "or 'exact'")
             if blocker is None:
                 heuristic_started = time.perf_counter()
-                heuristic = greedy_knapsack(self.inum, workload, candidates,
-                                            hard, budget=budget)
+                with span("greedy") as node:
+                    heuristic = greedy_knapsack(self.inum, workload,
+                                                candidates, hard, budget=budget)
+                    node.set(picked=len(heuristic.configuration),
+                             gap=round(heuristic.gap, 6))
                 timings["heuristic"] = time.perf_counter() - heuristic_started
                 if tier == "heuristic" or budget.expired():
                     timings["total"] = time.perf_counter() - started
@@ -196,9 +204,17 @@ class CoPhyAdvisor(Advisor):
                         or unsupported_constraint(hard) is None)
         build_started = time.perf_counter()
         try:
-            bip = self.bip_builder.build(workload, candidates,
-                                         budget=budget if can_fallback
-                                         else None)
+            with span("bip_build") as node:
+                bip = self.bip_builder.build(workload, candidates,
+                                             budget=budget if can_fallback
+                                             else None)
+                # Aggregate scalars only: the ``::``-keyed statistics are
+                # per-coefficient (beta/gamma/ucost) and would bloat every
+                # exported trace by thousands of attributes.
+                node.set(**{key: value
+                            for key, value in bip.statistics.items()
+                            if isinstance(value, (int, float))
+                            and "::" not in key})
         except BuildInterrupted:
             timings["build"] = time.perf_counter() - build_started
             return self._deadline_fallback(workload, candidates, heuristic,
@@ -220,8 +236,10 @@ class CoPhyAdvisor(Advisor):
         if heuristic is not None:
             extras["heuristic"] = _heuristic_extras(heuristic)
         if soft:
-            explorer = ParetoExplorer(self.solver)
-            points = explorer.explore(bip, soft, hard_constraints=hard)
+            with span("solve", mode="pareto") as node:
+                explorer = ParetoExplorer(self.solver)
+                points = explorer.explore(bip, soft, hard_constraints=hard)
+                node.set(points=len(points))
             timings["solve"] = time.perf_counter() - solve_started
             best = max(points, key=lambda p: p.lambda_value)
             extras["pareto_points"] = points
@@ -239,8 +257,16 @@ class CoPhyAdvisor(Advisor):
             warm_start = (bip.warm_start_from(heuristic.configuration)
                           if heuristic is not None else None)
             try:
-                report = self.solver.solve(bip, hard_constraints=hard,
-                                           warm_start=warm_start, budget=budget)
+                with span("solve", warm_started=warm_start is not None) \
+                        as node:
+                    report = self.solver.solve(bip, hard_constraints=hard,
+                                               warm_start=warm_start,
+                                               budget=budget)
+                    solution = getattr(report, "solution", None)
+                    node.set(gap=round(report.gap, 6),
+                             timed_out=report.timed_out,
+                             nodes=int(getattr(solution, "nodes_explored",
+                                               0)))
             except SolverError:
                 if heuristic is None:
                     raise

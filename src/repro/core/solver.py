@@ -18,6 +18,7 @@ Responsibilities:
 from __future__ import annotations
 
 import enum
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -34,6 +35,7 @@ from repro.lp.highs_backend import MilpBackend
 from repro.lp.model import Model
 from repro.lp.solution import GapTracePoint, Solution, SolutionStatus
 from repro.lp.variable import Variable
+from repro.obs.metrics import GAP_BUCKETS, active_registry
 
 __all__ = ["SolverBackend", "SolveReport", "CoPhySolver"]
 
@@ -155,6 +157,20 @@ class CoPhySolver:
             backend = MilpBackend(gap_tolerance=effective_gap,
                                   time_limit_seconds=effective_limit)
             solution = backend.solve(model, budget=budget)
+            # The branch-and-bound backend records its own solve metrics
+            # (it also owns the nodes histogram); the MILP backend is
+            # instrumented here so repro_solver_solves_total counts every
+            # solve regardless of backend.
+            registry = active_registry()
+            registry.counter(
+                "repro_solver_solves_total",
+                "Solver runs by outcome status",
+                ("status",)).inc(status=solution.status.name.lower())
+            if math.isfinite(solution.gap):
+                registry.histogram(
+                    "repro_solver_gap",
+                    "Relative optimality gap per finished solve",
+                    buckets=GAP_BUCKETS).observe(float(solution.gap))
             if solution.status is SolutionStatus.INFEASIBLE:
                 self._rollback(bip, constraint_rows, relaxation_applied)
                 raise InfeasibleProblemError(

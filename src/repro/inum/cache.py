@@ -18,6 +18,7 @@ from repro.indexes.index import Index
 from repro.inum.gamma_matrix import QueryGammaMatrix, slot_gamma
 from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
 from repro.inum.workload_tensor import WorkloadGammaTensor
+from repro.obs.metrics import active_registry
 from repro.optimizer.plan import Plan, ScanNode
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.predicates import ColumnRef
@@ -34,6 +35,14 @@ _TENSOR_CACHE_LIMIT = 8
 #: processes so both sides always enumerate the same templates.
 DEFAULT_MAX_ORDERS_PER_TABLE = 2
 DEFAULT_MAX_TEMPLATES_PER_QUERY = 64
+
+
+def _cache_event(cache: str, event: str) -> None:
+    """Record one hit/miss of a cache into the active metrics registry."""
+    active_registry().counter(
+        "repro_cache_events_total",
+        "Hits and misses of the tuning-stack caches",
+        ("cache", "event")).inc(cache=cache, event=event)
 
 
 class InumCache:
@@ -152,7 +161,9 @@ class InumCache:
         shell = self._shell(query)
         cached = self._templates.get(shell.name)
         if cached is not None:
+            _cache_event("template", "hit")
             return cached
+        _cache_event("template", "miss")
         templates = self._enumerate_templates(shell)
         self._templates[shell.name] = templates
         self._queries[shell.name] = shell
@@ -317,7 +328,9 @@ class InumCache:
         if entry is not None and entry[0] is workload:
             # Promote on hit (the eviction below pops the least recent).
             self._tensors[key] = self._tensors.pop(key)
+            _cache_event("tensor", "hit")
             return entry[1]
+        _cache_event("tensor", "miss")
         self._build_statements(workload, (), None)
         entries = []
         for statement in workload:

@@ -31,6 +31,7 @@ from repro.lp.highs_backend import LinearRelaxationBackend
 from repro.lp.model import Model, ObjectiveSense
 from repro.lp.solution import GapTracePoint, Solution, SolutionStatus
 from repro.lp.variable import Variable, VariableKind
+from repro.obs.metrics import GAP_BUCKETS, NODES_BUCKETS, active_registry
 
 __all__ = ["BranchAndBoundSolver"]
 
@@ -101,6 +102,36 @@ class BranchAndBoundSolver:
                 best-so-far incumbent is returned with ``timed_out=True`` and
                 its closed-form gap against the tightest known bound.
         """
+        solution = self._solve(model, warm_start=warm_start,
+                               gap_tolerance=gap_tolerance,
+                               time_limit_seconds=time_limit_seconds,
+                               budget=budget)
+        # One metrics record per solve (never per node): outcome, search
+        # size and the achieved gap, into whichever registry the current
+        # request activated.
+        registry = active_registry()
+        registry.counter(
+            "repro_solver_solves_total",
+            "Branch-and-bound solves by outcome status",
+            ("status",)).inc(status=solution.status.name.lower())
+        registry.histogram(
+            "repro_solver_nodes",
+            "Nodes explored per branch-and-bound solve",
+            buckets=NODES_BUCKETS).observe(float(solution.nodes_explored))
+        if math.isfinite(solution.gap):
+            # Failed solves report an infinite gap; observing it would poison
+            # the histogram's _sum, so only finished solves land here.
+            registry.histogram(
+                "repro_solver_gap",
+                "Relative optimality gap per finished solve",
+                buckets=GAP_BUCKETS).observe(float(solution.gap))
+        return solution
+
+    def _solve(self, model: Model,
+               warm_start: Mapping[Variable, float] | None = None,
+               gap_tolerance: float | None = None,
+               time_limit_seconds: float | None = None,
+               budget: SolveBudget | None = None) -> Solution:
         started = time.perf_counter()
         effective_gap = (self.gap_tolerance if gap_tolerance is None
                          else max(0.0, gap_tolerance))

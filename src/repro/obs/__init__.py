@@ -1,0 +1,51 @@
+"""One observability layer for the whole tuning stack (PR 8).
+
+Three pillars, all stdlib-only and all ambient (no signature churn through
+the advisor/solver layers):
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing nested spans with
+  monotonic durations and attributes.  The active tracer travels via a
+  ``contextvars`` context variable, so deep layers call the module-level
+  :func:`~repro.obs.trace.span` helper and no-op (one contextvar read) when
+  nothing is recording.  A per-request ``trace_id`` propagates over the wire
+  in the ``X-Repro-Trace-Id`` header and into shard worker processes; the
+  finished span tree is exported in ``TuningResult.extras["trace"]`` and —
+  like timings — excluded from ``fingerprint()``.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labelled
+  counters, gauges and histograms with Prometheus text exposition
+  (``GET /v1/metrics``).  Each :class:`~repro.api.tuner.Tuner` owns one
+  registry; it is activated alongside the tracer so solver/cache/executor
+  layers record into the registry of whichever request is running.
+* :mod:`repro.obs.log` — structured JSON logging with trace-id correlation
+  and a ``REPRO_LOG_LEVEL`` / ``log_level=`` knob.  The silent
+  except-and-degrade paths of the scale executor and the HTTP server now
+  emit warnings through it, so degradations are never invisible.
+"""
+
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import log_event
+from repro.obs.metrics import MetricsRegistry, active_registry, use_registry
+from repro.obs.trace import (
+    Tracer,
+    activate,
+    adopt,
+    current_trace_id,
+    new_trace_id,
+    span,
+    trace_context,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "activate",
+    "active_registry",
+    "adopt",
+    "configure_logging",
+    "current_trace_id",
+    "log_event",
+    "new_trace_id",
+    "span",
+    "trace_context",
+    "use_registry",
+]

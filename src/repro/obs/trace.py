@@ -1,0 +1,270 @@
+"""Request tracing: nested spans with monotonic durations and attributes.
+
+One :class:`Tracer` records one request.  The facade
+(:func:`repro.api.tuner.tune_in_context`) creates it, activates it on a
+``contextvars`` context variable and opens the root ``tune`` span; every
+deeper layer — advisors, the branch-and-bound solver, the shard executor —
+calls the module-level :func:`span` helper, which nests under whatever span
+is currently open and costs a single contextvar read (returning the shared
+no-op span) when nothing is recording.  The layers therefore carry no
+tracer parameters, and code running outside a traced request stays exactly
+as fast as before.
+
+Trace identity and propagation:
+
+* every trace has a ``trace_id`` (a 32-hex-char random id unless supplied);
+* :func:`trace_context` plants a *pending* trace id that the next tracer
+  created on the same thread/context inherits — the HTTP server sets it
+  from the ``X-Repro-Trace-Id`` request header, and the client SDK sends
+  that header from the same pending id (or a fresh one), which is how one
+  id spans client → server → result;
+* shard jobs carry the trace id into worker processes
+  (:mod:`repro.scale.executor`); the worker builds its own tracer under the
+  same id, and the finished worker span tree is pickled back and grafted
+  into the parent trace with :func:`adopt`.
+
+The exported payload (:meth:`Tracer.export`) is plain JSON data::
+
+    {"trace_id": "…", "root": {"name": "tune", "duration_ms": 12.3,
+                               "attrs": {…}, "children": […]}}
+
+Durations are ``time.perf_counter`` deltas — monotonic, never wall-clock —
+so they are timing-like jitter and are stripped from result fingerprints
+along with the rest of the ``trace`` payload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import time
+import uuid
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer", "activate", "adopt", "current_span",
+           "current_tracer", "current_trace_id", "new_trace_id",
+           "pending_trace_id", "span", "trace_context"]
+
+#: The tracer recording the current request (None = tracing off).
+_ACTIVE: ContextVar["Tracer | None"] = ContextVar("repro_tracer",
+                                                  default=None)
+#: A trace id planted ahead of tracer creation (header/client propagation).
+_PENDING: ContextVar[str | None] = ContextVar("repro_pending_trace_id",
+                                              default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+class Span:
+    """One named, timed tree node of a trace.
+
+    ``attrs`` hold whatever the instrumented layer reports (node counts,
+    shard ids, retry attempts, …); :meth:`set` adds more after the span
+    opened — typically outcomes known only once the stage finished.
+    """
+
+    __slots__ = ("name", "attrs", "children", "_started", "duration_ms")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        #: Finished child spans (Span objects) or adopted payload dicts.
+        self.children: list[Any] = []
+        self._started = time.perf_counter()
+        self.duration_ms: float = 0.0
+
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def finish(self) -> None:
+        self.duration_ms = (time.perf_counter() - self._started) * 1000.0
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+            "attrs": dict(self.attrs),
+            "children": [child.to_payload() if isinstance(child, Span)
+                         else child for child in self.children],
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when no tracer is active."""
+
+    __slots__ = ()
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Records one request's span tree.
+
+    A tracer is request-scoped and driven by one thread at a time (the
+    service serializes each request's pipeline), so the open-span stack
+    needs no locking.  Shard worker processes get their *own* tracer under
+    the same trace id; their exported trees are grafted back with
+    :func:`adopt`.
+    """
+
+    def __init__(self, trace_id: str | None = None):
+        self.trace_id = trace_id or pending_trace_id() or new_trace_id()
+        self.root: Span | None = None
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------- spans
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or the root)."""
+        node = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        elif self.root is None:
+            self.root = node
+        else:
+            # A second top-level span (the tracer is being reused): keep one
+            # tree by parenting it under the existing root.
+            self.root.children.append(node)
+        self._stack.append(node)
+        _log_span_event("span_start", self.trace_id, node)
+        try:
+            yield node
+        finally:
+            node.finish()
+            self._stack.pop()
+            _log_span_event("span_end", self.trace_id, node)
+
+    def adopt(self, payload: dict[str, Any] | None) -> None:
+        """Graft an exported (sub)trace under the innermost open span.
+
+        Worker processes export their span tree as a payload dict
+        (:meth:`export`); the parent passes either the whole export or just
+        its ``root`` node — both are accepted, and the worker's tree becomes
+        a child of the span currently open here.
+        """
+        if not payload:
+            return
+        node = payload.get("root", payload)
+        if not isinstance(node, dict) or "name" not in node:
+            return
+        target = self.current or self.root
+        if target is not None:
+            target.children.append(node)
+
+    # ------------------------------------------------------------------ export
+    def export(self) -> dict[str, Any] | None:
+        """The finished (or partial) span tree as plain JSON data."""
+        if self.root is None:
+            return None
+        if self._stack:
+            # Partial export (a failed pipeline): close what is still open
+            # so durations are meaningful in the logged trace.
+            for node in self._stack:
+                node.finish()
+        return {"trace_id": self.trace_id, "root": self.root.to_payload()}
+
+
+# ----------------------------------------------------------------- ambient API
+@contextlib.contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the ambient tracer for the duration of the block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def current_tracer() -> Tracer | None:
+    return _ACTIVE.get()
+
+
+def current_span() -> Span | None:
+    tracer = _ACTIVE.get()
+    return tracer.current if tracer is not None else None
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the request currently recording (None when idle)."""
+    tracer = _ACTIVE.get()
+    return tracer.trace_id if tracer is not None else None
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Any]:
+    """Open a span on the ambient tracer; a shared no-op when tracing is off.
+
+    The instrumentation call sites throughout the stack all go through
+    here, so a process that never activates a tracer pays one contextvar
+    read per would-be span and nothing else.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        yield NOOP_SPAN
+        return
+    with tracer.span(name, **attrs) as node:
+        yield node
+
+
+def adopt(payload: dict[str, Any] | None) -> None:
+    """Graft an exported worker span tree into the ambient trace (no-op
+    when tracing is off or the payload is empty)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.adopt(payload)
+
+
+# --------------------------------------------------------------- id propagation
+@contextlib.contextmanager
+def trace_context(trace_id: str | None = None) -> Iterator[str]:
+    """Plant a pending trace id for the duration of the block.
+
+    The next :class:`Tracer` created in this context (and the client SDK's
+    outgoing ``X-Repro-Trace-Id`` header) picks it up, which is how the
+    HTTP server threads a client-supplied id into the pipeline and how a
+    caller pins a known id for end-to-end correlation tests.
+    """
+    chosen = trace_id or new_trace_id()
+    token = _PENDING.set(chosen)
+    try:
+        yield chosen
+    finally:
+        _PENDING.reset(token)
+
+
+def pending_trace_id() -> str | None:
+    return _PENDING.get()
+
+
+# -------------------------------------------------------------------- logging
+def _log_span_event(event: str, trace_id: str, node: Span) -> None:
+    """Span start/end at DEBUG — guarded so tracing stays cheap by default."""
+    from repro.obs.log import logger, log_event
+
+    if not logger.isEnabledFor(logging.DEBUG):
+        return
+    fields: dict[str, Any] = {"span": node.name, "trace_id": trace_id}
+    if event == "span_end":
+        fields["duration_ms"] = round(node.duration_ms, 3)
+    log_event(logging.DEBUG, event, **fields)

@@ -37,6 +37,8 @@ fingerprint identically to clean ones.
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
 import random
 import time
@@ -59,6 +61,9 @@ from repro.inum.cache import (
 from repro.inum.gamma_matrix import QueryGammaMatrix
 from repro.inum.template_plan import TemplatePlan
 from repro.lp.budget import SolveBudget
+from repro.obs.log import log_event
+from repro.obs.metrics import active_registry
+from repro.obs.trace import Tracer, activate, current_trace_id, span
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.reliability.faults import FaultPlan, armed_plan, maybe_check
 from repro.reliability.retry import RetryPolicy, default_retryable
@@ -102,6 +107,11 @@ class ShardResult:
     #: merges over the surviving shards (graceful degradation).
     failed: bool = False
     failure: str = ""
+    #: Exported worker-side span tree when the shard solved in a worker
+    #: process under an active trace (None on the inline path, whose spans
+    #: nest directly into the caller's tracer).  The advisor grafts it back
+    #: with :func:`repro.obs.trace.adopt`.
+    trace: dict | None = None
 
 
 class ShardExecutor:
@@ -189,6 +199,10 @@ class ShardExecutor:
         def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
             counters["retries"] += 1
             counters["survived"] += 1
+            _retry_metric("shard_solve")
+            log_event(logging.WARNING, "shard_retry", shard=shard.position,
+                      attempt=attempt, error=repr(exc),
+                      delay=round(delay, 3))
 
         try:
             result = self.retry_policy.call(
@@ -200,6 +214,8 @@ class ShardExecutor:
             if not (self.degrade and default_retryable(exc)):
                 raise
             counters["survived"] += 1
+            log_event(logging.WARNING, "shard_degraded",
+                      shard=shard.position, error=repr(exc))
             return _failed_shard_result(shard, exc, counters)
         return replace(result, retries=counters["retries"],
                        faults_survived=counters["survived"])
@@ -249,6 +265,9 @@ class ShardExecutor:
                             raise
                         failed_round.append(shard)
                 if pool_broken:
+                    log_event(logging.WARNING, "shard_pool_broken",
+                              round=round_no, workers=workers,
+                              shards=[s.position for s in failed_round])
                     pool.shutdown(wait=False)
                     pool = ProcessPoolExecutor(max_workers=workers)
                 if not failed_round:
@@ -266,6 +285,7 @@ class ShardExecutor:
                     else:
                         attempt_no[position] += 1
                         retries[position] += 1
+                        _retry_metric("shard_solve")
                         retry_next.append(shard)
                 if retry_next:
                     delay = policy.backoff_delay(round_no, rng)
@@ -288,6 +308,9 @@ class ShardExecutor:
             for shard in sorted(fallback, key=lambda s: s.position):
                 position = shard.position
                 retries[position] += 1
+                _retry_metric("shard_solve")
+                log_event(logging.WARNING, "shard_fallback_inline",
+                          shard=position, attempt=attempt_no[position] + 1)
                 try:
                     result = _solve_shard_inline(
                         shard, inum, self.backend, self.gap_tolerance,
@@ -297,6 +320,8 @@ class ShardExecutor:
                     if not (self.degrade and default_retryable(exc)):
                         raise
                     survived[position] += 1
+                    log_event(logging.WARNING, "shard_degraded",
+                              shard=position, error=repr(exc))
                     results[position] = _failed_shard_result(
                         shard, exc, {"retries": retries[position],
                                      "survived": survived[position]})
@@ -312,10 +337,19 @@ class ShardExecutor:
     def _shard_job(self, shard: Shard, schema: Schema, caps, use_matrix: bool,
                    time_limit: float | None, faults: FaultPlan | None,
                    attempt: int) -> tuple:
+        # The ambient trace id rides the job tuple so the worker records its
+        # spans under the same trace as the request that dispatched it.
         return (schema, shard.position, shard.workload.statements,
                 shard.candidates, shard.budget_bytes, self.backend.value,
                 self.gap_tolerance, time_limit, caps, use_matrix, faults,
-                attempt)
+                attempt, current_trace_id())
+
+
+def _retry_metric(site: str) -> None:
+    """Count one reliability-layer retry against the active registry."""
+    active_registry().counter(
+        "repro_retries_total",
+        "Retries taken by the reliability layer", ("site",)).inc(site=site)
 
 
 def _failed_shard_result(shard: Shard, exc: BaseException,
@@ -342,41 +376,47 @@ def _solve_shard_inline(shard: Shard, inum: InumCache,
     accounting (and with it the result fingerprint) stays identical to a
     fault-free run.
     """
-    maybe_check(fault_plan, "shard_solve", key=shard.position,
-                attempt=attempt, in_worker=in_worker)
-    started = time.perf_counter()
-    candidates = CandidateSet(inum.schema, shard.candidates)
-    inum.prepare(shard.workload, candidates)
-    bip = BipBuilder(inum).build(shard.workload, candidates,
-                                 model_name=f"shard-{shard.position}-bip")
-    constraints = ()
-    if shard.budget_bytes is not None:
-        constraints = (StorageBudgetConstraint(
-            shard.budget_bytes, name=f"storage_budget[shard{shard.position}]"),)
-    solver = CoPhySolver(backend=backend, gap_tolerance=gap_tolerance,
-                         time_limit_seconds=time_limit_seconds)
-    report = solver.solve(bip, hard_constraints=constraints)
-    return ShardResult(
-        position=shard.position,
-        indexes=report.configuration.indexes,
-        objective=report.objective,
-        gap=report.gap,
-        solve_seconds=time.perf_counter() - started,
-        timed_out=report.timed_out,
-        statistics={
-            "statements": float(len(shard.workload)),
-            "candidates": float(len(shard.candidates)),
-            "variables": bip.statistics.get("variables", 0.0),
-            "constraints": bip.statistics.get("constraints", 0.0),
-        },
-    )
+    with span(f"shard[{shard.position}]", statements=len(shard.workload),
+              candidates=len(shard.candidates), attempt=attempt,
+              in_worker=in_worker) as shard_span:
+        maybe_check(fault_plan, "shard_solve", key=shard.position,
+                    attempt=attempt, in_worker=in_worker)
+        started = time.perf_counter()
+        candidates = CandidateSet(inum.schema, shard.candidates)
+        inum.prepare(shard.workload, candidates)
+        bip = BipBuilder(inum).build(shard.workload, candidates,
+                                     model_name=f"shard-{shard.position}-bip")
+        constraints = ()
+        if shard.budget_bytes is not None:
+            constraints = (StorageBudgetConstraint(
+                shard.budget_bytes,
+                name=f"storage_budget[shard{shard.position}]"),)
+        solver = CoPhySolver(backend=backend, gap_tolerance=gap_tolerance,
+                             time_limit_seconds=time_limit_seconds)
+        report = solver.solve(bip, hard_constraints=constraints)
+        shard_span.set(gap=round(report.gap, 6), timed_out=report.timed_out,
+                       indexes=len(report.configuration.indexes))
+        return ShardResult(
+            position=shard.position,
+            indexes=report.configuration.indexes,
+            objective=report.objective,
+            gap=report.gap,
+            solve_seconds=time.perf_counter() - started,
+            timed_out=report.timed_out,
+            statistics={
+                "statements": float(len(shard.workload)),
+                "candidates": float(len(shard.candidates)),
+                "variables": bip.statistics.get("variables", 0.0),
+                "constraints": bip.statistics.get("constraints", 0.0),
+            },
+        )
 
 
 def _solve_shard_job(job: tuple) -> ShardResult:
     """Worker-side shard solve: rebuild the full stack from pickled inputs."""
     (schema, position, statements, indexes, budget_bytes, backend_value,
      gap_tolerance, time_limit_seconds, caps, use_matrix, fault_plan,
-     attempt) = job
+     attempt, trace_id) = job
     plan = fault_plan if fault_plan is not None else armed_plan()
     optimizer = WhatIfOptimizer(schema)
     inum = InumCache(optimizer, max_orders_per_table=caps[0],
@@ -386,15 +426,27 @@ def _solve_shard_job(job: tuple) -> ShardResult:
     shard = Shard(position=position, workload=workload, candidates=indexes,
                   statement_positions=tuple(range(len(statements))),
                   budget_bytes=budget_bytes)
-    result = _solve_shard_inline(shard, inum, SolverBackend(backend_value),
-                                 gap_tolerance, time_limit_seconds,
-                                 fault_plan=plan, attempt=attempt,
-                                 in_worker=True)
+    # The worker records its own tracer under the caller's trace id; the
+    # shard span opened inside _solve_shard_inline becomes its root and the
+    # exported tree is pickled back for the advisor to graft into the
+    # request trace.
+    tracer = Tracer(trace_id) if trace_id is not None else None
+    scope = (activate(tracer) if tracer is not None
+             else contextlib.nullcontext())
+    with scope:
+        result = _solve_shard_inline(shard, inum,
+                                     SolverBackend(backend_value),
+                                     gap_tolerance, time_limit_seconds,
+                                     fault_plan=plan, attempt=attempt,
+                                     in_worker=True)
     # The caller's counters never saw this process's optimizer: report its
     # work so the advisor's whatif_calls metric covers the shard phase.
-    return replace(result,
-                   worker_optimizer_calls=(optimizer.whatif_calls
-                                           + inum.template_build_calls))
+    result = replace(result,
+                     worker_optimizer_calls=(optimizer.whatif_calls
+                                             + inum.template_build_calls))
+    if tracer is not None:
+        result = replace(result, trace=tracer.export())
+    return result
 
 
 # --------------------------------------------------------- matrix build shards
@@ -433,12 +485,22 @@ def build_matrices_in_processes(cache: InumCache, shells: Sequence[Query],
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_build_matrices_job, jobs))
 
+    def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+        _retry_metric("matrix_build")
+        log_event(logging.WARNING, "matrix_build_retry", attempt=attempt,
+                  shells=len(pending), error=repr(exc),
+                  delay=round(delay, 3))
+
     try:
-        results = policy.call(build_all)
+        results = policy.call(build_all, on_retry=on_retry)
     except Exception as exc:
         if not default_retryable(exc):
             raise
-        return 0  # degraded: the caller builds the matrices locally
+        # Degraded, not silent: the caller rebuilds the matrices locally,
+        # and the log records that the process pool was lost doing it.
+        log_event(logging.WARNING, "matrix_build_degraded",
+                  shells=len(pending), workers=workers, error=repr(exc))
+        return 0
     by_name: dict[str, tuple[Query, tuple[TemplatePlan, ...],
                              QueryGammaMatrix | None]] = {}
     build_calls = 0

@@ -23,7 +23,19 @@ DELETE  ``/v1/sessions/{id}``       Close a session.
 GET     ``/v1/health``              Liveness + advisor registry.
 GET     ``/v1/stats``               Service counters: contexts, cache sizes,
                                     LRU/TTL evictions, namespacing.
+GET     ``/v1/metrics``             The tuner's metrics registry in Prometheus
+                                    text exposition format (the one non-JSON
+                                    endpoint).
 ======  ==========================  ===========================================
+
+Observability (PR 8): a client-supplied ``X-Repro-Trace-Id`` header becomes
+the pending trace id for the dispatched pipeline — the returned result's
+``trace`` payload carries the same id, and the header is echoed on every
+response.  Each dispatch records ``repro_http_requests_total`` /
+``repro_http_request_seconds`` under a bounded-cardinality route pattern
+(``/v1/sessions/{id}/tune``, never raw paths), and error paths that used to
+be silent (client disconnects, 5xx envelopes) log structured warnings with
+the trace id attached.
 
 Errors travel as the structured envelope of :mod:`repro.server.protocol`.
 Equal client schema payloads are canonicalized through a
@@ -38,6 +50,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import logging
 import threading
 import time
 from dataclasses import replace
@@ -48,8 +61,13 @@ from repro.api.registry import available_advisors
 from repro.api.result import index_from_payload
 from repro.api.service import TuningService, TuningSession
 from repro.api.specs import TuningRequest
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import log_event
+from repro.obs.metrics import METRICS_CONTENT_TYPE, use_registry
+from repro.obs.trace import trace_context
 from repro.server.protocol import (
     API_PREFIX,
+    TRACE_HEADER,
     TuningServerError,
     envelope_for_exception,
     error_envelope,
@@ -265,6 +283,10 @@ class TuningServer:
             "sessions_open": self.session_count,
         }
 
+    def handle_metrics(self) -> str:
+        """The ``/v1/metrics`` body: Prometheus text over the tuner registry."""
+        return self.service.tuner.metrics.render()
+
     def handle_stats(self) -> dict[str, Any]:
         # session_count reaps first, so a stats-polling monitor doubles as
         # the session reaper on an otherwise idle server.
@@ -390,6 +412,28 @@ class _TuningHTTPServer(ThreadingHTTPServer):
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
+def _endpoint_pattern(method: str, path: str) -> str:
+    """Collapse a raw request path onto its route pattern for metric labels.
+
+    Session ids would make ``repro_http_requests_total`` unbounded, so they
+    are folded into ``{id}``; anything unroutable is ``unknown`` (one label
+    value no matter what paths a scanner probes).
+    """
+    fixed = {f"{API_PREFIX}/health", f"{API_PREFIX}/stats",
+             f"{API_PREFIX}/metrics", f"{API_PREFIX}/tune",
+             f"{API_PREFIX}/tune_batch", f"{API_PREFIX}/sessions"}
+    if path in fixed:
+        return path
+    sessions_root = f"{API_PREFIX}/sessions/"
+    if path.startswith(sessions_root):
+        rest = path[len(sessions_root):].split("/")
+        if len(rest) == 1:
+            return f"{API_PREFIX}/sessions/{{id}}"
+        if len(rest) == 2 and rest[1] == "tune":
+            return f"{API_PREFIX}/sessions/{{id}}/tune"
+    return "unknown"
+
+
 class _TuningRequestHandler(BaseHTTPRequestHandler):
     #: Advertised through the Server header.
     server_version = "repro-tuning-server/1"
@@ -412,31 +456,73 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         owner = self.server.owner  # type: ignore[attr-defined]
         owner._request_started()
+        started = time.perf_counter()
+        # Ignore any query string (health probes commonly append one).
+        path = self.path.split("?", 1)[0].rstrip("/")
+        endpoint = _endpoint_pattern(method, path)
+        self._status_sent = 500
+        self._trace_id = None
+        header = (self.headers.get(TRACE_HEADER) or "").strip()
         try:
-            try:
-                payload = self._route(method)
-            except Exception as exc:  # noqa: BLE001 — errors become envelopes
-                self._write_error(exc)
-            else:
+            # The client's trace id (or a fresh one) becomes the pending id:
+            # the pipeline's Tracer picks it up, so the whole request traces
+            # under one id end to end, echoed back on the response.  The
+            # tuner's registry is made ambient for the same stretch so
+            # metrics recorded before the facade activates it itself (wire
+            # decoding, schema-cache hits) land on /v1/metrics too.
+            with trace_context(header or None) as trace_id, \
+                    use_registry(owner.service.tuner.metrics):
+                self._trace_id = trace_id
                 try:
-                    self._write_json(200, payload)
-                except (TypeError, ValueError) as exc:
-                    # The handler's payload failed to encode — a server-side
-                    # bug, but the client still deserves a well-formed
-                    # envelope instead of a bare connection reset.
-                    # (_write_json encodes before sending any bytes, so the
-                    # socket is still clean here.)
-                    self._write_error(
-                        TuningServerError(
-                            f"Response encoding failed: {exc}", status=500,
-                            error_type="ResponseEncodingError"))
-                except OSError:
-                    pass  # client went away mid-response
+                    if method == "GET" and path == f"{API_PREFIX}/metrics":
+                        self._write_text(200, owner.handle_metrics(),
+                                         METRICS_CONTENT_TYPE)
+                        return
+                    payload = self._route(method, path)
+                except Exception as exc:  # noqa: BLE001 — errors → envelopes
+                    self._write_error(exc, endpoint=endpoint)
+                else:
+                    try:
+                        self._write_json(200, payload)
+                    except (TypeError, ValueError) as exc:
+                        # The handler's payload failed to encode — a
+                        # server-side bug, but the client still deserves a
+                        # well-formed envelope instead of a bare connection
+                        # reset.  (_write_json encodes before sending any
+                        # bytes, so the socket is still clean here.)
+                        self._write_error(
+                            TuningServerError(
+                                f"Response encoding failed: {exc}",
+                                status=500,
+                                error_type="ResponseEncodingError"),
+                            endpoint=endpoint)
+                    except OSError:
+                        log_event(logging.WARNING, "client_disconnected",
+                                  endpoint=endpoint, method=method,
+                                  trace_id=self._trace_id,
+                                  phase="response")
         finally:
             owner._request_finished()
+            registry = owner.service.tuner.metrics
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests served, by route pattern and status",
+                ("endpoint", "method", "status"),
+            ).inc(endpoint=endpoint, method=method,
+                  status=str(self._status_sent))
+            registry.histogram(
+                "repro_http_request_seconds",
+                "Wall-clock seconds per HTTP request",
+                ("endpoint",),
+            ).observe(time.perf_counter() - started, endpoint=endpoint)
 
-    def _write_error(self, exc: BaseException) -> None:
+    def _write_error(self, exc: BaseException, *,
+                     endpoint: str = "unknown") -> None:
         status, envelope = envelope_for_exception(exc)
+        if status >= 500:
+            log_event(logging.ERROR, "http_error", endpoint=endpoint,
+                      status=status, error=repr(exc),
+                      trace_id=getattr(self, "_trace_id", None))
         try:
             self._write_json(status, envelope,
                              headers=response_headers_for(exc))
@@ -446,12 +532,13 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
             self._write_json(500, error_envelope(
                 type(exc).__name__, "error envelope encoding failed", 500))
         except OSError:
-            pass  # client went away before the error could be delivered
+            log_event(logging.WARNING, "client_disconnected",
+                      endpoint=endpoint, status=status,
+                      trace_id=getattr(self, "_trace_id", None),
+                      phase="error_response")
 
-    def _route(self, method: str) -> dict[str, Any]:
+    def _route(self, method: str, path: str) -> dict[str, Any]:
         owner = self.server.owner  # type: ignore[attr-defined]
-        # Ignore any query string (health probes commonly append one).
-        path = self.path.split("?", 1)[0].rstrip("/")
         if method == "GET" and path == f"{API_PREFIX}/health":
             return owner.handle_health()
         if method == "GET" and path == f"{API_PREFIX}/stats":
@@ -497,9 +584,20 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
         # leave the response unstarted so an error envelope can still be
         # written in its place.
         body = json.dumps(payload).encode("utf-8")
+        self._write_body(status, body, "application/json", headers)
+
+    def _write_text(self, status: int, text: str, content_type: str) -> None:
+        self._write_body(status, text.encode("utf-8"), content_type, None)
+
+    def _write_body(self, status: int, body: bytes, content_type: str,
+                    headers: dict[str, str] | None) -> None:
+        self._status_sent = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         # One request per connection: an error response may leave an unread
@@ -551,7 +649,13 @@ def main(argv: list[str] | None = None) -> None:
                         metavar="SECONDS",
                         help="maximum wait for in-flight requests to finish "
                              "on graceful shutdown (SIGTERM/SIGINT)")
+    parser.add_argument("--log-level", default=None,
+                        metavar="LEVEL",
+                        help="structured-log threshold (DEBUG/INFO/WARNING/"
+                             "ERROR); defaults to $REPRO_LOG_LEVEL or "
+                             "WARNING")
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     server = TuningServer(host=args.host, port=args.port,
                           namespace_statements=args.namespace_statements,
                           max_contexts=args.max_contexts,

@@ -17,6 +17,7 @@ failures surface as :class:`~repro.server.protocol.TuningServerError`.
 from __future__ import annotations
 
 import json
+import logging
 import socket
 import urllib.error
 import urllib.request
@@ -26,10 +27,14 @@ from repro.api.result import TuningResult, index_to_payload
 from repro.api.specs import TuningRequest
 from repro.exceptions import ServerOverloaded
 from repro.lp.budget import SolveBudget
+from repro.obs.log import log_event
+from repro.obs.metrics import active_registry
+from repro.obs.trace import current_trace_id, new_trace_id, pending_trace_id
 from repro.reliability.faults import FaultPlan, InjectedFault, armed_plan
 from repro.reliability.retry import RetryPolicy
 from repro.server.protocol import (
     API_PREFIX,
+    TRACE_HEADER,
     TuningClientTimeout,
     TuningServerError,
     TuningServerUnavailable,
@@ -165,11 +170,16 @@ class TuningClient:
         effective_timeout = self.timeout if timeout is None else timeout
         fault_plan = self.fault_plan if self.fault_plan is not None \
             else armed_plan()
+        # One trace id per logical call, shared by every retry attempt: the
+        # caller's active/pending id when there is one (so remote spans join
+        # the caller's trace), a fresh one otherwise.
+        trace_id = current_trace_id() or pending_trace_id() or new_trace_id()
 
         def attempt_call(attempt: int) -> dict[str, Any]:
             if fault_plan is not None:
                 fault_plan.check("http_request", key=path, attempt=attempt)
-            return self._request_once(method, path, data, effective_timeout)
+            return self._request_once(method, path, data, effective_timeout,
+                                      trace_id)
 
         if not idempotent or self.retry_policy is None:
             return attempt_call(1)
@@ -178,14 +188,28 @@ class TuningClient:
         budget = None
         if timeout is not None:
             budget = SolveBudget(time_budget_ms=timeout * 1000.0).start()
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            active_registry().counter(
+                "repro_retries_total",
+                "Retries taken by the reliability layer, by site",
+                ("site",)).inc(site="http_client")
+            log_event(logging.WARNING, "http_retry", method=method,
+                      path=path, attempt=attempt, error=repr(exc),
+                      delay_s=round(delay, 3), trace_id=trace_id)
+
         return self.retry_policy.call(attempt_call, budget=budget,
-                                      retryable=self._retryable)
+                                      retryable=self._retryable,
+                                      on_retry=on_retry)
 
     def _request_once(self, method: str, path: str, data: bytes | None,
-                      effective_timeout: float) -> dict[str, Any]:
+                      effective_timeout: float,
+                      trace_id: str | None = None) -> dict[str, Any]:
+        headers = {"Content-Type": "application/json"}
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            self.base_url + path, data=data, method=method, headers=headers)
         try:
             with urllib.request.urlopen(request,
                                         timeout=effective_timeout) as response:

@@ -39,13 +39,18 @@ from repro.exceptions import (
 )
 from repro.server.wire import WireFormatError
 
-__all__ = ["API_PREFIX", "TuningClientTimeout", "TuningServerError",
-           "TuningServerUnavailable", "error_envelope",
+__all__ = ["API_PREFIX", "TRACE_HEADER", "TuningClientTimeout",
+           "TuningServerError", "TuningServerUnavailable", "error_envelope",
            "envelope_for_exception", "raise_remote_error",
            "response_headers_for"]
 
 #: URL prefix of every endpoint; bumping it is a wire-format break.
 API_PREFIX = "/v1"
+
+#: Request/response header carrying the trace id: the client sends it, the
+#: server plants it as the pending trace id for the pipeline (so the whole
+#: request traces under the client's id) and echoes it back on the response.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 class TuningServerError(ReproError):

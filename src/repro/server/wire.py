@@ -35,6 +35,7 @@ from dataclasses import fields
 from typing import Any, Mapping
 
 from repro.api.result import index_from_payload, index_to_payload
+from repro.obs.metrics import active_registry
 from repro.api.specs import AdvisorSpec, CostingSpec, ScaleSpec, TuningRequest
 from repro.catalog.column import Column, ColumnType
 from repro.catalog.schema import Schema
@@ -267,6 +268,13 @@ def _decode_table(payload: Mapping[str, Any]) -> Table:
     )
 
 
+def _schema_cache_event(event: str) -> None:
+    active_registry().counter(
+        "repro_cache_events_total",
+        "Hits and misses of the tuning-stack caches",
+        ("cache", "event")).inc(cache="schema_payload", event=event)
+
+
 class SchemaCache:
     """Canonicalizes equal schema payloads onto one decoded :class:`Schema`.
 
@@ -294,13 +302,16 @@ class SchemaCache:
             return len(self._schemas)
 
     def resolve(self, payload: Mapping[str, Any]) -> Schema:
+        """Decode ``payload`` once per distinct schema, LRU-cached by digest."""
         key = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
         with self._lock:
             schema = self._schemas.get(key)
             if schema is not None:
                 self._schemas.move_to_end(key)
+                _schema_cache_event("hit")
                 return schema
+        _schema_cache_event("miss")
         schema = decode_schema(payload)
         with self._lock:
             known = self._schemas.get(key)

@@ -67,8 +67,11 @@ class TestJsonRoundTrip:
         assert restored.diagnostics.whatif_calls == result.diagnostics.whatif_calls
         assert restored.diagnostics.timings == result.diagnostics.timings
         assert restored.fingerprint() == result.fingerprint()
-        # Live extras never survive serialization, by design.
-        assert restored.extras == {}
+        # Live extras never survive serialization — except the exported
+        # span tree, which rides the payload so remote callers see the
+        # server-side trace (PR 8).
+        assert set(restored.extras) <= {"trace"}
+        assert restored.extras.get("trace") == result.extras.get("trace")
 
     def test_round_trip_preserves_the_gap_trace(self, simple_schema,
                                                 simple_workload):
