@@ -100,6 +100,7 @@ class DtaAdvisor(Advisor):
         return self.optimizer.statement_cost(query, configuration)
 
     # -------------------------------------------------------------------- public
+    # reprolint: requires-lock (mutates the shared INUM cache; caller serializes)
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
              candidates: CandidateSet | None = None,
              budget: SolveBudget | None = None) -> Recommendation:

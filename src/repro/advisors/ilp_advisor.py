@@ -81,6 +81,7 @@ class IlpAdvisor(Advisor):
         self.time_limit_seconds = time_limit_seconds
 
     # -------------------------------------------------------------------- public
+    # reprolint: requires-lock (mutates the shared INUM cache; caller serializes)
     def tune(self, workload: Workload, constraints: Sequence[TuningConstraint] = (),
              candidates: CandidateSet | None = None,
              budget: SolveBudget | None = None) -> Recommendation:

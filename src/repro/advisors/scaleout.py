@@ -126,6 +126,7 @@ class ScaleOutAdvisor(Advisor):
         self.fault_plan = fault_plan
 
     # -------------------------------------------------------------------- public
+    # reprolint: requires-lock (mutates the shared INUM cache; caller serializes)
     def tune(self, workload: Workload,
              constraints: Sequence[TuningConstraint] = (),
              candidates: CandidateSet | None = None,

@@ -1,0 +1,103 @@
+"""Baseline handling: grandfathered findings committed for review.
+
+The baseline is a JSON document with one finding object per line, sorted, so
+that a PR shrinking or growing it produces a line-per-finding diff:
+
+    {
+      "version": 1,
+      "findings": [
+        {"justification": "...", "message": "...", "path": "...", "rule": "..."}
+      ]
+    }
+
+Entries match findings on ``(rule, path, message)`` — line numbers are
+excluded on purpose so edits elsewhere in a file do not invalidate the
+grandfathering.  Every entry carries a ``justification`` explaining why the
+finding is acceptable; ``--update-baseline`` preserves justifications of
+entries that survive and stamps new entries with a TODO marker that reviewers
+are expected to replace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.rules import Finding
+
+__all__ = ["Baseline", "BaselineError", "split_by_baseline"]
+
+_TODO = "TODO: justify this grandfathered finding"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or structurally invalid baseline files."""
+
+
+@dataclass
+class Baseline:
+    #: (rule, path, message) -> justification
+    entries: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"baseline {path} is not a {{'version', 'findings'}} object")
+        entries: dict[tuple[str, str, str], str] = {}
+        for entry in payload["findings"]:
+            try:
+                key = (entry["rule"], entry["path"], entry["message"])
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {path}: entry missing rule/path/message: "
+                    f"{entry!r}") from exc
+            entries[key] = entry.get("justification", _TODO)
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        entries = {}
+        for finding in findings:
+            key = finding.baseline_key
+            justification = _TODO
+            if previous is not None and key in previous.entries:
+                justification = previous.entries[key]
+            entries[key] = justification
+        return cls(entries=entries)
+
+    def dump(self, path: Path) -> None:
+        lines = ["{", '  "version": 1,', '  "findings": [']
+        body = []
+        for (rule, rel, message), justification in sorted(self.entries.items()):
+            body.append("    " + json.dumps(
+                {"justification": justification, "message": message,
+                 "path": rel, "rule": rule},
+                sort_keys=True, ensure_ascii=False))
+        if body:
+            lines.append(",\n".join(body))
+        lines += ["  ]", "}", ""]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines), encoding="utf-8")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.baseline_key in self.entries
+
+
+def split_by_baseline(findings: Sequence[Finding], baseline: Baseline | None
+                      ) -> tuple[list[Finding], list[Finding], list[tuple]]:
+    """(new, grandfathered, stale-entry-keys) for a run against a baseline."""
+    if baseline is None:
+        return list(findings), [], []
+    new = [finding for finding in findings if finding not in baseline]
+    old = [finding for finding in findings if finding in baseline]
+    seen = {finding.baseline_key for finding in findings}
+    stale = [key for key in sorted(baseline.entries) if key not in seen]
+    return new, old, stale

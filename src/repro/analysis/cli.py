@@ -1,0 +1,120 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit codes are part of the CI contract:
+
+* ``0`` — no findings outside the baseline (or ``--update-baseline`` wrote one)
+* ``1`` — at least one finding outside the baseline
+* ``2`` — usage error (unknown rule, unreadable baseline, bad flags)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline, BaselineError, split_by_baseline
+from repro.analysis.engine import run_analysis
+from repro.analysis.loader import PragmaError
+from repro.analysis.rules import ALL_RULES, rule_by_name
+
+__all__ = ["main"]
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[2]   # .../src
+_REPO_ROOT = _PACKAGE_ROOT.parent                     # repo checkout
+_DEFAULT_BASELINE = _REPO_ROOT / "analysis" / "baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: repo-specific static analysis for the "
+                    "tuning stack")
+    parser.add_argument("--root", type=Path, default=_PACKAGE_ROOT,
+                        help="directory tree to analyze (default: the src/ "
+                             "tree containing this package)")
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="NAME",
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             "(default: analysis/baseline.json when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current findings "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list available rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:28s} {rule.description}")
+        return 0
+
+    rules = None
+    if options.rule:
+        rules = []
+        for name in options.rule:
+            rule = rule_by_name(name)
+            if rule is None:
+                known = ", ".join(r.name for r in ALL_RULES)
+                print(f"error: unknown rule '{name}' (known rules: {known})",
+                      file=sys.stderr)
+                return 2
+            rules.append(rule)
+
+    root = options.root.resolve()
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    baseline_path = options.baseline or _DEFAULT_BASELINE
+    baseline = None
+    if not options.no_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif options.baseline is not None and not options.update_baseline:
+        print(f"error: baseline {baseline_path} does not exist",
+              file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    try:
+        findings = run_analysis(root, rules=rules)
+    except PragmaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if options.update_baseline:
+        updated = Baseline.from_findings(findings, previous=baseline)
+        updated.dump(baseline_path)
+        print(f"wrote {len(updated.entries)} grandfathered finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    new, grandfathered, stale = split_by_baseline(findings, baseline)
+    for finding in new:
+        print(finding.render())
+    for key in stale:
+        rule, rel, message = key
+        print(f"note: stale baseline entry (no longer fires): "
+              f"[{rule}] {rel}: {message}")
+    print(f"reprolint: {len(new)} finding(s), {len(grandfathered)} "
+          f"grandfathered, {len(stale)} stale baseline entr"
+          f"{'y' if len(stale) == 1 else 'ies'} "
+          f"({elapsed:.2f}s)")
+    return 1 if new else 0

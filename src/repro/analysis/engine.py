@@ -1,0 +1,46 @@
+"""The reprolint engine: load a tree, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.project import Project, load_project
+from repro.analysis.rules import ALL_RULES, Finding, Rule
+
+__all__ = ["run_analysis", "analyze_project"]
+
+
+def analyze_project(project: Project,
+                    rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run *rules* (default: all) over a loaded project.
+
+    Parse failures surface as ``parse-error`` findings so a broken file fails
+    the lint run instead of silently shrinking its scope.  Inline
+    ``# reprolint: disable=<rule>`` pragmas are applied here, after the rules
+    ran, so rules emit unconditionally.
+    """
+    active = list(rules if rules is not None else ALL_RULES)
+    findings: set[Finding] = {
+        Finding(rule="parse-error", path=relpath, line=lineno, message=message)
+        for relpath, lineno, message in project.errors}
+    for rule in active:
+        for module in project.iter_modules():
+            findings.update(rule.visit(module, project))
+        findings.update(rule.check_project(project))
+    modules = {module.relpath: module for module in project.iter_modules()}
+    kept = []
+    for finding in findings:
+        module = modules.get(finding.path)
+        if module is not None and module.suppressed(finding.rule,
+                                                    finding.line):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda finding: finding.sort_key)
+
+
+def run_analysis(root: Path,
+                 rules: Sequence[Rule] | None = None,
+                 paths: Iterable[Path] | None = None) -> list[Finding]:
+    """Load the tree under *root* and analyze it."""
+    return analyze_project(load_project(root, paths=paths), rules=rules)

@@ -1,0 +1,78 @@
+"""Rule framework: findings, the rule base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project
+
+__all__ = ["Finding", "Rule", "keyword_arguments", "is_test_path"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str       # repo-relative posix path
+    line: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        # Line numbers are deliberately excluded so unrelated edits above a
+        # grandfathered finding do not invalidate the baseline entry.
+        return (self.rule, self.path, self.message)
+
+    @property
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class: subclasses override ``visit`` and/or ``check_project``.
+
+    ``visit`` runs once per module and suits purely local rules;
+    ``check_project`` runs once with the whole :class:`Project` and suits
+    rules that need the call graph or cross-module configuration.  The
+    engine applies inline ``# reprolint: disable=`` suppressions afterwards,
+    so rules simply emit every violation they see.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    severity: str = "error"
+
+    def visit(self, module: SourceModule,
+              project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    # ------------------------------------------------------------------ sugar
+    def finding(self, module: SourceModule, node: ast.AST | int,
+                message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(rule=self.name, path=module.relpath, line=line,
+                       message=message, severity=self.severity)
+
+
+def keyword_arguments(call: ast.Call) -> Iterator[tuple[str, ast.expr]]:
+    """Named keyword arguments of a call (ignores ``**kwargs`` splats)."""
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            yield keyword.arg, keyword.value
+
+
+def is_test_path(relpath: str) -> bool:
+    return relpath.startswith("tests/") or "/tests/" in relpath

@@ -1,0 +1,113 @@
+"""fault-site-discipline: fault checks use declared sites and fire first.
+
+PR 7's fault-injection contract: every ``maybe_check(plan, site, ...)`` /
+``plan.check(site, ...)`` names a *literal* member of ``FAULT_SITES`` (so the
+chaos lane's env plans can target it), and the check dominates the expensive
+work in its function — a fault injected *after* the optimizer ran would test
+nothing.  The rule reads ``FAULT_SITES`` from ``reliability/faults.py`` in
+the scanned tree and checks both properties at every call site outside that
+module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project, call_name
+from repro.analysis.rules.base import Finding, Rule
+
+__all__ = ["FaultSiteRule"]
+
+DEFAULT_FAULT_SITES = frozenset({"shard_solve", "matrix_build",
+                                 "http_request", "solver"})
+
+#: Method names that constitute "real work" a fault check must precede.
+WORK_CALLS = frozenset({"prepare", "build_workload", "adopt_built",
+                        "ensure_columns", "workload_tensor", "gamma_matrix",
+                        "solve", "build_matrices", "tune"})
+
+
+def _receiver_mentions(call: ast.Call, words: tuple[str, ...]) -> bool:
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    for sub in ast.walk(call.func.value):
+        token = (sub.id if isinstance(sub, ast.Name)
+                 else sub.attr if isinstance(sub, ast.Attribute) else "")
+        if any(word in token.lower() for word in words):
+            return True
+    return False
+
+
+def _site_argument(call: ast.Call) -> ast.expr | None:
+    name = call_name(call)
+    if name == "maybe_check":           # maybe_check(plan, site, ...)
+        if len(call.args) >= 2:
+            return call.args[1]
+    elif name == "check":               # plan.check(site, ...)
+        if call.args:
+            return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "site":
+            return keyword.value
+    return None
+
+
+class FaultSiteRule(Rule):
+    name = "fault-site-discipline"
+    description = ("fault checks must name literal FAULT_SITES members and "
+                   "run before optimizer/cache work")
+
+    def _sites(self, project: Project) -> frozenset[str]:
+        module = project.find_module("reliability/faults.py")
+        if module is None:
+            return DEFAULT_FAULT_SITES
+        sites = project.assigned_strings(module, "FAULT_SITES")
+        return frozenset(sites) or DEFAULT_FAULT_SITES
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        sites = self._sites(project)
+        defining = project.find_module("reliability/faults.py")
+        for info in project.functions.values():
+            module = info.module
+            if module is defining:
+                continue  # the plan/check machinery itself, not a call site
+            check_lines: list[int] = []
+            for site_call in info.calls:
+                if site_call.name == "maybe_check" or (
+                        site_call.name == "check"
+                        and _receiver_mentions(site_call.node,
+                                               ("plan", "fault"))):
+                    check_lines.append(site_call.lineno)
+                    yield from self._check_site_literal(
+                        module, site_call.node, sites)
+            if not check_lines:
+                continue
+            first_check = min(check_lines)
+            for work in info.calls:
+                if work.name in WORK_CALLS and work.lineno < first_check:
+                    yield self.finding(
+                        module, first_check,
+                        f"fault check in '{info.name}' fires after "
+                        f"'{work.name}' — the check must dominate the work "
+                        "it is meant to interrupt")
+                    break
+
+    def _check_site_literal(self, module: SourceModule, call: ast.Call,
+                            sites: frozenset[str]) -> Iterable[Finding]:
+        site = _site_argument(call)
+        if site is None:
+            yield self.finding(module, call,
+                               "fault check without a site argument")
+        elif not (isinstance(site, ast.Constant)
+                  and isinstance(site.value, str)):
+            yield self.finding(
+                module, call,
+                "fault-check site must be a string literal so chaos plans "
+                "can target it")
+        elif site.value not in sites:
+            yield self.finding(
+                module, call,
+                f"fault-check site '{site.value}' is not a member of "
+                "FAULT_SITES")

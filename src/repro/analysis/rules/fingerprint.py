@@ -1,0 +1,148 @@
+"""fingerprint-purity: wall-clock values must not leak into fingerprints.
+
+``TuningResult.fingerprint()`` (PR 4) strips the keys declared in
+``_TIMING_KEYS`` / ``_VOLATILE_KEYS`` in ``api/result.py`` before hashing, so
+remote and local runs of the same request compare equal.  The invariant rots
+when a later PR stores a ``time.time()`` / ``perf_counter()`` derived value
+under a key the stripper does not know about.  This rule taints values that
+flow from clock calls inside each function and flags any tainted value stored
+under a key that is neither declared in those sets nor self-evidently a
+timing key (``*seconds*``, ``*timing*``, ``*duration*``, ``*elapsed*``,
+``*_ms``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project, call_name
+from repro.analysis.rules.base import Finding, Rule, keyword_arguments
+
+__all__ = ["FingerprintPurityRule"]
+
+#: Call names whose return value is wall-clock derived.
+CLOCK_CALLS = frozenset({"time", "perf_counter", "monotonic", "process_time",
+                         "now", "utcnow", "thread_time"})
+
+#: Fallbacks used when ``api/result.py`` is not part of the scanned tree
+#: (fixture runs); on the real repo the sets are parsed from source.
+DEFAULT_TIMING_KEYS = frozenset({"timings", "elapsed_seconds", "solve_seconds",
+                                 "total_seconds", "seconds"})
+DEFAULT_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace"})
+
+_TIMING_WORDS = ("seconds", "timing", "duration", "elapsed", "_ms")
+
+#: Packages whose payloads are never fingerprinted (bench reports, trace
+#: export) — scanning them would only produce noise.
+_SKIP_FRAGMENTS = ("/bench/", "/obs/", "/analysis/")
+
+#: Constructor-ish call names whose keyword arguments land in fingerprinted
+#: payloads.
+_PAYLOAD_CALLS = ("TuningDiagnostics", "TuningResult", "replace")
+
+
+def _is_clock_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and call_name(node) in CLOCK_CALLS)
+
+
+class FingerprintPurityRule(Rule):
+    name = "fingerprint-purity"
+    description = ("wall-clock derived values stored under keys the "
+                   "fingerprint stripper does not declare")
+
+    def _allowed_keys(self, project: Project) -> frozenset[str]:
+        module = project.find_module("api/result.py")
+        if module is None:
+            return DEFAULT_TIMING_KEYS | DEFAULT_VOLATILE_KEYS
+        keys = (project.assigned_strings(module, "_TIMING_KEYS")
+                | project.assigned_strings(module, "_VOLATILE_KEYS"))
+        return frozenset(keys) or (DEFAULT_TIMING_KEYS | DEFAULT_VOLATILE_KEYS)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        allowed = self._allowed_keys(project)
+        for module in project.iter_modules():
+            probe = f"/{module.relpath}"
+            if any(fragment in probe for fragment in _SKIP_FRAGMENTS):
+                continue
+            for info in project.functions.values():
+                if info.module is module:
+                    yield from self._check_function(module, info.node, allowed)
+
+    # ---------------------------------------------------------------- helpers
+    def _safe_key(self, key: str, allowed: frozenset[str]) -> bool:
+        lowered = key.lower()
+        return key in allowed or any(word in lowered for word in _TIMING_WORDS)
+
+    def _check_function(self, module: SourceModule, func: ast.AST,
+                        allowed: frozenset[str]) -> Iterable[Finding]:
+        tainted: set[str] = set()
+
+        def is_tainted(expr: ast.expr) -> bool:
+            for sub in ast.walk(expr):
+                if _is_clock_call(sub):
+                    return True
+                if isinstance(sub, ast.Name) and sub.id in tainted:
+                    return True
+            return False
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and is_tainted(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            elif isinstance(node, ast.AugAssign):
+                if is_tainted(node.value) and isinstance(node.target, ast.Name):
+                    tainted.add(node.target.id)
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                if name in _PAYLOAD_CALLS or name.endswith("Diagnostics"):
+                    for arg, value in keyword_arguments(node):
+                        if is_tainted(value) and not self._safe_key(arg, allowed):
+                            yield self.finding(
+                                module, node,
+                                f"wall-clock value passed to {name}(...) as "
+                                f"'{arg}', which is not declared in "
+                                "_TIMING_KEYS/_VOLATILE_KEYS")
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (key is not None and isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and is_tainted(value)
+                            and not self._safe_key(key.value, allowed)):
+                        yield self.finding(
+                            module, value,
+                            f"wall-clock value stored under dict key "
+                            f"'{key.value}', which is not declared in "
+                            "_TIMING_KEYS/_VOLATILE_KEYS")
+
+        # Second pass for subscript stores of tainted names (taint set is now
+        # complete, so ``x = perf_counter(); d['k'] = x`` is caught even when
+        # the store precedes the walk order of the taint assignment).
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and is_tainted(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        yield from self._check_subscript(
+                            module, target, allowed)
+
+    def _check_subscript(self, module: SourceModule, target: ast.Subscript,
+                         allowed: frozenset[str]) -> Iterable[Finding]:
+        key = target.slice
+        base = target.value
+        base_names = "".join(
+            sub.id.lower() if isinstance(sub, ast.Name) else sub.attr.lower()
+            for sub in ast.walk(base)
+            if isinstance(sub, (ast.Name, ast.Attribute)))
+        if "timing" in base_names:
+            return
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if not self._safe_key(key.value, allowed):
+                yield self.finding(
+                    module, target,
+                    f"wall-clock value stored under key '{key.value}', which "
+                    "is not declared in _TIMING_KEYS/_VOLATILE_KEYS")

@@ -1,0 +1,86 @@
+"""Hygiene rules: assert-as-runtime-check and unused imports.
+
+``runtime-assert``: an ``assert`` in library code vanishes under ``python
+-O``, so an invariant guarded by one silently stops being checked in
+optimized deployments — library invariants raise typed exceptions instead.
+
+``unused-import``: an imported name never referenced again.  Usage is judged
+by whole-word occurrence anywhere in the module source outside the import
+statement itself, which deliberately errs toward keeping an import (mentions
+in docstrings, comments or string annotations count as uses) — right bias
+for a sweep tool that edits a real codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project
+from repro.analysis.rules.base import Finding, Rule
+
+__all__ = ["RuntimeAssertRule", "UnusedImportRule"]
+
+
+class RuntimeAssertRule(Rule):
+    name = "runtime-assert"
+    description = ("library invariants must raise typed exceptions, not "
+                   "assert (stripped under python -O)")
+
+    def visit(self, module: SourceModule,
+              project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module, node,
+                    "assert used as a runtime check — it vanishes under "
+                    "`python -O`; raise a typed exception instead")
+
+
+def _imported_bindings(tree: ast.Module) -> Iterable[tuple[str, ast.stmt]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".", 1)[0]
+                yield name, node
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield alias.asname or alias.name, node
+
+
+class UnusedImportRule(Rule):
+    name = "unused-import"
+    description = "imported name is never referenced in the module"
+    severity = "warning"
+
+    def visit(self, module: SourceModule,
+              project: Project) -> Iterable[Finding]:
+        if module.relpath.endswith("__init__.py"):
+            return  # re-export surfaces are used from outside the module
+        exported = set()
+        for node in module.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "__all__"
+                            for t in node.targets)):
+                exported = {s for s in ast.walk(node.value)
+                            if isinstance(s, ast.Constant)}
+                exported = {s.value for s in exported
+                            if isinstance(s.value, str)}
+        for name, node in _imported_bindings(module.tree):
+            if name.startswith("_") or name in exported:
+                continue
+            span = set(range(node.lineno, (node.end_lineno or node.lineno) + 1))
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            used = any(pattern.search(line)
+                       for lineno, line in enumerate(module.lines, start=1)
+                       if lineno not in span)
+            if not used:
+                yield self.finding(
+                    module, node,
+                    f"imported name '{name}' is unused")

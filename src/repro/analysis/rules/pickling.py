@@ -1,0 +1,83 @@
+"""worker-pickle-safety: cached hashes must be recomputed in __setstate__.
+
+PR 3 ships shard solves to worker processes, so ``Index``, ``TemplatePlan``
+and friends cross the pickle boundary.  Their cached ``_hash`` attributes are
+salted per-process (``PYTHONHASHSEED``-style), so a ``_hash`` smuggled
+through ``__getstate__`` would poison every dict lookup on the far side; the
+established pattern pops it in ``__getstate__`` and recomputes in
+``__setstate__``.  This rule flags any class that writes a ``*_hash``-style
+cached attribute without a ``__setstate__`` that mentions it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project
+from repro.analysis.rules.base import Finding, Rule
+
+__all__ = ["PickleHashRule"]
+
+
+def _hash_attr(name: str) -> bool:
+    return name == "_hash" or name.endswith("_hash")
+
+
+def _writes_hash(node: ast.ClassDef) -> tuple[str, int] | None:
+    """The cached-hash attribute a class writes, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if (isinstance(target, ast.Attribute)
+                        and _hash_attr(target.attr)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return target.attr, sub.lineno
+        if isinstance(sub, ast.Call):
+            # frozen dataclasses: object.__setattr__(self, "_hash", ...)
+            func = sub.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__" and len(sub.args) >= 2):
+                key = sub.args[1]
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and _hash_attr(key.value)):
+                    return key.value, sub.lineno
+    return None
+
+
+def _setstate_mentions(node: ast.ClassDef, attr: str) -> bool:
+    for stmt in node.body:
+        if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__setstate__"):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Attribute) and sub.attr == attr:
+                    return True
+                if (isinstance(sub, ast.Constant)
+                        and sub.value == attr):
+                    return True
+    return False
+
+
+class PickleHashRule(Rule):
+    name = "worker-pickle-safety"
+    description = ("classes caching a *_hash attribute must recompute it in "
+                   "__setstate__ (process-boundary hash salt)")
+
+    def visit(self, module: SourceModule,
+              project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            written = _writes_hash(node)
+            if written is None:
+                continue
+            attr, lineno = written
+            if not _setstate_mentions(node, attr):
+                yield self.finding(
+                    module, lineno,
+                    f"class '{node.name}' caches '{attr}' but has no "
+                    "__setstate__ recomputing it — the cached value is "
+                    "poison after crossing a process boundary")

@@ -1,0 +1,211 @@
+"""wire-codec-completeness: every request/result field survives the wire.
+
+PR 5's round-trip guarantee is only as strong as the codec's coverage: a
+field added to ``TuningRequest`` / ``AdvisorSpec`` / ``TuningDiagnostics``
+that ``server/wire.py`` or ``api/result.py`` never mentions is silently
+dropped on the first remote tuning run.  This rule compares the dataclass
+surfaces against the codec source:
+
+* every ``TuningRequest`` field is declared in ``_REQUEST_FIELDS`` and
+  mentioned in both encode- and decode-side functions of ``wire.py``;
+* every ``AdvisorSpec`` field is declared in ``_ADVISOR_FIELDS``; fields
+  newer than wire version 1 (``_ADVISOR_FIELDS - _ADVISOR_FIELDS_V1``) must
+  additionally sit under an ``if`` in the encoder (the version bump) and the
+  decoder must select the field set by version (a conditional referencing
+  ``_ADVISOR_FIELDS_V1``);
+* ``CostingSpec`` / ``ScaleSpec`` are covered generically when the codec
+  iterates ``fields(...)`` on encode and calls ``_decode_spec`` on decode —
+  otherwise every field must appear literally;
+* every ``TuningDiagnostics`` / ``TuningResult`` field is mentioned in both
+  ``to_payload`` and ``from_payload`` (``advisor_name`` travels as
+  ``advisor``; ``extras`` is intentionally outside the payload contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project, literal_strings
+from repro.analysis.rules.base import Finding, Rule
+
+__all__ = ["WireCompletenessRule"]
+
+#: Dataclass field -> wire name when they differ.
+_FIELD_ALIASES = {"advisor_name": "advisor"}
+
+#: Fields deliberately outside the wire contract.
+_EXEMPT_FIELDS = frozenset({"extras"})
+
+
+def _dataclass_fields(module: SourceModule, class_name: str) -> list[tuple[str, int]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            out = []
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and not stmt.target.id.startswith("_")):
+                    out.append((stmt.target.id, stmt.lineno))
+            return out
+    return []
+
+
+class WireCompletenessRule(Rule):
+    name = "wire-codec-completeness"
+    description = ("every request/spec/result dataclass field must appear in "
+                   "encode and decode, version-gated when newer than v1")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        specs = project.find_module("api/specs.py")
+        wire = project.find_module("server/wire.py")
+        result = project.find_module("api/result.py")
+        if wire is not None and specs is not None:
+            yield from self._check_request(project, specs, wire)
+            yield from self._check_advisor(project, specs, wire)
+            yield from self._check_generic_specs(project, specs, wire)
+        if result is not None:
+            yield from self._check_payloads(project, result)
+
+    # ------------------------------------------------------------------ sides
+    def _side_strings(self, project: Project, module: SourceModule,
+                      fragment: str) -> set[str]:
+        strings: set[str] = set()
+        for info in project.functions.values():
+            if info.module is module and fragment in info.name:
+                strings |= literal_strings(info.node)
+        return strings
+
+    def _check_request(self, project: Project, specs: SourceModule,
+                       wire: SourceModule) -> Iterable[Finding]:
+        declared = project.assigned_strings(wire, "_REQUEST_FIELDS")
+        encode = self._side_strings(project, wire, "encode")
+        decode = self._side_strings(project, wire, "decode")
+        for field, lineno in _dataclass_fields(specs, "TuningRequest"):
+            name = _FIELD_ALIASES.get(field, field)
+            if field in _EXEMPT_FIELDS:
+                continue
+            if declared and name not in declared:
+                yield self.finding(
+                    specs, lineno,
+                    f"TuningRequest.{field} is not declared in "
+                    "_REQUEST_FIELDS in server/wire.py")
+            elif name not in encode:
+                yield self.finding(
+                    specs, lineno,
+                    f"TuningRequest.{field} never appears on the encode side "
+                    "of server/wire.py — the field is dropped on the wire")
+            elif name not in decode:
+                yield self.finding(
+                    specs, lineno,
+                    f"TuningRequest.{field} never appears on the decode side "
+                    "of server/wire.py — the field is dropped on the wire")
+
+    def _check_advisor(self, project: Project, specs: SourceModule,
+                       wire: SourceModule) -> Iterable[Finding]:
+        declared = project.assigned_strings(wire, "_ADVISOR_FIELDS")
+        v1 = project.assigned_strings(wire, "_ADVISOR_FIELDS_V1")
+        fields = _dataclass_fields(specs, "AdvisorSpec")
+        for field, lineno in fields:
+            if field in _EXEMPT_FIELDS:
+                continue
+            if declared and field not in declared:
+                yield self.finding(
+                    specs, lineno,
+                    f"AdvisorSpec.{field} is not declared in _ADVISOR_FIELDS "
+                    "in server/wire.py")
+        if not (declared and v1):
+            return
+        v2plus = declared - v1
+        gated = self._encode_if_strings(project, wire)
+        for field, lineno in fields:
+            if field in v2plus and field not in gated:
+                yield self.finding(
+                    specs, lineno,
+                    f"AdvisorSpec.{field} is newer than wire version 1 but "
+                    "the encoder writes it unconditionally — gate it behind "
+                    "the version bump")
+        if v2plus and not self._decode_selects_by_version(project, wire):
+            yield self.finding(
+                wire, 1,
+                "decode side accepts post-v1 advisor fields without "
+                "selecting the field set by wire version")
+
+    def _encode_if_strings(self, project: Project,
+                           wire: SourceModule) -> set[str]:
+        strings: set[str] = set()
+        for info in project.functions.values():
+            if info.module is wire and "encode" in info.name:
+                for node in ast.walk(info.node):
+                    if isinstance(node, ast.If):
+                        strings |= literal_strings(node)
+        return strings
+
+    def _decode_selects_by_version(self, project: Project,
+                                   wire: SourceModule) -> bool:
+        for info in project.functions.values():
+            if info.module is wire and "decode" in info.name:
+                for node in ast.walk(info.node):
+                    if isinstance(node, (ast.If, ast.IfExp)):
+                        for sub in ast.walk(node):
+                            if (isinstance(sub, ast.Name)
+                                    and sub.id.endswith("_V1")):
+                                return True
+        return False
+
+    def _check_generic_specs(self, project: Project, specs: SourceModule,
+                             wire: SourceModule) -> Iterable[Finding]:
+        encode_calls: set[str] = set()
+        decode_calls: set[str] = set()
+        for info in project.functions.values():
+            if info.module is not wire:
+                continue
+            for site in info.calls:
+                if "encode" in info.name:
+                    encode_calls.add(site.name)
+                if "decode" in info.name:
+                    decode_calls.add(site.name)
+        generic = "fields" in encode_calls and "_decode_spec" in decode_calls
+        if generic:
+            return
+        encode = self._side_strings(project, wire, "encode")
+        decode = self._side_strings(project, wire, "decode")
+        for cls in ("CostingSpec", "ScaleSpec"):
+            for field, lineno in _dataclass_fields(specs, cls):
+                if field not in encode or field not in decode:
+                    yield self.finding(
+                        specs, lineno,
+                        f"{cls}.{field} is not covered by server/wire.py "
+                        "(no generic fields()/_decode_spec path and no "
+                        "literal mention)")
+
+    # --------------------------------------------------------------- payloads
+    def _check_payloads(self, project: Project,
+                        result: SourceModule) -> Iterable[Finding]:
+        to_payload: set[str] = set()
+        from_payload: set[str] = set()
+        for info in project.functions.values():
+            if info.module is not result:
+                continue
+            if info.name == "to_payload":
+                to_payload |= literal_strings(info.node)
+            elif info.name == "from_payload":
+                from_payload |= literal_strings(info.node)
+        if not to_payload or not from_payload:
+            return
+        for cls in ("TuningDiagnostics", "TuningResult"):
+            for field, lineno in _dataclass_fields(result, cls):
+                name = _FIELD_ALIASES.get(field, field)
+                if field in _EXEMPT_FIELDS:
+                    continue
+                if name not in to_payload:
+                    yield self.finding(
+                        result, lineno,
+                        f"{cls}.{field} is missing from to_payload — the "
+                        "field is dropped on the wire")
+                elif name not in from_payload:
+                    yield self.finding(
+                        result, lineno,
+                        f"{cls}.{field} is missing from from_payload — the "
+                        "field is dropped on decode")

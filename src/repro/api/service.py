@@ -27,7 +27,8 @@ import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
+
 
 from repro.api.registry import canonical_name, make_advisor
 from repro.api.result import TuningResult

@@ -372,11 +372,19 @@ class Tuner:
 
     # ------------------------------------------------------------------ tuning
     def tune(self, request: TuningRequest) -> TuningResult:
-        """Run one declarative tuning request end to end."""
+        """Run one declarative tuning request end to end.
+
+        Holds the context lock for the duration of the pipeline: the INUM
+        cache does not serialize itself, and an embedded ``Tuner`` shared
+        across threads would otherwise interleave cache mutation.  The lock
+        is an RLock and uncontended in the single-threaded case, so the
+        embedded fast path pays nothing for it.
+        """
         context = self.context_for(request.schema, request.costing)
-        return tune_in_context(request, context,
-                               fault_plan=self.effective_fault_plan(),
-                               tracing=self.tracing, metrics=self.metrics)
+        with context.lock:
+            return tune_in_context(request, context,
+                                   fault_plan=self.effective_fault_plan(),
+                                   tracing=self.tracing, metrics=self.metrics)
 
 
 # ----------------------------------------------------------------- pipeline

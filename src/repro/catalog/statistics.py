@@ -13,8 +13,8 @@ influences index benefit in the same qualitative way as in the paper
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Any, Mapping, Sequence
 
 __all__ = ["HistogramBucket", "Histogram", "ColumnStatistics", "zipf_frequencies"]

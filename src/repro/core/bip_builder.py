@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.exceptions import BuildInterrupted, SolverError
+from repro.exceptions import BuildInterrupted, SolverError, WorkloadError
 from repro.indexes.candidate_generation import CandidateSet
 from repro.indexes.configuration import Configuration
 from repro.indexes.index import Index
@@ -109,7 +109,11 @@ class CophyBip:
         coefficients: dict[Variable, float] = {}
         for statement in self.workload.update_statements():
             update = statement.query
-            assert isinstance(update, UpdateQuery)
+            if not isinstance(update, UpdateQuery):
+                raise WorkloadError(
+                    f"statement '{getattr(update, 'name', update)}' is "
+                    "classified as an update but its query is "
+                    f"{type(update).__name__}")
             for index, variable in self.z_variables.items():
                 if index.table != update.table:
                     continue
@@ -215,6 +219,8 @@ class BipBuilder:
         self._optimizer = inum._optimizer  # shared what-if optimizer
 
     # -------------------------------------------------------------------- public
+    # reprolint: requires-lock (reads/extends the shared gamma tensor; driven by
+    # the advisor pipeline, which serializes per-context)
     def build(self, workload: Workload, candidates: CandidateSet,
               model_name: str = "cophy-bip",
               statement_weights: Mapping[str, float] | None = None,
@@ -307,6 +313,7 @@ class BipBuilder:
         bip.statistics["candidates"] = float(len(candidates))
         return bip
 
+    # reprolint: requires-lock (see build: caller serializes)
     def extend(self, bip: CophyBip, added_candidates: Iterable[Index]) -> CophyBip:
         """Incrementally extend an existing BIP with new candidate indexes.
 

@@ -25,7 +25,8 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
+
 
 from repro.core.bip_builder import CophyBip
 from repro.exceptions import ConstraintError

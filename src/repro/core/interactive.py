@@ -17,7 +17,6 @@ that surface and the legacy ``CoPhyAdvisor.create_session`` entry point.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.advisors.base import Recommendation
@@ -88,6 +87,8 @@ class InteractiveTuningSession:
         return self._bip
 
     # ------------------------------------------------------------------ tuning
+    # reprolint: requires-lock (TuningSession drives this under context.lock;
+    # direct embedders are documented single-threaded)
     def recommend(self) -> Recommendation:
         """Produce the initial recommendation (full INUM + build + solve)."""
         advisor = self._advisor

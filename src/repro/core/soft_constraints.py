@@ -21,7 +21,8 @@ the effect Figure 6(c) reports.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Sequence
 
 from repro.core.bip_builder import CophyBip

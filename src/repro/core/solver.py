@@ -20,7 +20,8 @@ from __future__ import annotations
 import enum
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.bip_builder import CophyBip

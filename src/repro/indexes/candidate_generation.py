@@ -21,12 +21,14 @@ partitions ``S_i`` the BIP needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
+
 
 from repro.catalog.schema import Schema
 from repro.exceptions import IndexDefinitionError
 from repro.indexes.index import Index, index_size_bytes
-from repro.workload.query import Query, StatementKind, UpdateQuery
+from repro.workload.query import Query, UpdateQuery
+
 from repro.workload.workload import Workload
 
 __all__ = ["CandidateGenerator", "CandidateSet"]

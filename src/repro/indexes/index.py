@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.catalog.table import TUPLE_OVERHEAD_BYTES, Table
+from repro.catalog.table import Table
+
 from repro.exceptions import IndexDefinitionError
 from repro.workload.predicates import ColumnRef
 

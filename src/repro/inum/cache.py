@@ -19,7 +19,8 @@ from repro.inum.gamma_matrix import QueryGammaMatrix, slot_gamma
 from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
 from repro.inum.workload_tensor import WorkloadGammaTensor
 from repro.obs.metrics import active_registry
-from repro.optimizer.plan import Plan, ScanNode
+from repro.optimizer.plan import ScanNode
+
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.predicates import ColumnRef
 from repro.workload.query import Query, UpdateQuery
@@ -150,12 +151,15 @@ class InumCache:
         return sum(len(templates) for templates in self._templates.values())
 
     # ----------------------------------------------------------------- building
+    # reprolint: requires-lock (see build: callers serialize)
     def build_workload(self, workload: Workload,
                        build_workers: int | None = None,
                        build_processes: int | None = None) -> None:
         """Pre-process every statement of a workload (in parallel when asked)."""
         self._build_statements(workload, (), build_workers, build_processes)
 
+    # reprolint: requires-lock (the cache does not serialize itself; owners
+    # hold SchemaContext.lock, worker processes use a process-local cache)
     def build(self, query: Query) -> tuple[TemplatePlan, ...]:
         """Build (or return cached) ``TPlans(q)`` for a statement."""
         shell = self._shell(query)
@@ -173,6 +177,7 @@ class InumCache:
         """``TPlans(q)``, building them on first use."""
         return self.build(query)
 
+    # reprolint: requires-lock (see build: callers serialize)
     def gamma_matrix(self, query: Query) -> QueryGammaMatrix:
         """The dense gamma matrix of a statement, building it on first use."""
         shell = self._shell(query)
@@ -184,6 +189,7 @@ class InumCache:
             self._matrices[shell.name] = matrix
         return matrix
 
+    # reprolint: requires-lock (see build: callers serialize)
     def prepare(self, workload: Workload,
                 candidates: Iterable[Index] = (),
                 build_workers: int | None = None,
@@ -290,6 +296,7 @@ class InumCache:
             matrix.ensure_columns(indexes)
         return shell, templates, matrix
 
+    # reprolint: requires-lock (see build: callers serialize)
     def adopt_built(self, entries: Iterable[tuple[Query, tuple[TemplatePlan, ...],
                                                   QueryGammaMatrix | None]],
                     build_calls: int = 0) -> None:
@@ -313,6 +320,7 @@ class InumCache:
             with self._metrics_lock:
                 self._build_calls += build_calls
 
+    # reprolint: requires-lock (see build: callers serialize)
     def workload_tensor(self, workload: Workload) -> WorkloadGammaTensor:
         """The stacked gamma tensor of a workload, building it on first use.
 

@@ -172,6 +172,8 @@ class WorkloadGammaTensor:
         return self._position_of.get(query_name)
 
     # ----------------------------------------------------------------- building
+    # reprolint: requires-lock (mutates the shared tensor; callers hold the
+    # owning SchemaContext.lock or operate on a process-local cache)
     def ensure_columns(self, indexes: Iterable[Index]) -> None:
         """Extend the shared column mapping with any not-yet-seen indexes.
 
@@ -302,6 +304,8 @@ class QueryTensorView:
         """The underlying per-query matrix (correctness oracle)."""
         return self._matrix
 
+    # reprolint: requires-lock (mutates the shared tensor; callers hold the
+    # owning SchemaContext.lock or operate on a process-local cache)
     def ensure_columns(self, indexes: Iterable[Index]) -> None:
         """Register columns tensor-wide (keeps matrix and stack in sync)."""
         self._tensor.ensure_columns(indexes)

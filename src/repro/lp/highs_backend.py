@@ -10,7 +10,8 @@ from scipy import optimize
 from repro.lp.budget import SolveBudget
 from repro.lp.model import Model, ObjectiveSense
 from repro.lp.solution import Solution, SolutionStatus
-from repro.lp.variable import Variable, VariableKind
+from repro.lp.variable import Variable
+
 
 __all__ = ["LinearRelaxationBackend", "MilpBackend"]
 

@@ -17,6 +17,26 @@ and code running outside any request falls back to the process-wide
 simply declare name/help/labels inline; :func:`declare_standard_metrics`
 pre-registers the stack's standard families so ``/v1/metrics`` exposes them
 (as empty families) even before the first request.
+
+Label cardinality contract (enforced by the ``metric-label-cardinality``
+reprolint rule): every label value must come from a *bounded* set, because
+each distinct value materializes one sample series per family.  The bounded
+domains and where each is pinned:
+
+* ``advisor`` — names in the advisor registry (``repro.api.registry``).
+* ``site`` — ``FAULT_SITES`` in ``repro.reliability.faults`` (plus the
+  literal ``http_client``).
+* ``tier`` / ``solve_tier`` — the anytime solve tiers, validated on
+  ``SolveBudget`` construction.
+* ``endpoint`` — route *patterns* from ``repro.server.app._endpoint_pattern``
+  (never raw request paths).
+* ``method`` / ``status`` — HTTP verbs and status codes.
+* ``event`` / ``cache`` / ``outcome`` / ``kind`` / ``stage`` — short literal
+  event names at the call site.
+
+Raw request data — statement names, schema names, paths, anything
+interpolated into a string — must never become a label value; put it in a
+log event or a trace span attribute instead.
 """
 
 from __future__ import annotations

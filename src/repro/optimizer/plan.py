@@ -9,7 +9,8 @@ whose cost becomes the ``beta`` constant of linear composability.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Iterator
 
 from repro.indexes.index import Index

@@ -22,7 +22,8 @@ black box.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping
+from typing import Iterable
+
 
 from repro.catalog.schema import Schema
 from repro.exceptions import OptimizerError
@@ -33,7 +34,9 @@ from repro.optimizer.cost_model import CostModel
 from repro.optimizer.join_enumeration import PlanBuilder
 from repro.optimizer.plan import Plan, ScanNode
 from repro.optimizer.selectivity import SelectivityEstimator
-from repro.workload.query import Query, SelectQuery, StatementKind, UpdateQuery
+from repro.workload.query import Query, UpdateQuery
+
+
 
 __all__ = ["WhatIfOptimizer"]
 

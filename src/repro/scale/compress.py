@@ -247,6 +247,8 @@ def structural_statement_key(query: Query, max_cost_error: float = 0.0
 _structural_key = structural_statement_key
 
 
+# reprolint: requires-lock (gamma read-through builds lazily; reached only via
+# compress_workload under the scale-out advisor's serialization)
 def _gamma_key(query: Query, inum: "InumCache", max_cost_error: float
                ) -> Hashable:
     shell = _shell_of(query)

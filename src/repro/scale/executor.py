@@ -69,7 +69,8 @@ from repro.reliability.faults import FaultPlan, armed_plan, maybe_check
 from repro.reliability.retry import RetryPolicy, default_retryable
 from repro.scale.partition import Shard
 from repro.workload.query import Query
-from repro.workload.workload import Workload, WorkloadStatement
+from repro.workload.workload import Workload
+
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking import only
     from repro.scale.partition import PartitionPlan
@@ -363,6 +364,8 @@ def _failed_shard_result(shard: Shard, exc: BaseException,
         failed=True, failure=f"{type(exc).__name__}: {exc}")
 
 
+# reprolint: requires-lock (inline path runs under the caller's context lock;
+# the worker path operates on a process-local cache)
 def _solve_shard_inline(shard: Shard, inum: InumCache,
                         backend: SolverBackend, gap_tolerance: float,
                         time_limit_seconds: float | None,

@@ -509,7 +509,8 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
                 "HTTP requests served, by route pattern and status",
                 ("endpoint", "method", "status"),
             ).inc(endpoint=endpoint, method=method,
-                  status=str(self._status_sent))
+                  # HTTP status codes are a closed set.
+                  status=str(self._status_sent))  # reprolint: disable=metric-label-cardinality
             registry.histogram(
                 "repro_http_request_seconds",
                 "Wall-clock seconds per HTTP request",

@@ -21,7 +21,8 @@ from repro.catalog.schema import Schema
 from repro.catalog.tpch import tpch_schema
 from repro.exceptions import WorkloadError
 from repro.workload.predicates import ColumnRef, ComparisonOperator, JoinPredicate, SimplePredicate
-from repro.workload.query import Aggregate, AggregateFunction, Query, SelectQuery, UpdateQuery
+from repro.workload.query import Aggregate, AggregateFunction, SelectQuery, UpdateQuery
+
 from repro.workload.templates_tpch import (
     SELECT_TEMPLATES,
     UPDATE_TEMPLATES,

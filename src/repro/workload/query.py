@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
+
 
 from repro.catalog.schema import Schema
 from repro.exceptions import WorkloadError
 from repro.workload.predicates import (
     ColumnRef,
-    ComparisonOperator,
     JoinPredicate,
     SimplePredicate,
 )

@@ -15,7 +15,8 @@ Update templates (used to mix UPDATE statements into the workloads) touch the
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+from typing import Callable
+
 
 from repro.workload.predicates import ColumnRef, ComparisonOperator, JoinPredicate, SimplePredicate
 from repro.workload.query import Aggregate, AggregateFunction, Query, SelectQuery, UpdateQuery

@@ -7,7 +7,9 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.catalog.schema import Schema
 from repro.exceptions import WorkloadError
-from repro.workload.query import Query, SelectQuery, StatementKind, UpdateQuery
+from repro.workload.query import Query, StatementKind
+
+
 
 __all__ = ["WorkloadStatement", "Workload"]
 

@@ -1,0 +1,353 @@
+"""Fixture tests for the reprolint rules (PR 9).
+
+Every rule is proven on a seeded violation (the rule fires) and on the fixed
+tree (the rule stays quiet).  Fixtures are tiny source trees written into
+``tmp_path`` and analyzed through the Python API via ``--root``-style loading;
+rules that read repo configuration (``FAULT_SITES``, ``_TIMING_KEYS``) fall
+back to built-in defaults when the config modules are absent from the tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis, rule_by_name
+from repro.analysis.rules import ALL_RULES
+
+
+def run_tree(tmp_path: Path, files: dict[str, str], rule: str | None = None):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    rules = None
+    if rule is not None:
+        selected = rule_by_name(rule)
+        assert selected is not None, rule
+        rules = [selected]
+    return run_analysis(tmp_path, rules=rules)
+
+
+def test_rule_registry_is_complete():
+    names = {rule.name for rule in ALL_RULES}
+    assert {"fingerprint-purity", "fault-site-discipline", "lock-discipline",
+            "metric-label-cardinality", "wire-codec-completeness",
+            "worker-pickle-safety", "runtime-assert",
+            "unused-import"} <= names
+    assert rule_by_name("no-such-rule") is None
+
+
+# --------------------------------------------------------------- fingerprint
+def test_fingerprint_purity_catches_undeclared_clock_key(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/record.py": """\
+        import time
+
+        def record(extras):
+            started = time.perf_counter()
+            extras["started_at"] = time.time() - started
+        """}, rule="fingerprint-purity")
+    assert [f.rule for f in findings] == ["fingerprint-purity"]
+    assert "started_at" in findings[0].message
+
+
+def test_fingerprint_purity_accepts_declared_timing_keys(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/record.py": """\
+        import time
+
+        def record(extras, timings):
+            started = time.perf_counter()
+            extras["elapsed_seconds"] = time.time() - started
+            timings["prepare"] = time.perf_counter() - started
+        """}, rule="fingerprint-purity")
+    assert findings == []
+
+
+def test_fingerprint_purity_catches_tainted_diagnostics_kwarg(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/diag.py": """\
+        import time
+
+        def build(TuningDiagnostics):
+            stamp = time.time()
+            return TuningDiagnostics(gap=0.0, started=stamp)
+        """}, rule="fingerprint-purity")
+    assert len(findings) == 1 and "started" in findings[0].message
+
+
+# ---------------------------------------------------------------- fault sites
+def test_fault_site_rule_requires_literal_known_site(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/solve.py": """\
+        def solve(plan, site):
+            maybe_check(plan, site)
+
+        def solve2(plan):
+            maybe_check(plan, "not_a_site")
+        """}, rule="fault-site-discipline")
+    messages = sorted(f.message for f in findings)
+    assert len(findings) == 2
+    assert "string literal" in messages[1]
+    assert "not a member of FAULT_SITES" in messages[0]
+
+
+def test_fault_site_rule_requires_check_before_work(tmp_path):
+    bad = run_tree(tmp_path / "bad", {"pkg/solve.py": """\
+        def solve(plan, inum, workload, candidates):
+            inum.prepare(workload, candidates)
+            maybe_check(plan, "shard_solve")
+        """}, rule="fault-site-discipline")
+    assert len(bad) == 1 and "dominate" in bad[0].message
+
+    good = run_tree(tmp_path / "good", {"pkg/solve.py": """\
+        def solve(plan, inum, workload, candidates):
+            maybe_check(plan, "shard_solve")
+            inum.prepare(workload, candidates)
+        """}, rule="fault-site-discipline")
+    assert good == []
+
+
+# ----------------------------------------------------------------- lock rule
+def test_lock_rule_flags_unprotected_root(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/uses.py": """\
+        def refresh(context, workload, candidates):
+            context.inum.prepare(workload, candidates)
+        """}, rule="lock-discipline")
+    assert len(findings) == 1
+    assert "prepare" in findings[0].message
+
+
+def test_lock_rule_accepts_lexical_lock_and_annotation(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/uses.py": """\
+        def locked(context, workload, candidates):
+            with context.lock:
+                context.inum.prepare(workload, candidates)
+
+        # reprolint: requires-lock (caller serializes)
+        def annotated(context, workload, candidates):
+            context.inum.prepare(workload, candidates)
+        """}, rule="lock-discipline")
+    assert findings == []
+
+
+def test_lock_rule_walks_callers(tmp_path):
+    # The mutator sits in a helper; safety is decided by the caller edges.
+    good = run_tree(tmp_path / "good", {"pkg/uses.py": """\
+        def _refresh(context, workload, candidates):
+            context.inum.prepare(workload, candidates)
+
+        def entry(context, workload, candidates):
+            with context.lock:
+                _refresh(context, workload, candidates)
+        """}, rule="lock-discipline")
+    assert good == []
+
+    bad = run_tree(tmp_path / "bad", {"pkg/uses.py": """\
+        def _refresh(context, workload, candidates):
+            context.inum.prepare(workload, candidates)
+
+        def entry(context, workload, candidates):
+            _refresh(context, workload, candidates)
+        """}, rule="lock-discipline")
+    assert len(bad) == 1
+
+
+# -------------------------------------------------------------- metric labels
+def test_metric_label_rule_flags_interpolated_label(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/obs.py": """\
+        def record(registry, query_name):
+            registry.counter("c", "d", ("q",)).inc(q=f"query-{query_name}")
+        """}, rule="metric-label-cardinality")
+    assert len(findings) == 1 and "bounded" in findings[0].message
+
+
+def test_metric_label_rule_accepts_bounded_values(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/obs.py": """\
+        def record(registry, site, outcome):
+            registry.counter("c", "d", ("site",)).inc(site=site)
+            registry.counter("c2", "d", ("s",)).inc(s="literal")
+            registry.histogram("h", "d", ("o",)).observe(1.0, o=outcome)
+
+        def enumish(registry, solution):
+            registry.counter("c3", "d", ("s",)).inc(
+                s=solution.status.name.lower())
+        """}, rule="metric-label-cardinality")
+    assert findings == []
+
+
+# ----------------------------------------------------------------- wire codec
+_WIRE_SPECS = """\
+    from dataclasses import dataclass
+
+    @dataclass
+    class TuningRequest:
+        workload: object
+        shiny: int = 0
+    """
+
+
+def test_wire_rule_catches_dropped_field(tmp_path):
+    findings = run_tree(tmp_path, {
+        "repro/api/specs.py": _WIRE_SPECS,
+        "repro/server/wire.py": """\
+        _REQUEST_FIELDS = frozenset({"workload"})
+
+        def encode_request(request):
+            return {"workload": request.workload}
+
+        def decode_request(payload):
+            return payload.get("workload")
+        """}, rule="wire-codec-completeness")
+    assert len(findings) == 1
+    assert "shiny" in findings[0].message and "_REQUEST_FIELDS" in findings[0].message
+
+
+def test_wire_rule_passes_complete_codec(tmp_path):
+    findings = run_tree(tmp_path, {
+        "repro/api/specs.py": _WIRE_SPECS,
+        "repro/server/wire.py": """\
+        _REQUEST_FIELDS = frozenset({"workload", "shiny"})
+
+        def encode_request(request):
+            return {"workload": request.workload, "shiny": request.shiny}
+
+        def decode_request(payload):
+            return (payload.get("workload"), payload.get("shiny"))
+        """}, rule="wire-codec-completeness")
+    assert findings == []
+
+
+def test_wire_rule_requires_version_gate_for_post_v1_fields(tmp_path):
+    findings = run_tree(tmp_path, {
+        "repro/api/specs.py": """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class AdvisorSpec:
+            name: str = "cophy"
+            time_budget_ms: int | None = None
+        """,
+        "repro/server/wire.py": """\
+        _ADVISOR_FIELDS_V1 = frozenset({"name"})
+        _ADVISOR_FIELDS = _ADVISOR_FIELDS_V1 | frozenset({"time_budget_ms"})
+
+        def encode_request(request):
+            return {"name": request.name,
+                    "time_budget_ms": request.time_budget_ms}
+
+        def decode_request(payload):
+            return (payload.get("name"), payload.get("time_budget_ms"))
+        """}, rule="wire-codec-completeness")
+    messages = " ".join(f.message for f in findings)
+    assert "unconditionally" in messages        # encoder lacks the version bump
+    assert "selecting the field set" in messages  # decoder lacks the gate
+
+
+# ------------------------------------------------------------- pickle safety
+def test_pickle_rule_flags_cached_hash_without_setstate(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/thing.py": """\
+        class Thing:
+            def __init__(self, key):
+                self.key = key
+                self._hash = hash(key)
+        """}, rule="worker-pickle-safety")
+    assert len(findings) == 1 and "Thing" in findings[0].message
+
+
+def test_pickle_rule_accepts_setstate_recompute(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/thing.py": """\
+        class Thing:
+            def __init__(self, key):
+                self.key = key
+                self._hash = hash(key)
+
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                state.pop("_hash", None)
+                return state
+
+            def __setstate__(self, state):
+                self.__dict__.update(state)
+                self._hash = hash(self.key)
+
+        class Frozen:
+            def __init__(self, key):
+                object.__setattr__(self, "_hash", hash(key))
+
+            def __setstate__(self, state):
+                object.__setattr__(self, "_hash", hash(state["key"]))
+        """}, rule="worker-pickle-safety")
+    assert findings == []
+
+
+# ------------------------------------------------------------------- hygiene
+def test_runtime_assert_rule_and_suppression(tmp_path):
+    bad = run_tree(tmp_path / "bad", {"pkg/mod.py": """\
+        def check(x):
+            assert x > 0
+            return x
+        """}, rule="runtime-assert")
+    assert len(bad) == 1 and "python -O" in bad[0].message
+
+    suppressed = run_tree(tmp_path / "ok", {"pkg/mod.py": """\
+        def check(x):
+            assert x > 0  # reprolint: disable=runtime-assert
+            return x
+        """}, rule="runtime-assert")
+    assert suppressed == []
+
+
+def test_unused_import_rule(tmp_path):
+    bad = run_tree(tmp_path / "bad", {"pkg/mod.py": """\
+        import os
+        from typing import Mapping
+
+        VALUE = 1
+        """}, rule="unused-import")
+    assert sorted(f.message for f in bad) == [
+        "imported name 'Mapping' is unused",
+        "imported name 'os' is unused",
+    ]
+
+    good = run_tree(tmp_path / "good", {"pkg/mod.py": """\
+        import os
+        from typing import Mapping
+
+        def env() -> Mapping[str, str]:
+            return dict(os.environ)
+        """}, rule="unused-import")
+    assert good == []
+
+
+def test_unused_import_rule_respects_all_and_init(tmp_path):
+    findings = run_tree(tmp_path, {
+        "pkg/__init__.py": "from os import path\n",
+        "pkg/mod.py": """\
+        from os import path
+
+        __all__ = ["path"]
+        """}, rule="unused-import")
+    assert findings == []
+
+
+# ------------------------------------------------------------------- engine
+def test_parse_errors_surface_as_findings(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/broken.py": "def broken(:\n"})
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+def test_docstring_pragma_examples_are_not_live(tmp_path):
+    findings = run_tree(tmp_path, {"pkg/mod.py": '''\
+        """Docs quoting ``# reprolint: disable=<rule>`` must not parse."""
+
+        def check(x):
+            assert x > 0
+            return x
+        '''}, rule="runtime-assert")
+    assert len(findings) == 1  # the assert still fires; the docstring is inert
+
+
+def test_repo_tree_is_clean_under_all_rules():
+    src = Path(__file__).resolve().parents[1] / "src"
+    findings = run_analysis(src)
+    assert findings == [], [f.render() for f in findings]

@@ -69,3 +69,147 @@ class TestRegressionGate:
         done = _run("--fresh", str(fresh), "--baseline", str(baseline),
                     "--update-baseline", "--margin", "1.5")
         assert done.returncode != 0
+
+
+# --------------------------------------------------------------------------
+# reprolint CLI contract (PR 9): python -m repro.analysis
+# --------------------------------------------------------------------------
+
+import os
+import textwrap
+
+_LINT_ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+
+
+def _lint(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True, text=True, env=_LINT_ENV, cwd=REPO_ROOT)
+
+
+def _tree(tmp_path: Path, files: dict) -> Path:
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return tmp_path
+
+
+_BAD_TREE = {
+    "pkg/mod.py": """\
+    import os
+
+    def check(x):
+        assert x > 0
+        return x
+    """,
+}
+
+_CLEAN_TREE = {
+    "pkg/mod.py": """\
+    def check(x):
+        if x <= 0:
+            raise ValueError(x)
+        return x
+    """,
+}
+
+
+class TestReprolintCli:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        root = _tree(tmp_path, _CLEAN_TREE)
+        done = _lint("--root", str(root), "--no-baseline")
+        assert done.returncode == 0, done.stdout + done.stderr
+        assert "0 finding(s)" in done.stdout
+
+    def test_findings_exit_one_with_file_line_rule(self, tmp_path):
+        root = _tree(tmp_path, _BAD_TREE)
+        done = _lint("--root", str(root), "--no-baseline")
+        assert done.returncode == 1
+        assert "pkg/mod.py:4: [runtime-assert]" in done.stdout
+        assert "pkg/mod.py:1: [unused-import]" in done.stdout
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        root = _tree(tmp_path, _CLEAN_TREE)
+        done = _lint("--root", str(root), "--rule", "no-such-rule")
+        assert done.returncode == 2
+        assert "unknown rule" in done.stderr
+
+    def test_bad_flag_exits_two(self):
+        done = _lint("--frobnicate")
+        assert done.returncode == 2
+
+    def test_rule_filter_restricts_findings(self, tmp_path):
+        root = _tree(tmp_path, _BAD_TREE)
+        done = _lint("--root", str(root), "--no-baseline",
+                     "--rule", "runtime-assert")
+        assert done.returncode == 1
+        assert "[runtime-assert]" in done.stdout
+        assert "[unused-import]" not in done.stdout
+
+    def test_update_baseline_round_trip(self, tmp_path):
+        root = _tree(tmp_path, _BAD_TREE)
+        baseline = tmp_path / "baseline.json"
+        done = _lint("--root", str(root), "--baseline", str(baseline),
+                     "--update-baseline")
+        assert done.returncode == 0, done.stdout + done.stderr
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        assert {entry["rule"] for entry in payload["findings"]} == {
+            "runtime-assert", "unused-import"}
+        assert all("justification" in entry for entry in payload["findings"])
+        # One finding object per line keeps baseline diffs reviewable.
+        body = baseline.read_text()
+        assert body.count('"rule"') == len(payload["findings"])
+        for line in body.splitlines():
+            assert line.count('"rule"') <= 1
+        # The grandfathered findings no longer fail the run...
+        done = _lint("--root", str(root), "--baseline", str(baseline))
+        assert done.returncode == 0
+        assert "2 grandfathered" in done.stdout
+        # ...but a fresh violation still does.
+        (root / "pkg" / "extra.py").write_text(
+            "def f(y):\n    assert y\n", encoding="utf-8")
+        done = _lint("--root", str(root), "--baseline", str(baseline))
+        assert done.returncode == 1
+        assert "pkg/extra.py:2: [runtime-assert]" in done.stdout
+
+    def test_stale_baseline_entries_are_reported_not_fatal(self, tmp_path):
+        root = _tree(tmp_path, _BAD_TREE)
+        baseline = tmp_path / "baseline.json"
+        _lint("--root", str(root), "--baseline", str(baseline),
+              "--update-baseline")
+        _tree(tmp_path, _CLEAN_TREE)  # fix the violations in place
+        (root / "pkg" / "mod.py").write_text(
+            textwrap.dedent(_CLEAN_TREE["pkg/mod.py"]), encoding="utf-8")
+        done = _lint("--root", str(root), "--baseline", str(baseline))
+        assert done.returncode == 0
+        assert "stale baseline" in done.stdout
+
+    def test_inline_suppression_parsing(self, tmp_path):
+        root = _tree(tmp_path, {"pkg/mod.py": """\
+            def check(x):
+                assert x > 0  # reprolint: disable=runtime-assert
+                return x
+            """})
+        done = _lint("--root", str(root), "--no-baseline")
+        assert done.returncode == 0, done.stdout + done.stderr
+
+    def test_missing_baseline_path_exits_two(self, tmp_path):
+        root = _tree(tmp_path, _CLEAN_TREE)
+        done = _lint("--root", str(root), "--baseline",
+                     str(tmp_path / "nope.json"))
+        assert done.returncode == 2
+
+    def test_list_rules(self):
+        done = _lint("--list-rules")
+        assert done.returncode == 0
+        for name in ("fingerprint-purity", "fault-site-discipline",
+                     "lock-discipline", "metric-label-cardinality",
+                     "wire-codec-completeness", "worker-pickle-safety",
+                     "runtime-assert", "unused-import"):
+            assert name in done.stdout
+
+    def test_repo_default_run_is_clean_and_fast(self):
+        done = _lint()
+        assert done.returncode == 0, done.stdout + done.stderr
