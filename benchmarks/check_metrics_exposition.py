@@ -44,6 +44,8 @@ REQUIRED_LIVE_SERIES = (
     "repro_cache_events_total",
     "repro_http_requests_total",
     "repro_http_request_seconds_count",
+    "repro_lock_wait_seconds_count",
+    "repro_queue_wait_seconds_count",
 )
 
 
@@ -101,7 +103,11 @@ def scrape_live() -> tuple[str, str]:
         constraints=[StorageBudgetConstraint.from_fraction_of_data(
             schema, 1.0)])
     with TuningServer(namespace_statements=True) as server:
-        TuningClient(server.url).tune(request)
+        client = TuningClient(server.url)
+        client.tune(request)
+        # A one-request batch goes through the service's thread pool, which
+        # is the only path that records repro_queue_wait_seconds samples.
+        client.tune_many([request])
         # The tune handler records its HTTP counters *after* writing the
         # response body, so give that finally-block a moment to land.
         for _ in range(50):

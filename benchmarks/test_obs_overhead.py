@@ -68,3 +68,41 @@ def test_observability_overhead_is_bounded(bench_record):
     assert ratio <= TARGET_OVERHEAD, (
         f"tracing+metrics cost {ratio:.3f}x the untraced pipeline "
         f"(budget {TARGET_OVERHEAD}x)")
+
+
+def test_introspection_defaults_overhead_is_bounded(bench_record):
+    """PR 10's default knobs (trace store + wait accounting + per-span CPU
+    clocks, profiling *off*) must stay inside the same 5% budget.
+
+    ``profile_every=None`` is the default and the contract: sampled cProfile
+    captures are opt-in precisely because they do not fit this budget.
+    """
+    schema = make_schema()
+    workload = generate_homogeneous_workload(STATEMENTS, seed=SEED)
+    request = TuningRequest(workload=workload, schema=schema,
+                            constraints=[storage_budget(schema)])
+
+    introspected = Tuner(trace_store_size=128, slow_threshold_ms=250.0)
+    bare = Tuner(tracing=False, trace_store_size=0)
+    introspected.tune(request)
+    bare.tune(request)
+
+    introspected_s = _best_tune_seconds(introspected, request)
+    bare_s = _best_tune_seconds(bare, request)
+    ratio = introspected_s / bare_s
+
+    print_report(
+        "Introspection overhead (trace store + wait accounting vs off)",
+        f"statements={STATEMENTS}  bare={bare_s * 1000:.1f} ms  "
+        f"introspected={introspected_s * 1000:.1f} ms  ratio={ratio:.3f}  "
+        f"(target <= {TARGET_OVERHEAD})")
+    bench_record("introspection_overhead",
+                 statements=STATEMENTS,
+                 bare_ms=round(bare_s * 1000, 2),
+                 introspected_ms=round(introspected_s * 1000, 2),
+                 introspection_cost_ratio=round(ratio, 4),
+                 overhead_budget=TARGET_OVERHEAD)
+
+    assert ratio <= TARGET_OVERHEAD, (
+        f"default introspection costs {ratio:.3f}x the bare pipeline "
+        f"(budget {TARGET_OVERHEAD}x)")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.rules.base import Finding, Rule
+from repro.analysis.rules.buffers import BoundedBufferRule
 from repro.analysis.rules.faultsites import FaultSiteRule
 from repro.analysis.rules.fingerprint import FingerprintPurityRule
 from repro.analysis.rules.hygiene import RuntimeAssertRule, UnusedImportRule
@@ -19,6 +20,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FaultSiteRule(),
     LockDisciplineRule(),
     MetricLabelRule(),
+    BoundedBufferRule(),
     WireCompletenessRule(),
     PickleHashRule(),
     RuntimeAssertRule(),

@@ -1,0 +1,100 @@
+"""bounded-buffer: ``obs/`` collections retaining per-request state are bounded.
+
+The observability layer is the one part of the stack that *accumulates*
+per-request artefacts (traces, hotspot tables, samples) inside a long-lived
+server process.  PR 10's contract: every such collection is constructed with
+an explicit capacity bound — a literal, a constructor parameter, or an
+``int(parameter)`` coercion — so a busy server's memory stays flat no matter
+how many requests it serves.
+
+Two checks, both scoped to ``obs/`` modules:
+
+* every ``collections.deque`` constructed there must pass ``maxlen=`` (an
+  unbounded deque is the classic accidental ring-buffer-without-the-ring);
+* every class exposing a ``record(...)`` method (the per-request retention
+  idiom — :class:`~repro.obs.store.TraceStore` is the archetype) must have an
+  ``__init__`` that assigns at least one ``self.<capacity-ish>`` attribute
+  from a bounded expression.  Capacity-ish means the attribute name contains
+  one of ``capacity`` / ``maxlen`` / ``limit`` / ``size``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.loader import SourceModule
+from repro.analysis.project import Project, call_name
+from repro.analysis.rules.base import Finding, Rule, keyword_arguments
+
+__all__ = ["BoundedBufferRule"]
+
+#: Attribute-name fragments that denote a capacity bound.
+_CAPACITY_WORDS = ("capacity", "maxlen", "limit", "size")
+
+
+def _is_bounded_expr(expr: ast.expr, params: set[str]) -> bool:
+    """Literal int, a constructor parameter, or int()/min() over those."""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, int) and not isinstance(expr.value, bool)
+    if isinstance(expr, ast.Name):
+        return expr.id in params
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name in ("int", "min", "max"):
+            return all(_is_bounded_expr(arg, params) for arg in expr.args)
+    return False
+
+
+class BoundedBufferRule(Rule):
+    name = "bounded-buffer"
+    description = ("obs/ collections retaining per-request state must be "
+                   "constructed with a capacity bound")
+
+    def visit(self, module: SourceModule,
+              project: Project) -> Iterable[Finding]:
+        if "/obs/" not in f"/{module.relpath}":
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call) and call_name(node) == "deque"
+                    and "maxlen" not in dict(keyword_arguments(node))):
+                yield self.finding(
+                    module, node,
+                    "deque in obs/ constructed without maxlen=; per-request "
+                    "retention must be capacity-bounded")
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_recorder(module, node)
+
+    # ---------------------------------------------------------------- helpers
+    def _check_recorder(self, module: SourceModule,
+                        cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = {entry.name: entry for entry in cls.body
+                   if isinstance(entry, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+        if "record" not in methods:
+            return
+        init = methods.get("__init__")
+        if init is not None and self._declares_bound(init):
+            return
+        yield self.finding(
+            module, cls,
+            f"class {cls.name} records per-request state but its __init__ "
+            "assigns no capacity bound (self.<capacity|maxlen|limit|size> "
+            "from a literal or parameter)")
+
+    def _declares_bound(self, init: ast.FunctionDef) -> bool:
+        params = {arg.arg for arg in init.args.args}
+        params |= {arg.arg for arg in init.args.kwonlyargs}
+        params.discard("self")
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and any(word in target.attr.lower()
+                                for word in _CAPACITY_WORDS)
+                        and _is_bounded_expr(node.value, params)):
+                    return True
+        return False

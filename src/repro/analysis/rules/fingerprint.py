@@ -30,7 +30,8 @@ CLOCK_CALLS = frozenset({"time", "perf_counter", "monotonic", "process_time",
 #: (fixture runs); on the real repo the sets are parsed from source.
 DEFAULT_TIMING_KEYS = frozenset({"timings", "elapsed_seconds", "solve_seconds",
                                  "total_seconds", "seconds"})
-DEFAULT_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace"})
+DEFAULT_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace",
+                                   "profile"})
 
 _TIMING_WORDS = ("seconds", "timing", "duration", "elapsed", "_ms")
 

@@ -42,6 +42,11 @@ BOUNDED_DERIVATIONS = frozenset({"_endpoint_pattern", "canonical_name"})
 
 _CASE_FOLDS = frozenset({"lower", "upper"})
 
+#: Keyword arguments of the metric methods that are NOT labels: ``exemplar``
+#: deliberately carries a per-request trace id (it becomes snapshot metadata
+#: on the one slowest sample, never a new series).
+_NON_LABEL_KWARGS = frozenset({"exemplar"})
+
 
 def _receiver_mentions_metric(call: ast.Call) -> bool:
     if not isinstance(call.func, ast.Attribute):
@@ -85,6 +90,8 @@ class MetricLabelRule(Rule):
                         isinstance(site.node.func, ast.Attribute)):
                     continue  # bare inc()/observe() helpers, not metric calls
                 for arg, value in keyword_arguments(site.node):
+                    if arg in _NON_LABEL_KWARGS:
+                        continue
                     if not self._bounded(value, params, assigns, depth=0):
                         yield self.finding(
                             module, value,

@@ -39,8 +39,9 @@ _TIMING_KEYS = frozenset({
 #: ``degraded`` is deliberately NOT here: a degraded result is semantically
 #: different from a complete one and must not fingerprint-match it.
 #: ``trace`` is: span trees are pure timing observation, so a result must
-#: fingerprint identically with tracing on or off.
-_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace"})
+#: fingerprint identically with tracing on or off.  ``profile`` likewise:
+#: sampled hotspot tables are observation, never recommendation.
+_VOLATILE_KEYS = frozenset({"retries", "faults_survived", "trace", "profile"})
 
 
 def index_to_payload(index: Index) -> dict[str, Any]:
@@ -152,9 +153,10 @@ class TuningResult:
     diagnostics: TuningDiagnostics
     provenance: dict[str, Any]
     #: Advisor-specific live extras (Pareto points, the BIP, solve reports…).
-    #: Programmatic-access only and not serialized — except ``"trace"``, the
-    #: exported span tree, which rides the payload so remote callers see the
-    #: server-side trace; everything else is empty after ``from_json``.
+    #: Programmatic-access only and not serialized — except ``"trace"`` (the
+    #: exported span tree) and ``"profile"`` (the sampled hotspot table),
+    #: which ride the payload so remote callers see the server-side view;
+    #: everything else is empty after ``from_json``.
     extras: dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ---------------------------------------------------------------- accessors
@@ -192,12 +194,14 @@ class TuningResult:
                             statement_costs: Sequence[StatementCost] = (),
                             facade_timings: Mapping[str, float] | None = None,
                             trace: Mapping[str, Any] | None = None,
+                            profile: Mapping[str, Any] | None = None,
                             ) -> "TuningResult":
         """Normalise a legacy :class:`Recommendation` into a result.
 
         Node/iteration counts are lifted from the solve report when the
         advisor recorded one in its extras.  ``trace`` (an exported span
-        tree) lands in ``extras["trace"]`` and travels with the payload.
+        tree) and ``profile`` (a sampled hotspot table) land in ``extras``
+        and travel with the payload; both are fingerprint-excluded.
         """
         nodes = iterations = 0
         report = recommendation.extras.get("solve_report")
@@ -225,6 +229,8 @@ class TuningResult:
         extras = dict(recommendation.extras)
         if trace is not None:
             extras["trace"] = dict(trace)
+        if profile is not None:
+            extras["profile"] = dict(profile)
         return cls(
             configuration=recommendation.configuration,
             advisor_name=recommendation.advisor_name,
@@ -255,6 +261,9 @@ class TuningResult:
         trace = self.extras.get("trace")
         if trace is not None:
             payload["trace"] = trace
+        profile = self.extras.get("profile")
+        if profile is not None:
+            payload["profile"] = profile
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -278,6 +287,8 @@ class TuningResult:
         extras: dict[str, Any] = {}
         if payload.get("trace") is not None:
             extras["trace"] = dict(payload["trace"])
+        if payload.get("profile") is not None:
+            extras["profile"] = dict(payload["profile"])
         return cls(
             configuration=configuration,
             advisor_name=payload["advisor"],

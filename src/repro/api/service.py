@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import contextvars
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Iterable
@@ -42,6 +43,8 @@ from repro.api.tuner import (
 )
 from repro.core.interactive import InteractiveTuningSession
 from repro.exceptions import ServerOverloaded
+from repro.obs.metrics import WAIT_BUCKETS, histogram_quantiles, use_registry
+from repro.obs.profile import note_queue_wait
 
 __all__ = ["TuningService", "TuningSession"]
 
@@ -111,6 +114,12 @@ class TuningService:
             — the HTTP front-end maps it to ``429`` + ``Retry-After``.
             ``None`` (default) admits everything.
         retry_after_s: Backoff hint attached to overload rejections.
+        trace_store_size: Capacity of the service Tuner's trace store
+            (forwarded; 0 disables retention).
+        slow_threshold_ms: Slow-request pinning threshold for the trace
+            store (forwarded to the service's own Tuner).
+        profile_every: Sampled-``cProfile`` cadence (forwarded to the
+            service's own Tuner).
     """
 
     def __init__(self, tuner: Tuner | None = None,
@@ -119,18 +128,33 @@ class TuningService:
                  max_contexts: int | None = None,
                  context_ttl_s: float | None = None,
                  max_pending: int | None = None,
-                 retry_after_s: float = 1.0):
+                 retry_after_s: float = 1.0,
+                 trace_store_size: int | None = None,
+                 slow_threshold_ms: float | None = None,
+                 profile_every: int | None = None):
         if tuner is not None and (max_contexts is not None
-                                  or context_ttl_s is not None):
+                                  or context_ttl_s is not None
+                                  or trace_store_size is not None
+                                  or slow_threshold_ms is not None
+                                  or profile_every is not None):
             raise ValueError(
-                "max_contexts/context_ttl_s configure the service's own "
-                "Tuner; when supplying a Tuner, set them on it directly")
+                "max_contexts/context_ttl_s/trace_store_size/"
+                "slow_threshold_ms/profile_every configure the service's "
+                "own Tuner; when supplying a Tuner, set them on it directly")
         if max_pending is not None and max_pending < 0:
             raise ValueError("max_pending must be non-negative (or None)")
         if retry_after_s <= 0:
             raise ValueError("retry_after_s must be positive")
+        tuner_kwargs: dict[str, Any] = {}
+        if trace_store_size is not None:
+            tuner_kwargs["trace_store_size"] = trace_store_size
+        if slow_threshold_ms is not None:
+            tuner_kwargs["slow_threshold_ms"] = slow_threshold_ms
+        if profile_every is not None:
+            tuner_kwargs["profile_every"] = profile_every
         self._tuner = tuner or Tuner(max_contexts=max_contexts,
-                                     context_ttl_s=context_ttl_s)
+                                     context_ttl_s=context_ttl_s,
+                                     **tuner_kwargs)
         self._max_workers = max_workers
         self._namespace_statements = bool(namespace_statements)
         self._max_pending = max_pending
@@ -162,6 +186,10 @@ class TuningService:
         self._pending_metric = metrics.gauge(
             "repro_pending_requests",
             "Requests admitted but not yet finished")
+        self._queue_wait_metric = metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Seconds requests waited in the service pool queue",
+            buckets=WAIT_BUCKETS)
         #: Set on pool threads whose request already holds a pending slot
         #: (acquired at submit() time), so tune() does not acquire a second.
         self._slot_held = threading.local()
@@ -256,6 +284,25 @@ class TuningService:
                      if key[2] != "error")
         pending = snap.get("repro_pending_requests", {}).get((), 0.0)
         plan = self._tuner.effective_fault_plan()
+
+        # Streaming latency SLOs: per-advisor p50/p95/p99 interpolated from
+        # the full bucket data of the same atomic snapshot, with the slowest
+        # request's exemplar trace id for drill-down into /v1/traces.
+        latency_slo: dict[str, Any] = {}
+        for labels, sample in snap.get("repro_request_seconds", {}).items():
+            advisor = labels[0] if labels else ""
+            p50, p95, p99 = histogram_quantiles(sample, (0.5, 0.95, 0.99))
+            row: dict[str, Any] = {
+                "count": int(sample.get("count", 0)),
+                "p50_ms": None if p50 is None else round(p50 * 1000.0, 3),
+                "p95_ms": None if p95 is None else round(p95 * 1000.0, 3),
+                "p99_ms": None if p99 is None else round(p99 * 1000.0, 3),
+            }
+            exemplar = sample.get("exemplar")
+            if exemplar is not None:
+                row["exemplar_trace_id"] = exemplar["trace_id"]
+            latency_slo[advisor] = row
+
         return {
             **self._tuner.context_stats(),
             "namespace_statements": self._namespace_statements,
@@ -269,6 +316,7 @@ class TuningService:
             "retries": int(total("repro_result_retries_total")),
             "degraded_results": int(total("repro_degraded_total")),
             "faults_injected": 0 if plan is None else plan.injected_total,
+            "latency_slo": latency_slo,
         }
 
     # ------------------------------------------------------------------ tuning
@@ -290,12 +338,15 @@ class TuningService:
     def _tune_slotted(self, request: TuningRequest) -> TuningResult:
         """The admitted tune path (the caller holds a pending slot)."""
         context = self._tuner.context_for(request.schema, request.costing)
-        with context.lock:
+        with use_registry(self._tuner.metrics), context.lock:
             request, renames = self._admitted(request, context)
             result = tune_in_context(
                 request, context, namespaced=bool(renames),
                 fault_plan=self._tuner.effective_fault_plan(),
-                tracing=self._tuner.tracing, metrics=self._tuner.metrics)
+                tracing=self._tuner.tracing, metrics=self._tuner.metrics,
+                trace_store=self._tuner.trace_store,
+                profiler=self._tuner.profiler,
+                profile_memory=self._tuner.profile_memory)
         # The per-request family (repro_requests_total) was recorded inside
         # tune_in_context; only the service-level views remain.
         if renames:
@@ -334,8 +385,16 @@ class TuningService:
         point); the thread-local marker keeps it from taking a second slot.
         """
         self._acquire_slot()
+        queued_at = time.perf_counter()
 
         def run_admitted() -> TuningResult:
+            # The gap between admission and a pool thread picking the
+            # request up is queue wait: recorded in the service-wide
+            # histogram and noted thread-locally so the request's root span
+            # carries it as ``queue_wait_ms``.
+            waited = time.perf_counter() - queued_at
+            self._queue_wait_metric.observe(waited)
+            note_queue_wait(waited)
             self._slot_held.held = True
             try:
                 return self.tune(request)
@@ -373,7 +432,7 @@ class TuningService:
                 f"Interactive sessions require the 'cophy' advisor; the "
                 f"request asks for {spec.name!r}")
         context = self._tuner.context_for(request.schema, request.costing)
-        with context.lock:
+        with use_registry(self._tuner.metrics), context.lock:
             request, renames = self._admitted(request, context)
             advisor = make_advisor(spec.name, request.schema,
                                    shared_optimizer=context.optimizer,
@@ -476,7 +535,8 @@ class TuningSession:
     # ---------------------------------------------------------------- internals
     def _run(self, method: str, *args: Any) -> TuningResult:
         with self._step_lock:
-            with self._context.lock:
+            with use_registry(self._service.tuner.metrics), \
+                    self._context.lock:
                 recommendation = getattr(self._inner, method)(*args)
             provenance = {
                 "api_version": 1,

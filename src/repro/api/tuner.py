@@ -15,6 +15,7 @@ adds per-context locking and a thread pool on top for concurrent serving.
 
 from __future__ import annotations
 
+import cProfile
 import contextlib
 import hashlib
 import logging
@@ -37,6 +38,13 @@ from repro.obs.metrics import (
     declare_standard_metrics,
     use_registry,
 )
+from repro.obs.profile import (
+    InstrumentedLock,
+    ProfileSampler,
+    drain_pending_waits,
+    ensure_memory_tracking,
+)
+from repro.obs.store import TraceStore
 from repro.obs.trace import Tracer, activate, span
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import UpdateQuery
@@ -110,8 +118,10 @@ class SchemaContext:
         )
         self.candidate_generator = CandidateGenerator(schema)
         #: Serializes cache-mutating pipelines; taken by the TuningService
-        #: around every tune/session call on this context.
-        self.lock = threading.RLock()
+        #: around every tune/session call on this context.  Instrumented:
+        #: every acquisition records its wait into
+        #: ``repro_lock_wait_seconds{lock="schema_context"}``.
+        self.lock = InstrumentedLock("schema_context")
         self._workloads: OrderedDict[Hashable, Workload] = OrderedDict()
         #: Structural digest per statement name ever admitted: the shared
         #: ``InumCache`` keys templates/matrices by statement name, so one
@@ -271,22 +281,55 @@ class Tuner:
             tuner's pipelines record into (activated ambiently around each
             request); a fresh registry with the standard families declared
             is created when omitted.
+        trace_store: An explicit :class:`~repro.obs.store.TraceStore` to
+            record completed traces into; when omitted, one is built from
+            ``trace_store_size`` / ``slow_threshold_ms``.
+        trace_store_size: Capacity of the built-in trace store; 0 disables
+            trace retention entirely (requests still export their trace in
+            the result).
+        slow_threshold_ms: Requests at least this slow are pinned in the
+            store's slow ring so outliers survive rotation.
+        profile_every: Capture a sampled ``cProfile`` hotspot table on every
+            Nth request (``extras["profile"]``; volatile,
+            fingerprint-excluded).  ``None`` (default) disables profiling.
+        profile_memory: Record per-span ``tracemalloc`` peak-allocation
+            deltas (starts tracemalloc process-wide; measurable overhead, so
+            opt-in).
     """
 
     def __init__(self, max_contexts: int | None = None,
                  context_ttl_s: float | None = None,
                  fault_plan=None, tracing: bool = True,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 trace_store: TraceStore | None = None,
+                 trace_store_size: int = 128,
+                 slow_threshold_ms: float | None = None,
+                 profile_every: int | None = None,
+                 profile_memory: bool = False) -> None:
         if max_contexts is not None and max_contexts < 1:
             raise ValueError("max_contexts must be positive (or None)")
         if context_ttl_s is not None and context_ttl_s <= 0:
             raise ValueError("context_ttl_s must be positive (or None)")
+        if trace_store_size < 0:
+            raise ValueError("trace_store_size must be >= 0")
         self.max_contexts = max_contexts
         self.context_ttl_s = context_ttl_s
         self.fault_plan = fault_plan
         self.tracing = bool(tracing)
         self.metrics = (metrics if metrics is not None
                         else declare_standard_metrics(MetricsRegistry()))
+        if trace_store is not None:
+            self.trace_store: TraceStore | None = trace_store
+        elif trace_store_size > 0:
+            self.trace_store = TraceStore(
+                capacity=trace_store_size, slow_threshold_ms=slow_threshold_ms)
+        else:
+            self.trace_store = None
+        self.profiler = (ProfileSampler(profile_every)
+                         if profile_every is not None else None)
+        self.profile_memory = bool(profile_memory)
+        if self.profile_memory:
+            ensure_memory_tracking()
         self._contexts: OrderedDict[tuple[int, CostingSpec], SchemaContext] = \
             OrderedDict()
         self._last_used: dict[tuple[int, CostingSpec], float] = {}
@@ -381,17 +424,23 @@ class Tuner:
         embedded fast path pays nothing for it.
         """
         context = self.context_for(request.schema, request.costing)
-        with context.lock:
+        with use_registry(self.metrics), context.lock:
             return tune_in_context(request, context,
                                    fault_plan=self.effective_fault_plan(),
-                                   tracing=self.tracing, metrics=self.metrics)
+                                   tracing=self.tracing, metrics=self.metrics,
+                                   trace_store=self.trace_store,
+                                   profiler=self.profiler,
+                                   profile_memory=self.profile_memory)
 
 
 # ----------------------------------------------------------------- pipeline
 def tune_in_context(request: TuningRequest, context: SchemaContext, *,
                     namespaced: bool = False,
                     fault_plan=None, tracing: bool = True,
-                    metrics: MetricsRegistry | None = None) -> TuningResult:
+                    metrics: MetricsRegistry | None = None,
+                    trace_store: TraceStore | None = None,
+                    profiler: ProfileSampler | None = None,
+                    profile_memory: bool = False) -> TuningResult:
     """The resolved pipeline: advisor from registry, shared wiring, result.
 
     Factored out of :class:`Tuner` so the service can run it under its own
@@ -413,6 +462,16 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     status are recorded even when the pipeline raises, the facade's
     ``total`` timing is finalized in a ``finally``, and a failed request's
     partial trace is exported to the structured log.
+
+    Performance introspection (PR 10): the lock/queue waits the serving
+    thread accumulated before the pipeline started are drained onto the
+    root span (``lock_wait_ms`` / ``queue_wait_ms``); ``profiler`` decides
+    per-request whether to run the pipeline under ``cProfile`` and attach
+    the hotspot table; ``trace_store`` retains the finished (or
+    failed-partial) trace for ``GET /v1/traces``; and the latency histogram
+    sample carries the trace id as an exemplar so a slow bucket can be
+    chased back to its stored trace.  All of it is observation only — the
+    result fingerprint is bit-identical with every knob on or off.
     """
     from repro.obs.metrics import active_registry
     from repro.reliability.faults import armed, maybe_check
@@ -422,9 +481,12 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     spec = request.resolved_advisor()
     options = request.resolved_options()
     advisor_name = canonical_name(spec.name)
-    tracer = Tracer() if tracing else None
+    tracer = Tracer(track_memory=profile_memory) if tracing else None
     registry = metrics if metrics is not None else active_registry()
     status, tier = "error", "none"
+    profile_capture: cProfile.Profile | None = None
+    profile_payload: dict[str, Any] | None = None
+    trace_payload: dict[str, Any] | None = None
     try:
         with contextlib.ExitStack() as scope:
             scope.enter_context(use_registry(registry))
@@ -436,6 +498,23 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
                     request_id=request.request_id,
                     schema=request.schema.name,
                     statements=len(request.workload)))
+
+            # Attribute the waits that preceded the pipeline (context-lock
+            # acquisition, pool queueing) to this request's root span; the
+            # drain also clears the thread-local so pool-thread reuse never
+            # leaks one request's waits into the next.
+            waits = drain_pending_waits()
+            if root is not None:
+                if "lock_wait_s" in waits:
+                    root.set(lock_wait_ms=round(
+                        waits["lock_wait_s"] * 1000.0, 3))
+                if "queue_wait_s" in waits:
+                    root.set(queue_wait_ms=round(
+                        waits["queue_wait_s"] * 1000.0, 3))
+
+            if profiler is not None and profiler.should_capture():
+                profile_capture = cProfile.Profile()
+                profile_capture.enable()
 
             # Anchor the anytime deadline here so facade work (candidate
             # resolution, cache preparation) spends the same budget the
@@ -521,6 +600,10 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
         # The total facade timing must exist even when the pipeline raises
         # mid-stage, so failed requests still report latency and export a
         # (partial) trace instead of vanishing without a timing record.
+        if profile_capture is not None:
+            profile_capture.disable()
+            profile_payload = profiler.hotspots(profile_capture)
+        drain_pending_waits()  # discard in-pipeline residue
         facade_timings["total"] = time.perf_counter() - started
         registry.counter(
             "repro_requests_total",
@@ -530,13 +613,20 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
         registry.histogram(
             "repro_request_seconds",
             "End-to-end facade latency per tuning request",
-            ("advisor",)).observe(facade_timings["total"],
-                                  advisor=advisor_name)
+            ("advisor",)).observe(
+            facade_timings["total"], advisor=advisor_name,
+            exemplar=tracer.trace_id if tracer is not None else None)
+        trace_payload = tracer.export() if tracer is not None else None
+        if trace_store is not None and trace_payload is not None:
+            trace_store.record(
+                trace_payload, advisor=advisor_name, status=status,
+                duration_ms=facade_timings["total"] * 1000.0,
+                request_id=request.request_id, profile=profile_payload)
         if status == "error" and tracer is not None:
             log_event(logging.WARNING, "tune_failed",
                       advisor=advisor_name, request_id=request.request_id,
                       seconds=round(facade_timings["total"], 4),
-                      trace_id=tracer.trace_id, trace=tracer.export())
+                      trace_id=tracer.trace_id, trace=trace_payload)
 
     provenance = _provenance(request, spec, options, advisor, workload,
                              candidates, prepared=prepared, evaluated=evaluate,
@@ -544,7 +634,7 @@ def tune_in_context(request: TuningRequest, context: SchemaContext, *,
     return TuningResult.from_recommendation(
         recommendation, provenance=provenance,
         statement_costs=statement_costs, facade_timings=facade_timings,
-        trace=tracer.export() if tracer is not None else None)
+        trace=trace_payload, profile=profile_payload)
 
 
 def build_session_result(recommendation: Recommendation,

@@ -19,6 +19,7 @@ from repro.inum.gamma_matrix import QueryGammaMatrix, slot_gamma
 from repro.inum.template_plan import INFEASIBLE_COST, TemplatePlan
 from repro.inum.workload_tensor import WorkloadGammaTensor
 from repro.obs.metrics import active_registry
+from repro.obs.profile import InstrumentedLock
 from repro.optimizer.plan import ScanNode
 
 from repro.optimizer.whatif import WhatIfOptimizer
@@ -114,7 +115,10 @@ class InumCache:
         # method call per (update, index) probe.
         self._ucost_maps: dict[str, dict[Index, float]] = {}
         self._build_calls = 0
-        self._metrics_lock = threading.Lock()
+        # Instrumented: contended build-counter updates during parallel
+        # template builds surface in repro_lock_wait_seconds{lock}.
+        self._metrics_lock = InstrumentedLock("inum_metrics",
+                                              lock=threading.Lock())
 
     # ------------------------------------------------------------------ metrics
     @property

@@ -20,11 +20,50 @@ the advisor/solver layers):
   and a ``REPRO_LOG_LEVEL`` / ``log_level=`` knob.  The silent
   except-and-degrade paths of the scale executor and the HTTP server now
   emit warnings through it, so degradations are never invisible.
+
+Performance introspection (PR 10) builds on those pillars:
+
+* :mod:`repro.obs.profile` — :class:`InstrumentedLock` wait-time accounting
+  (``repro_lock_wait_seconds{lock}``), pool queue-wait accounting
+  (``repro_queue_wait_seconds``), per-request CPU/peak-memory attributes on
+  every span, and opt-in sampled ``cProfile`` capture
+  (``Tuner(profile_every=N)``) whose hotspot table rides
+  ``extras["profile"]`` — volatile and fingerprint-excluded, like the trace.
+* :mod:`repro.obs.store` — :class:`TraceStore`, a bounded thread-safe ring
+  of recent completed traces with slow-request pinning
+  (``slow_threshold_ms``), served at ``GET /v1/traces`` and
+  ``GET /v1/traces/{id}`` and correlated to the metrics through exemplar
+  trace ids on the latency histograms.
+* :mod:`repro.obs.report` — ``python -m repro.obs.report`` renders a stored
+  or exported trace as a flame-style span/hotspot summary.
+* :func:`repro.obs.metrics.histogram_quantiles` — streaming p50/p95/p99
+  from one atomic histogram snapshot; the service surfaces per-advisor
+  latency SLOs in ``/v1/stats`` with it.
+
+Typical usage::
+
+    tuner = Tuner(trace_store_size=128, slow_threshold_ms=250.0,
+                  profile_every=20)
+    result = tuner.tune(request)          # result.extras may carry "profile"
+    tuner.trace_store.summaries(5)        # the last five requests
 """
 
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import log_event
-from repro.obs.metrics import MetricsRegistry, active_registry, use_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    histogram_quantiles,
+    use_registry,
+)
+from repro.obs.profile import (
+    InstrumentedLock,
+    ProfileSampler,
+    drain_pending_waits,
+    ensure_memory_tracking,
+    note_queue_wait,
+)
+from repro.obs.store import TraceStore
 from repro.obs.trace import (
     Tracer,
     activate,
@@ -36,15 +75,22 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "InstrumentedLock",
     "MetricsRegistry",
+    "ProfileSampler",
+    "TraceStore",
     "Tracer",
     "activate",
     "active_registry",
     "adopt",
     "configure_logging",
     "current_trace_id",
+    "drain_pending_waits",
+    "ensure_memory_tracking",
+    "histogram_quantiles",
     "log_event",
     "new_trace_id",
+    "note_queue_wait",
     "span",
     "trace_context",
     "use_registry",

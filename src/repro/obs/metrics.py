@@ -33,6 +33,16 @@ domains and where each is pinned:
 * ``method`` / ``status`` — HTTP verbs and status codes.
 * ``event`` / ``cache`` / ``outcome`` / ``kind`` / ``stage`` — short literal
   event names at the call site.
+* ``lock`` — :class:`~repro.obs.profile.InstrumentedLock` names, fixed at
+  construction (``schema_context``, ``inum_metrics``).  Lock-wait histograms
+  count *every* acquisition — re-entrant and uncontended acquires record a
+  zero wait, so ``_count`` doubles as the acquisition rate.
+
+Histograms optionally carry one *exemplar* per label set — the trace id of
+the slowest observation so far (``observe(value, exemplar=trace_id)``).
+Exemplars surface only through :meth:`MetricsRegistry.snapshot` (and from
+there ``/v1/stats``); :meth:`MetricsRegistry.render` stays plain Prometheus
+text exposition, which the CI grammar check pins.
 
 Raw request data — statement names, schema names, paths, anything
 interpolated into a string — must never become a label value; put it in a
@@ -50,7 +60,7 @@ import contextlib
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_REGISTRY", "METRICS_CONTENT_TYPE", "active_registry",
-           "declare_standard_metrics", "use_registry"]
+           "declare_standard_metrics", "histogram_quantiles", "use_registry"]
 
 #: Content type of the Prometheus text exposition format, as scrapers expect.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -62,6 +72,10 @@ SECONDS_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
 NODES_BUCKETS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0)
 #: Buckets for relative optimality gaps.
 GAP_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+#: Finer sub-second buckets for lock/queue wait times — contention waits are
+#: usually far below request latency, so SECONDS_BUCKETS would flatten them.
+WAIT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                1.0, 2.5, 5.0, 10.0)
 
 
 def _escape_label(value: str) -> str:
@@ -175,7 +189,11 @@ class Histogram(_Metric):
         if not self.buckets:
             raise ValueError("histograms need at least one bucket bound")
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(self, value: float, exemplar: str | None = None,
+                **labels: Any) -> None:
+        """Record one observation; ``exemplar`` optionally attaches a trace
+        id, and the slowest observation's exemplar wins (the one a reader of
+        the latency histogram wants to drill into)."""
         key = self._key(labels)
         value = float(value)
         with self._lock:
@@ -192,6 +210,11 @@ class Histogram(_Metric):
                 sample["counts"][-1] += 1
             sample["sum"] += value
             sample["count"] += 1
+            if exemplar is not None:
+                held = sample.get("exemplar")
+                if held is None or value >= held["value"]:
+                    sample["exemplar"] = {"trace_id": str(exemplar),
+                                          "value": value}
 
     def count(self, **labels: Any) -> int:
         key = self._key(labels)
@@ -283,19 +306,40 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, dict[tuple[str, ...], Any]]:
         """Every sample of every family, read under one lock acquisition.
 
-        Histograms snapshot as ``{"sum": float, "count": int}`` per label
-        set; counters and gauges as plain floats.
+        Histograms snapshot as ``{"sum": float, "count": int, "buckets":
+        [[bound, cumulative_count], ...]}`` per label set — the buckets are
+        *cumulative* (Prometheus ``le`` semantics) and always end with the
+        ``[inf, count]`` overflow entry, so percentiles are computable from
+        one atomic snapshot (:func:`histogram_quantiles`).  A retained
+        exemplar rides along as ``{"trace_id", "value"}``.  Counters and
+        gauges snapshot as plain floats.
         """
         with self._lock:
             out: dict[str, dict[tuple[str, ...], Any]] = {}
             for name, metric in self._metrics.items():
                 if isinstance(metric, Histogram):
-                    out[name] = {key: {"sum": sample["sum"],
-                                       "count": sample["count"]}
+                    out[name] = {key: self._histogram_sample(metric, sample)
                                  for key, sample in metric._samples.items()}
                 else:
                     out[name] = dict(metric._samples)
             return out
+
+    @staticmethod
+    def _histogram_sample(metric: "Histogram",
+                          sample: dict[str, Any]) -> dict[str, Any]:
+        buckets: list[list[float]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(metric.buckets, sample["counts"]):
+            cumulative += bucket_count
+            buckets.append([bound, cumulative])
+        buckets.append([math.inf, sample["count"]])
+        view: dict[str, Any] = {"sum": sample["sum"],
+                                "count": sample["count"],
+                                "buckets": buckets}
+        exemplar = sample.get("exemplar")
+        if exemplar is not None:
+            view["exemplar"] = dict(exemplar)
+        return view
 
     def render(self) -> str:
         """The registry in Prometheus text exposition format."""
@@ -310,6 +354,44 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {name} {metric.kind}")
                 lines.extend(metric._render())
             return "\n".join(lines) + "\n"
+
+
+def histogram_quantiles(sample: dict[str, Any],
+                        quantiles: tuple[float, ...]) -> list[float | None]:
+    """Quantile estimates from one snapshot histogram sample.
+
+    Standard Prometheus ``histogram_quantile`` semantics: linear
+    interpolation inside the bucket containing the target rank, with the
+    first bucket's lower edge at 0.  A rank landing in the ``+Inf`` overflow
+    bucket answers the highest finite bound (the estimate is then a floor,
+    exactly as Prometheus reports it).  Returns ``None`` per quantile when
+    the sample holds no observations.
+    """
+    buckets = sample.get("buckets") or []
+    count = int(sample.get("count", 0))
+    results: list[float | None] = []
+    for quantile in quantiles:
+        if count <= 0 or not buckets:
+            results.append(None)
+            continue
+        rank = max(0.0, min(1.0, float(quantile))) * count
+        previous_bound, previous_cumulative = 0.0, 0
+        estimate: float | None = None
+        for bound, cumulative in buckets:
+            if cumulative >= rank and cumulative > previous_cumulative:
+                if math.isinf(bound):
+                    estimate = previous_bound
+                else:
+                    fraction = ((rank - previous_cumulative)
+                                / (cumulative - previous_cumulative))
+                    estimate = (previous_bound
+                                + (bound - previous_bound) * fraction)
+                break
+            previous_bound, previous_cumulative = bound, cumulative
+        if estimate is None:  # rank == 0 in a non-empty sample
+            estimate = 0.0
+        results.append(estimate)
+    return results
 
 
 #: Fallback registry for code running outside any request/service scope.
@@ -371,6 +453,12 @@ def declare_standard_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     registry.histogram("repro_solver_gap",
                        "Relative optimality gap per solve",
                        buckets=GAP_BUCKETS)
+    registry.histogram("repro_lock_wait_seconds",
+                       "Seconds callers waited to acquire a named lock",
+                       ("lock",), buckets=WAIT_BUCKETS)
+    registry.histogram("repro_queue_wait_seconds",
+                       "Seconds requests waited in the service pool queue",
+                       buckets=WAIT_BUCKETS)
     registry.counter("repro_cache_events_total",
                      "Hits and misses of the tuning-stack caches",
                      ("cache", "event"))

@@ -1,0 +1,165 @@
+"""``python -m repro.obs.report`` — render a trace as a flame-style summary.
+
+Input is any of the JSON shapes the stack produces:
+
+* a raw trace export (``{"trace_id": ..., "root": {...}}``) — what
+  ``Tracer.export()`` returns and ``TuningResult.extras["trace"]`` holds;
+* a trace-store entry (``GET /v1/traces/{id}``) — the export wrapped with
+  advisor/status/duration metadata and, when sampled, the hotspot table;
+* a full result payload (``TuningResult.to_payload()`` or the server's
+  ``{"result": {...}}`` tune response) — the embedded trace is extracted.
+
+Read from a file (or ``-`` for stdin), or fetch straight from a live
+server's trace store::
+
+    python -m repro.obs.report trace.json
+    python -m repro.obs.report --url http://127.0.0.1:8080 --slow
+    python -m repro.obs.report --url http://127.0.0.1:8080 --trace-id <id>
+
+Each span prints its duration, share of the root, a proportional bar, and
+the resource attributes PR 10 records (``cpu_ms``, ``lock_wait_ms``,
+``queue_wait_ms``, ``mem_peak_kb``); a captured profile renders as a
+top-hotspots table underneath.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+__all__ = ["load_entry", "render_entry", "main"]
+
+#: Resource attributes surfaced on every span line (when present).
+_RESOURCE_ATTRS = ("cpu_ms", "lock_wait_ms", "queue_wait_ms", "mem_peak_kb")
+_BAR_WIDTH = 24
+
+
+def load_entry(data: dict[str, Any]) -> dict[str, Any]:
+    """Normalise any of the accepted JSON shapes into a store-style entry."""
+    if not isinstance(data, dict):
+        raise ValueError("trace input must be a JSON object")
+    if "result" in data and isinstance(data["result"], dict):
+        data = data["result"]
+    if "root" in data:  # a raw Tracer.export() payload
+        return {"trace_id": data.get("trace_id"), "trace": data}
+    if isinstance(data.get("trace"), dict):
+        entry = dict(data)
+        entry.setdefault("trace_id", entry["trace"].get("trace_id"))
+        return entry
+    raise ValueError(
+        "unrecognised trace input: expected a trace export ('root'), a "
+        "trace-store entry or a result payload ('trace')")
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    parts = [f"{name}={attrs[name]}" for name in _RESOURCE_ATTRS
+             if name in attrs]
+    return ("  [" + " ".join(parts) + "]") if parts else ""
+
+
+def _render_span(node: dict[str, Any], root_ms: float, depth: int,
+                 lines: list[str]) -> None:
+    duration = float(node.get("duration_ms") or 0.0)
+    share = duration / root_ms if root_ms > 0 else 0.0
+    bar = "#" * max(1, round(share * _BAR_WIDTH)) if duration > 0 else ""
+    lines.append(f"  {'  ' * depth}{node.get('name', '?'):<{max(4, 28 - 2 * depth)}}"
+                 f" {duration:>10.2f} ms {share * 100:>5.1f}%"
+                 f"  {bar:<{_BAR_WIDTH}}"
+                 f"{_format_attrs(node.get('attrs') or {})}")
+    for child in node.get("children", ()):
+        if isinstance(child, dict):
+            _render_span(child, root_ms, depth + 1, lines)
+
+
+def render_entry(entry: dict[str, Any]) -> str:
+    """The printable report of one normalised entry."""
+    lines: list[str] = []
+    meta = [f"trace {entry.get('trace_id')}"]
+    for field in ("advisor", "status", "request_id"):
+        if entry.get(field):
+            meta.append(f"{field}={entry[field]}")
+    if entry.get("duration_ms") is not None:
+        meta.append(f"duration={entry['duration_ms']:.2f} ms")
+    if entry.get("slow"):
+        meta.append("SLOW")
+    lines.append("  ".join(meta))
+    root = (entry.get("trace") or {}).get("root")
+    if isinstance(root, dict):
+        lines.append("")
+        _render_span(root, float(root.get("duration_ms") or 0.0), 0, lines)
+    else:
+        lines.append("(no span tree recorded)")
+    profile = entry.get("profile")
+    if isinstance(profile, dict) and profile.get("top"):
+        lines.append("")
+        lines.append(f"hotspots ({profile.get('engine', '?')}, "
+                     f"sorted by {profile.get('sort', '?')}):")
+        lines.append(f"  {'tottime':>10}  {'cumtime':>10}  {'calls':>8}  "
+                     f"function")
+        for row in profile["top"]:
+            lines.append(f"  {row.get('tottime_ms', 0):>8.2f}ms"
+                         f"  {row.get('cumtime_ms', 0):>8.2f}ms"
+                         f"  {row.get('calls', 0):>8}"
+                         f"  {row.get('function', '?')}"
+                         f"  ({row.get('file', '?')})")
+    return "\n".join(lines)
+
+
+def _fetch(url: str, trace_id: str | None, slow: bool) -> dict[str, Any]:
+    from urllib.request import urlopen
+
+    base = url.rstrip("/")
+    if trace_id is None:
+        with urlopen(f"{base}/v1/traces") as response:
+            listing = json.loads(response.read())
+        rows = listing.get("traces", [])
+        if slow:
+            rows = [row for row in rows if row.get("slow")]
+        if not rows:
+            raise SystemExit("no matching traces in the server's store")
+        trace_id = rows[0]["trace_id"]
+    with urlopen(f"{base}/v1/traces/{trace_id}") as response:
+        return json.loads(response.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="render a stored/exported trace as a flame-style "
+                    "span and hotspot summary")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="JSON file holding a trace export, trace-store "
+                             "entry or result payload ('-' for stdin)")
+    parser.add_argument("--url", default=None,
+                        help="fetch from a live server's /v1/traces store "
+                             "instead of a file")
+    parser.add_argument("--trace-id", default=None,
+                        help="with --url: the trace id to fetch (default: "
+                             "the newest entry)")
+    parser.add_argument("--slow", action="store_true",
+                        help="with --url: pick the newest slow-flagged entry")
+    args = parser.parse_args(argv)
+
+    if args.url is not None:
+        data = _fetch(args.url, args.trace_id, args.slow)
+    elif args.path is None:
+        parser.error("give a file path (or '-') or --url")
+    elif args.path == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+
+    try:
+        entry = load_entry(data)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_entry(entry))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""A bounded, queryable in-server store of recently completed traces.
+
+PR 8 exported each request's span tree in ``TuningResult.extras["trace"]``
+and then forgot it — a trace was only observable by whoever made the
+request.  :class:`TraceStore` keeps the last ``capacity`` completed traces
+in a thread-safe ring buffer so operators can query them after the fact
+(``GET /v1/traces`` / ``GET /v1/traces/{id}``), correlated to the metrics
+via the exemplar trace ids the latency histograms retain.
+
+Slow-request capture: entries whose ``duration_ms`` reaches
+``slow_threshold_ms`` are *additionally* pinned in a separate (also
+bounded) ring, so the outliers worth debugging survive even when a burst of
+fast requests has long since rotated them out of the recent ring.
+
+Everything stored is plain JSON data (the exported span payload, the
+optional hotspot table); the store never holds live objects, so a retained
+trace cannot pin a schema context or a result alive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["TraceStore"]
+
+#: Fields of a stored entry surfaced by the ``/v1/traces`` listing (the full
+#: span tree and profile only travel on the per-id endpoint).
+_SUMMARY_FIELDS = ("trace_id", "advisor", "status", "duration_ms",
+                   "request_id", "slow", "seq")
+
+
+class TraceStore:
+    """Thread-safe ring buffer of completed request traces.
+
+    Args:
+        capacity: Entries retained in the recent ring (>= 1).  ``Tuner``
+            treats a configured size of 0 as "no store" and passes ``None``
+            instead of constructing one.
+        slow_threshold_ms: Entries at least this slow are pinned in the
+            slow ring as well; ``None`` disables slow capture.
+        slow_capacity: Bound of the slow ring (>= 1).
+    """
+
+    def __init__(self, capacity: int = 128,
+                 slow_threshold_ms: float | None = None,
+                 slow_capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if slow_capacity < 1:
+            raise ValueError("slow_capacity must be >= 1")
+        if slow_threshold_ms is not None and slow_threshold_ms < 0:
+            raise ValueError("slow_threshold_ms must be non-negative (or None)")
+        self.capacity = int(capacity)
+        self.slow_threshold_ms = slow_threshold_ms
+        self.slow_capacity = int(slow_capacity)
+        self._lock = threading.Lock()
+        #: trace_id -> entry, oldest first (rings via OrderedDict rotation).
+        self._recent: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._slow: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._seq = 0
+        self._evicted = 0
+
+    # ----------------------------------------------------------------- writing
+    def record(self, trace: dict[str, Any] | None, *,
+               advisor: str | None = None, status: str | None = None,
+               duration_ms: float | None = None,
+               request_id: str | None = None,
+               profile: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        """Store one completed (or failed-partial) trace; returns the entry.
+
+        ``duration_ms`` defaults to the root span's duration.  Re-recording
+        a trace id overwrites the previous entry (tests pin one id across
+        requests; latest wins).
+        """
+        if not trace or "trace_id" not in trace:
+            return None
+        trace_id = str(trace["trace_id"])
+        if duration_ms is None:
+            root = trace.get("root") or {}
+            duration_ms = root.get("duration_ms")
+        slow = (self.slow_threshold_ms is not None
+                and duration_ms is not None
+                and duration_ms >= self.slow_threshold_ms)
+        with self._lock:
+            self._seq += 1
+            entry: dict[str, Any] = {
+                "trace_id": trace_id,
+                "advisor": advisor,
+                "status": status,
+                "duration_ms": (None if duration_ms is None
+                                else round(float(duration_ms), 3)),
+                "request_id": request_id,
+                "slow": slow,
+                "seq": self._seq,
+                "trace": trace,
+            }
+            if profile is not None:
+                entry["profile"] = profile
+            self._recent.pop(trace_id, None)
+            self._recent[trace_id] = entry
+            while len(self._recent) > self.capacity:
+                self._recent.popitem(last=False)
+                self._evicted += 1
+            if slow:
+                self._slow.pop(trace_id, None)
+                self._slow[trace_id] = entry
+                while len(self._slow) > self.slow_capacity:
+                    self._slow.popitem(last=False)
+            return entry
+
+    # ----------------------------------------------------------------- reading
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """The stored entry of one trace id (recent or slow-pinned)."""
+        with self._lock:
+            entry = self._recent.get(trace_id)
+            if entry is None:
+                entry = self._slow.get(trace_id)
+            return entry
+
+    def summaries(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Newest-first summary rows across both rings (deduplicated)."""
+        with self._lock:
+            merged: dict[str, dict[str, Any]] = {}
+            for entry in self._recent.values():
+                merged[entry["trace_id"]] = entry
+            for entry in self._slow.values():
+                merged.setdefault(entry["trace_id"], entry)
+            rows = sorted(merged.values(), key=lambda e: -e["seq"])
+        if limit is not None:
+            rows = rows[:max(0, int(limit))]
+        return [{field: entry.get(field) for field in _SUMMARY_FIELDS}
+                for entry in rows]
+
+    def __len__(self) -> int:
+        with self._lock:
+            ids = set(self._recent) | set(self._slow)
+            return len(ids)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "size": len(set(self._recent) | set(self._slow)),
+                "capacity": self.capacity,
+                "slow_threshold_ms": self.slow_threshold_ms,
+                "slow_retained": len(self._slow),
+                "slow_capacity": self.slow_capacity,
+                "recorded": self._seq,
+                "evicted": self._evicted,
+            }

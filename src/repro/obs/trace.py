@@ -38,6 +38,7 @@ from __future__ import annotations
 import contextlib
 import logging
 import time
+import tracemalloc
 import uuid
 from contextvars import ContextVar
 from typing import Any, Iterator
@@ -65,16 +66,29 @@ class Span:
     ``attrs`` hold whatever the instrumented layer reports (node counts,
     shard ids, retry attempts, …); :meth:`set` adds more after the span
     opened — typically outcomes known only once the stage finished.
+
+    Resource accounting (PR 10): every span records the CPU seconds its
+    thread spent inside it (``attrs["cpu_ms"]``, via ``time.thread_time`` —
+    wall minus CPU is wait time, which is how a reader tells a contended
+    span from a busy one).  With ``track_memory`` on *and* ``tracemalloc``
+    tracing, the span also records the process peak-allocation delta over
+    its own start (``attrs["mem_peak_kb"]``).
     """
 
-    __slots__ = ("name", "attrs", "children", "_started", "duration_ms")
+    __slots__ = ("name", "attrs", "children", "_started", "_cpu_started",
+                 "_mem_started", "duration_ms")
 
-    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None,
+                 track_memory: bool = False):
         self.name = name
         self.attrs: dict[str, Any] = dict(attrs or {})
         #: Finished child spans (Span objects) or adopted payload dicts.
         self.children: list[Any] = []
         self._started = time.perf_counter()
+        self._cpu_started = time.thread_time()
+        self._mem_started = (tracemalloc.get_traced_memory()[0]
+                             if track_memory and tracemalloc.is_tracing()
+                             else None)
         self.duration_ms: float = 0.0
 
     @property
@@ -87,6 +101,12 @@ class Span:
 
     def finish(self) -> None:
         self.duration_ms = (time.perf_counter() - self._started) * 1000.0
+        cpu_ms = (time.thread_time() - self._cpu_started) * 1000.0
+        self.attrs["cpu_ms"] = round(cpu_ms, 3)
+        if self._mem_started is not None and tracemalloc.is_tracing():
+            peak = tracemalloc.get_traced_memory()[1]
+            self.attrs["mem_peak_kb"] = round(
+                max(0.0, peak - self._mem_started) / 1024.0, 1)
 
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -124,8 +144,12 @@ class Tracer:
     :func:`adopt`.
     """
 
-    def __init__(self, trace_id: str | None = None):
+    def __init__(self, trace_id: str | None = None,
+                 track_memory: bool = False):
         self.trace_id = trace_id or pending_trace_id() or new_trace_id()
+        #: Record per-span tracemalloc peak deltas (requires tracemalloc to
+        #: be tracing; see ``repro.obs.profile.ensure_memory_tracking``).
+        self.track_memory = bool(track_memory)
         self.root: Span | None = None
         self._stack: list[Span] = []
 
@@ -137,7 +161,7 @@ class Tracer:
     @contextlib.contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
         """Open a child span of the innermost open span (or the root)."""
-        node = Span(name, attrs)
+        node = Span(name, attrs, track_memory=self.track_memory)
         if self._stack:
             self._stack[-1].children.append(node)
         elif self.root is None:

@@ -339,11 +339,14 @@ class ShardExecutor:
                    time_limit: float | None, faults: FaultPlan | None,
                    attempt: int) -> tuple:
         # The ambient trace id rides the job tuple so the worker records its
-        # spans under the same trace as the request that dispatched it.
+        # spans under the same trace as the request that dispatched it; the
+        # dispatch timestamp is wall-clock (time.time) because perf_counter
+        # epochs are not comparable across processes — the worker turns the
+        # delta into the shard span's queue_wait_ms.
         return (schema, shard.position, shard.workload.statements,
                 shard.candidates, shard.budget_bytes, self.backend.value,
                 self.gap_tolerance, time_limit, caps, use_matrix, faults,
-                attempt, current_trace_id())
+                attempt, current_trace_id(), time.time())
 
 
 def _retry_metric(site: str) -> None:
@@ -371,17 +374,22 @@ def _solve_shard_inline(shard: Shard, inum: InumCache,
                         time_limit_seconds: float | None,
                         fault_plan: FaultPlan | None = None,
                         attempt: int = 1,
-                        in_worker: bool = False) -> ShardResult:
+                        in_worker: bool = False,
+                        queue_wait_ms: float | None = None) -> ShardResult:
     """Solve one shard reusing the caller's INUM cache (no process hop).
 
     The fault check fires *before* any optimizer work, so a retried attempt
     repeats exactly the work the failed one never did — optimizer-call
     accounting (and with it the result fingerprint) stays identical to a
-    fault-free run.
+    fault-free run.  ``queue_wait_ms`` is the dispatch-to-start gap a
+    process-pool job measured; it lands on the shard span so a saturated
+    worker pool is visible in the trace.
     """
     with span(f"shard[{shard.position}]", statements=len(shard.workload),
               candidates=len(shard.candidates), attempt=attempt,
               in_worker=in_worker) as shard_span:
+        if queue_wait_ms is not None:
+            shard_span.set(queue_wait_ms=round(queue_wait_ms, 3))
         maybe_check(fault_plan, "shard_solve", key=shard.position,
                     attempt=attempt, in_worker=in_worker)
         started = time.perf_counter()
@@ -419,7 +427,8 @@ def _solve_shard_job(job: tuple) -> ShardResult:
     """Worker-side shard solve: rebuild the full stack from pickled inputs."""
     (schema, position, statements, indexes, budget_bytes, backend_value,
      gap_tolerance, time_limit_seconds, caps, use_matrix, fault_plan,
-     attempt, trace_id) = job
+     attempt, trace_id, dispatch_ts) = job
+    queue_wait_ms = max(0.0, (time.time() - dispatch_ts) * 1000.0)
     plan = fault_plan if fault_plan is not None else armed_plan()
     optimizer = WhatIfOptimizer(schema)
     inum = InumCache(optimizer, max_orders_per_table=caps[0],
@@ -441,7 +450,8 @@ def _solve_shard_job(job: tuple) -> ShardResult:
                                      SolverBackend(backend_value),
                                      gap_tolerance, time_limit_seconds,
                                      fault_plan=plan, attempt=attempt,
-                                     in_worker=True)
+                                     in_worker=True,
+                                     queue_wait_ms=queue_wait_ms)
     # The caller's counters never saw this process's optimizer: report its
     # work so the advisor's whatif_calls metric covers the shard phase.
     result = replace(result,

@@ -26,6 +26,11 @@ GET     ``/v1/stats``               Service counters: contexts, cache sizes,
 GET     ``/v1/metrics``             The tuner's metrics registry in Prometheus
                                     text exposition format (the one non-JSON
                                     endpoint).
+GET     ``/v1/traces``              Newest-first summaries of the bounded
+                                    trace store (``?limit=N`` truncates).
+GET     ``/v1/traces/{id}``         One stored trace: full span tree plus the
+                                    sampled hotspot table when captured; 404
+                                    once evicted.
 ======  ==========================  ===========================================
 
 Observability (PR 8): a client-supplied ``X-Repro-Trace-Id`` header becomes
@@ -128,6 +133,11 @@ class TuningServer:
             header of ``retry_after_s``.
         drain_timeout_s: Upper bound :meth:`stop` waits for in-flight
             requests to finish before closing (graceful shutdown).
+        trace_store_size / slow_threshold_ms / profile_every: Performance
+            introspection, forwarded to the created :class:`TuningService`
+            (ignored when ``service`` is supplied): the ``/v1/traces`` ring
+            capacity (0 disables it), the slow-request pinning threshold,
+            and the sampled-``cProfile`` cadence.
     """
 
     def __init__(self, service: TuningService | None = None,
@@ -141,7 +151,10 @@ class TuningServer:
                  max_time_budget_ms: float | None = None,
                  max_pending: int | None = None,
                  retry_after_s: float = 1.0,
-                 drain_timeout_s: float = 10.0):
+                 drain_timeout_s: float = 10.0,
+                 trace_store_size: int = 128,
+                 slow_threshold_ms: float | None = None,
+                 profile_every: int | None = None):
         if session_ttl_s is not None and session_ttl_s <= 0:
             raise ValueError("session_ttl_s must be positive (or None)")
         if default_time_budget_ms is not None and default_time_budget_ms <= 0:
@@ -155,7 +168,10 @@ class TuningServer:
                                     max_contexts=max_contexts,
                                     context_ttl_s=context_ttl_s,
                                     max_pending=max_pending,
-                                    retry_after_s=retry_after_s)
+                                    retry_after_s=retry_after_s,
+                                    trace_store_size=trace_store_size,
+                                    slow_threshold_ms=slow_threshold_ms,
+                                    profile_every=profile_every)
         self.service = service
         self.schema_cache = SchemaCache(max_schemas=max_schemas)
         self.session_ttl_s = session_ttl_s
@@ -300,6 +316,30 @@ class TuningServer:
             "max_time_budget_ms": self.max_time_budget_ms,
         }
 
+    def handle_traces(self, limit: int | None = None) -> dict[str, Any]:
+        """The ``/v1/traces`` listing: newest-first store summaries."""
+        store = self.service.tuner.trace_store
+        if store is None:
+            return {"enabled": False, "traces": [], "count": 0,
+                    "capacity": 0, "slow_threshold_ms": None}
+        return {
+            "enabled": True,
+            "traces": store.summaries(limit),
+            "count": len(store),
+            "capacity": store.capacity,
+            "slow_threshold_ms": store.slow_threshold_ms,
+        }
+
+    def handle_trace(self, trace_id: str) -> dict[str, Any]:
+        """One stored trace by id; 404 once evicted (or never recorded)."""
+        store = self.service.tuner.trace_store
+        entry = store.get(trace_id) if store is not None else None
+        if entry is None:
+            raise TuningServerError(
+                f"Unknown trace {trace_id!r} (evicted or never recorded)",
+                status=404, error_type="UnknownTrace")
+        return entry
+
     def _budgeted(self, request: TuningRequest) -> TuningRequest:
         """Apply the server's anytime-budget policy to one decoded request.
 
@@ -421,7 +461,8 @@ def _endpoint_pattern(method: str, path: str) -> str:
     """
     fixed = {f"{API_PREFIX}/health", f"{API_PREFIX}/stats",
              f"{API_PREFIX}/metrics", f"{API_PREFIX}/tune",
-             f"{API_PREFIX}/tune_batch", f"{API_PREFIX}/sessions"}
+             f"{API_PREFIX}/tune_batch", f"{API_PREFIX}/sessions",
+             f"{API_PREFIX}/traces"}
     if path in fixed:
         return path
     sessions_root = f"{API_PREFIX}/sessions/"
@@ -431,6 +472,9 @@ def _endpoint_pattern(method: str, path: str) -> str:
             return f"{API_PREFIX}/sessions/{{id}}"
         if len(rest) == 2 and rest[1] == "tune":
             return f"{API_PREFIX}/sessions/{{id}}/tune"
+    traces_root = f"{API_PREFIX}/traces/"
+    if path.startswith(traces_root) and "/" not in path[len(traces_root):]:
+        return f"{API_PREFIX}/traces/{{id}}"
     return "unknown"
 
 
@@ -544,6 +588,12 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
             return owner.handle_health()
         if method == "GET" and path == f"{API_PREFIX}/stats":
             return owner.handle_stats()
+        if method == "GET" and path == f"{API_PREFIX}/traces":
+            return owner.handle_traces(self._limit_param())
+        traces_root = f"{API_PREFIX}/traces/"
+        if (method == "GET" and path.startswith(traces_root)
+                and "/" not in path[len(traces_root):]):
+            return owner.handle_trace(path[len(traces_root):])
         if method == "POST" and path == f"{API_PREFIX}/tune":
             return owner.handle_tune(self._read_json())
         if method == "POST" and path == f"{API_PREFIX}/tune_batch":
@@ -559,6 +609,18 @@ class _TuningRequestHandler(BaseHTTPRequestHandler):
                 return owner.handle_close_session(rest[0])
         raise TuningServerError(f"No such endpoint: {method} {self.path}",
                                 status=404, error_type="NotFound")
+
+    def _limit_param(self) -> int | None:
+        """The ``?limit=N`` query parameter of the current request."""
+        from urllib.parse import parse_qs, urlparse
+
+        values = parse_qs(urlparse(self.path).query).get("limit")
+        if not values:
+            return None
+        try:
+            return int(values[0])
+        except ValueError:
+            raise WireFormatError("limit must be an integer") from None
 
     def _read_json(self) -> Any:
         try:
@@ -655,6 +717,19 @@ def main(argv: list[str] | None = None) -> None:
                         help="structured-log threshold (DEBUG/INFO/WARNING/"
                              "ERROR); defaults to $REPRO_LOG_LEVEL or "
                              "WARNING")
+    parser.add_argument("--trace-store-size", type=int, default=128,
+                        help="completed traces retained for GET /v1/traces "
+                             "(ring buffer; 0 disables the store)")
+    parser.add_argument("--slow-threshold-ms", type=float, default=None,
+                        metavar="MS",
+                        help="requests at least this slow are pinned in the "
+                             "trace store's slow ring so outliers survive "
+                             "rotation")
+    parser.add_argument("--profile-every", type=int, default=None,
+                        metavar="N",
+                        help="capture a sampled cProfile hotspot table on "
+                             "every Nth request (rides the result and the "
+                             "stored trace; off by default)")
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
     server = TuningServer(host=args.host, port=args.port,
@@ -666,7 +741,10 @@ def main(argv: list[str] | None = None) -> None:
                           max_time_budget_ms=args.max_time_budget,
                           max_pending=args.max_pending,
                           retry_after_s=args.retry_after,
-                          drain_timeout_s=args.drain_timeout)
+                          drain_timeout_s=args.drain_timeout,
+                          trace_store_size=args.trace_store_size,
+                          slow_threshold_ms=args.slow_threshold_ms,
+                          profile_every=args.profile_every)
     install_signal_handlers(server)
     print(f"Serving index tuning on {server.url} "
           f"(advisors: {', '.join(available_advisors())})")

@@ -131,6 +131,22 @@ class TuningClient:
     def stats(self) -> dict[str, Any]:
         return self._get(f"{API_PREFIX}/stats")
 
+    def traces(self, limit: int | None = None) -> dict[str, Any]:
+        """Newest-first summaries of the server's bounded trace store."""
+        path = f"{API_PREFIX}/traces"
+        if limit is not None:
+            path = f"{path}?limit={int(limit)}"
+        return self._get(path)
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """One stored trace (full span tree + hotspot table when sampled).
+
+        Raises the server's 404 envelope
+        (``TuningServerError``/``UnknownTrace``) once the id has rotated out
+        of the store.
+        """
+        return self._get(f"{API_PREFIX}/traces/{trace_id}")
+
     # ---------------------------------------------------------------- plumbing
     def _get(self, path: str) -> dict[str, Any]:
         return self._call("GET", path, None, idempotent=True)

@@ -14,7 +14,8 @@ and over the wire.  Status mapping:
 * ``422`` — the request parsed but describes an unservable tuning problem:
   :class:`WorkloadError` (e.g. statement-name collisions), catalog and
   constraint errors, infeasible problems;
-* ``404`` — unknown endpoint or session;
+* ``404`` — unknown endpoint, session, or stored trace (evicted trace ids
+  answer 404 exactly like never-recorded ones);
 * ``429`` — admission control rejected the request
   (:class:`~repro.exceptions.ServerOverloaded`); the response carries a
   ``Retry-After`` header and the envelope a ``retry_after_s`` hint;

@@ -34,9 +34,9 @@ def run_tree(tmp_path: Path, files: dict[str, str], rule: str | None = None):
 def test_rule_registry_is_complete():
     names = {rule.name for rule in ALL_RULES}
     assert {"fingerprint-purity", "fault-site-discipline", "lock-discipline",
-            "metric-label-cardinality", "wire-codec-completeness",
-            "worker-pickle-safety", "runtime-assert",
-            "unused-import"} <= names
+            "metric-label-cardinality", "bounded-buffer",
+            "wire-codec-completeness", "worker-pickle-safety",
+            "runtime-assert", "unused-import"} <= names
     assert rule_by_name("no-such-rule") is None
 
 
@@ -172,6 +172,67 @@ def test_metric_label_rule_accepts_bounded_values(tmp_path):
             registry.counter("c3", "d", ("s",)).inc(
                 s=solution.status.name.lower())
         """}, rule="metric-label-cardinality")
+    assert findings == []
+
+
+def test_metric_label_rule_ignores_exemplar_kwarg(tmp_path):
+    # ``exemplar=`` deliberately carries a per-request trace id; it is
+    # snapshot metadata, not a label, so it must never be flagged.
+    findings = run_tree(tmp_path, {"pkg/obs.py": """\
+        def record(registry, trace_id):
+            registry.histogram("h", "d").observe(1.0, exemplar=trace_id)
+        """}, rule="metric-label-cardinality")
+    assert findings == []
+
+
+# -------------------------------------------------------------- bounded buffer
+def test_bounded_buffer_flags_unbounded_deque_in_obs(tmp_path):
+    findings = run_tree(tmp_path, {"repro/obs/ring.py": """\
+        from collections import deque
+
+        events = deque()
+        """}, rule="bounded-buffer")
+    assert len(findings) == 1 and "maxlen" in findings[0].message
+
+
+def test_bounded_buffer_accepts_capped_deque_and_other_packages(tmp_path):
+    findings = run_tree(tmp_path, {
+        "repro/obs/ring.py": """\
+            from collections import deque
+
+            events = deque(maxlen=64)
+            """,
+        # outside obs/ the rule does not apply at all
+        "repro/core/scratch.py": """\
+            from collections import deque
+
+            frontier = deque()
+            """}, rule="bounded-buffer")
+    assert findings == []
+
+
+def test_bounded_buffer_flags_recorder_without_capacity(tmp_path):
+    findings = run_tree(tmp_path, {"repro/obs/keeper.py": """\
+        class Keeper:
+            def __init__(self):
+                self.entries = {}
+
+            def record(self, entry):
+                self.entries[entry["id"]] = entry
+        """}, rule="bounded-buffer")
+    assert len(findings) == 1 and "capacity" in findings[0].message
+
+
+def test_bounded_buffer_accepts_recorder_with_bounded_capacity(tmp_path):
+    findings = run_tree(tmp_path, {"repro/obs/keeper.py": """\
+        class Keeper:
+            def __init__(self, capacity=32):
+                self.capacity = int(capacity)
+                self.entries = {}
+
+            def record(self, entry):
+                self.entries[entry["id"]] = entry
+        """}, rule="bounded-buffer")
     assert findings == []
 
 
